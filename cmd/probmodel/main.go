@@ -1,0 +1,80 @@
+// Command probmodel reproduces Figs. 6–11: the §X.B coverage model. For
+// each update operation of an LU iteration it prints the probability of
+// the four outcomes under each ABFT approach (Figs. 6–8) and the expected
+// recovery cost (Figs. 9–11).
+//
+// Usage:
+//
+//	probmodel            # outcome probabilities (Figs. 6–8)
+//	probmodel -cost      # expected recovery cost (Figs. 9–11)
+//	probmodel -n 10240 -nb 256 -l2 1e-9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ftla/internal/probmodel"
+	"ftla/internal/report"
+)
+
+func main() {
+	var (
+		n     = flag.Int("n", 10240, "trailing matrix order")
+		nb    = flag.Int("nb", 256, "block size")
+		l1    = flag.Float64("l1", 1e-13, "computation error rate (per flop)")
+		l2    = flag.Float64("l2", 1e-9, "DRAM error rate (per element-second)")
+		l3    = flag.Float64("l3", 1e-9, "on-chip error rate (per element-second)")
+		l4    = flag.Float64("l4", 1e-11, "PCIe error rate (per element)")
+		cost  = flag.Bool("cost", false, "print expected recovery cost instead of probabilities")
+		sweep = flag.Bool("sweep", false, "sweep error-rate multipliers (extension study)")
+	)
+	flag.Parse()
+
+	m := probmodel.PaperModel()
+	m.N, m.NB = *n, *nb
+	m.Rates = probmodel.Rates{Compute: *l1, OffChip: *l2, OnChip: *l3, PCIe: *l4}
+
+	if *sweep {
+		rc := probmodel.DefaultCosts()
+		fig := report.NewFigure("Extension — expected per-iteration recovery vs error-rate scale",
+			"rate multiplier", "expected recovery seconds")
+		for _, pt := range m.SweepRates([]float64{0.01, 0.1, 1, 10, 100, 1000}, rc) {
+			for _, a := range probmodel.AllApproaches() {
+				fig.Add(a.String(), pt.Multiplier, pt.Cost[a])
+			}
+		}
+		fig.Render(os.Stdout)
+		return
+	}
+	if *cost {
+		rc := probmodel.DefaultCosts()
+		t := report.NewTable(
+			fmt.Sprintf("Figs. 9–11 — expected recovery seconds per op (n=%d, nb=%d)", *n, *nb),
+			"approach", "PD", "PU", "TMU")
+		for _, a := range probmodel.AllApproaches() {
+			t.AddRow(a.String(),
+				m.ExpectedRecovery(a, probmodel.PD, rc),
+				m.ExpectedRecovery(a, probmodel.PU, rc),
+				m.ExpectedRecovery(a, probmodel.TMU, rc))
+		}
+		t.Render(os.Stdout)
+		return
+	}
+	for _, op := range probmodel.AllOps() {
+		t := report.NewTable(
+			fmt.Sprintf("Figs. 6–8 — outcome probabilities for %s (n=%d, nb=%d)", op, *n, *nb),
+			"approach", "fault-free", "abft-fixable", "local-restart", "complete-restart")
+		for _, a := range probmodel.AllApproaches() {
+			pr := m.Outcomes(a, op)
+			t.AddRow(a.String(),
+				pr.P[probmodel.FaultFree],
+				pr.P[probmodel.ABFTFixable],
+				pr.P[probmodel.LocalRestart],
+				pr.P[probmodel.CompleteRestart])
+		}
+		t.Render(os.Stdout)
+		fmt.Println()
+	}
+}

@@ -1,0 +1,71 @@
+// Linsolve: solve A·x = b with the protected LU factorization while DRAM
+// faults strike the trailing matrix mid-factorization — the scenario the
+// paper's full-checksum protection is built for. The injected corruption
+// is detected online, the contaminated lines are rebuilt from the
+// orthogonal checksums, and the solve still returns the correct answer.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"ftla"
+)
+
+func main() {
+	const n = 512
+
+	a := ftla.RandomDiagDominant(n, 7)
+	// Manufacture a known solution so correctness is externally checkable.
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = math.Sin(float64(i))
+	}
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := a.Row(i)
+		s := 0.0
+		for j, v := range row {
+			s += v * want[j]
+		}
+		b[i] = s
+	}
+
+	// Two multi-bit DRAM upsets: one in the L21 panel during a trailing
+	// update, one in the row panel before a panel update.
+	inj := ftla.NewInjector(99)
+	inj.Schedule(ftla.FaultSpec{Kind: ftla.FaultDRAM, Op: ftla.OpTMU, Part: ftla.RefPart, Iteration: 1})
+	inj.Schedule(ftla.FaultSpec{Kind: ftla.FaultDRAM, Op: ftla.OpPU, Part: ftla.UpdatePart, Iteration: 4})
+
+	res, err := ftla.LU(a, ftla.Config{GPUs: 2, NB: 64, Injector: inj})
+	if err != nil {
+		log.Fatal(err)
+	}
+	x, err := res.Solve(b)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	maxErr := 0.0
+	for i := range x {
+		if d := math.Abs(x[i] - want[i]); d > maxErr {
+			maxErr = d
+		}
+	}
+	fmt.Printf("injected faults            : %d\n", len(inj.Events()))
+	for _, e := range inj.Events() {
+		fmt.Printf("  %v\n", e)
+	}
+	fmt.Printf("errors detected            : %d\n", res.Report.Counter.DetectedErrors)
+	fmt.Printf("elements corrected         : %d\n", res.Report.Counter.CorrectedElements)
+	fmt.Printf("lines reconstructed        : %d\n", res.Report.Counter.ReconstructedLins)
+	fmt.Printf("local restarts             : %d\n", res.Report.Counter.LocalRestarts)
+	fmt.Printf("factor residual            : %.2e\n", res.Residual(a))
+	fmt.Printf("max |x − x_true|           : %.2e\n", maxErr)
+	if maxErr < 1e-8 {
+		fmt.Println("solution correct despite injected DRAM faults ✓")
+	} else {
+		fmt.Println("solution corrupted ✗")
+	}
+}

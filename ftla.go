@@ -1,0 +1,205 @@
+// Package ftla (Fault-Tolerant Linear Algebra) is the public API of this
+// repository: algorithm-based fault tolerant (ABFT) one-sided matrix
+// decompositions — Cholesky, LU with partial pivoting, and Householder QR
+// — executed on a simulated heterogeneous CPU+multi-GPU node, reproducing
+// "Fault Tolerant One-sided Matrix Decompositions on Heterogeneous Systems
+// with GPUs" (SC 2018).
+//
+// The protected factorizations maintain dual-weight checksums in one or
+// two dimensions, verify them under configurable checking schemes
+// (prior-operation, post-operation, or the paper's prioritized new
+// scheme), detect and correct soft errors online — including PCIe
+// communication errors — and report detailed verification/recovery
+// statistics.
+//
+// Quick start:
+//
+//	a := ftla.RandomSPD(512, 1)
+//	res, err := ftla.Cholesky(a, ftla.Config{GPUs: 2})
+//	x := res.Solve(b) // solve A·x = b using the protected factor
+//
+// Fault injection (for experiments):
+//
+//	inj := ftla.NewInjector(42)
+//	inj.Schedule(ftla.FaultSpec{Kind: ftla.FaultDRAM, Op: ftla.OpTMU, Iteration: 3})
+//	res, err := ftla.LU(a, ftla.Config{GPUs: 2, Injector: inj})
+package ftla
+
+import (
+	"ftla/internal/checksum"
+	"ftla/internal/core"
+	"ftla/internal/fault"
+	"ftla/internal/hetsim"
+	"ftla/internal/matrix"
+)
+
+// Matrix is a dense row-major matrix of float64 values.
+type Matrix = matrix.Dense
+
+// NewMatrix allocates a zeroed r-by-c matrix.
+func NewMatrix(r, c int) *Matrix { return matrix.NewDense(r, c) }
+
+// FromRows builds a matrix from row slices (copying the input).
+func FromRows(rows [][]float64) *Matrix { return matrix.FromRows(rows) }
+
+// Random returns an r-by-c matrix with uniform entries in [-1, 1),
+// deterministic in seed.
+func Random(r, c int, seed uint64) *Matrix {
+	return matrix.Random(r, c, matrix.NewRNG(seed))
+}
+
+// RandomSPD returns a random n-by-n symmetric positive definite matrix,
+// deterministic in seed — a valid Cholesky input.
+func RandomSPD(n int, seed uint64) *Matrix {
+	return matrix.RandomSPD(n, matrix.NewRNG(seed))
+}
+
+// RandomDiagDominant returns a random strictly diagonally dominant n-by-n
+// matrix, deterministic in seed — a well-conditioned LU input.
+func RandomDiagDominant(n int, seed uint64) *Matrix {
+	return matrix.RandomDiagDominant(n, matrix.NewRNG(seed))
+}
+
+// Protection selects the checksum coverage.
+type Protection = core.Mode
+
+// Protection levels.
+const (
+	// NoProtection runs the plain factorization (the overhead baseline).
+	NoProtection = core.NoChecksum
+	// SingleSide maintains checksums in one dimension, as in prior work.
+	SingleSide = core.SingleSide
+	// FullChecksum maintains checksums in both dimensions on the trailing
+	// matrix — the paper's contribution (§IV).
+	FullChecksum = core.Full
+)
+
+// Scheme selects when verification happens.
+type Scheme = core.Scheme
+
+// Checking schemes.
+const (
+	// PriorOp verifies operation inputs before each operation.
+	PriorOp = core.PriorOp
+	// PostOp verifies operation outputs after each operation.
+	PostOp = core.PostOp
+	// NewScheme is the paper's prioritized checking scheme (Algorithm 2),
+	// including post-broadcast verification that protects PCIe.
+	NewScheme = core.NewScheme
+)
+
+// Kernel selects the checksum-encoding kernel (§VIII).
+type Kernel = checksum.Kernel
+
+// Checksum-encoding kernels.
+const (
+	// GEMMKernel is the general-matrix-multiply baseline of prior work.
+	GEMMKernel = checksum.GEMMKernel
+	// OptKernel is the paper's optimized dedicated encoding kernel.
+	OptKernel = checksum.OptKernel
+)
+
+// Report carries the per-run statistics: timing breakdown, verification
+// counters (Table VI), detection/recovery events, and PCIe traffic.
+type Report = core.Result
+
+// Outcome classifies a run (§X.B): fault-free, fixed online, locally
+// restarted, detected-but-corrupt, or silently corrupted.
+type Outcome = core.Outcome
+
+// Injector schedules fault injections (§V fault model, §X.A timing).
+type Injector = fault.Injector
+
+// NewInjector creates a deterministic fault injector.
+func NewInjector(seed uint64) *Injector { return fault.NewInjector(seed) }
+
+// FaultSpec schedules one fault; see the fields of fault.Spec.
+type FaultSpec = fault.Spec
+
+// Fault kinds (§V).
+const (
+	// FaultCompute flips a bit of a freshly computed element.
+	FaultCompute = fault.Computation
+	// FaultDRAM corrupts a stored element (multi-bit, ECC-resistant).
+	FaultDRAM = fault.OffChipMemory
+	// FaultOnChip corrupts a transiently cached value (no write-back).
+	FaultOnChip = fault.OnChipMemory
+	// FaultPCIe corrupts an element of a transferred panel.
+	FaultPCIe = fault.Communication
+)
+
+// Fault target operations.
+const (
+	OpPD  = fault.PD
+	OpPU  = fault.PU
+	OpTMU = fault.TMU
+	OpCTF = fault.CTF
+)
+
+// Fault target parts.
+const (
+	RefPart    = fault.ReferencePart
+	UpdatePart = fault.UpdatePart
+)
+
+// Config selects the simulated platform and the protection configuration.
+// The zero value means: 1 GPU, NB=64, full checksums with the new checking
+// scheme, optimized encoding kernel.
+type Config struct {
+	// GPUs is the number of simulated GPUs (default 1).
+	GPUs int
+	// NB is the block size; the matrix order must be a multiple (default 64).
+	NB int
+	// Protection and Scheme choose the ABFT configuration. The zero values
+	// select FullChecksum + NewScheme; to run unprotected set
+	// Protection: NoProtection, Scheme: core.NoCheck (or use Unprotected).
+	Protection Protection
+	Scheme     Scheme
+	// Kernel selects the checksum-encoding kernel (default OptKernel).
+	Kernel Kernel
+	// Injector, when set, injects the scheduled faults.
+	Injector *Injector
+	// PeriodicTrailingCheck > 0 adds a full trailing verification every
+	// k-th iteration under NewScheme (§VII.B mitigation).
+	PeriodicTrailingCheck int
+	// System overrides the simulated platform (worker counts, nominal
+	// speeds); nil uses hetsim.DefaultConfig(GPUs).
+	System *hetsim.Config
+
+	// explicit marks configs built by Unprotected so the zero Protection/
+	// Scheme pair is not upgraded to the protected defaults.
+	explicit bool
+}
+
+// Unprotected returns a Config running the plain factorization.
+func Unprotected(gpus int) Config {
+	return Config{GPUs: gpus, Protection: NoProtection, Scheme: core.NoCheck, explicit: true}
+}
+
+func (c Config) normalize() (Config, core.Options, *hetsim.System) {
+	if c.GPUs <= 0 {
+		c.GPUs = 1
+	}
+	if c.NB <= 0 {
+		c.NB = 64
+	}
+	if !c.explicit && c.Protection == core.NoChecksum && c.Scheme == core.NoCheck {
+		c.Protection = FullChecksum
+		c.Scheme = NewScheme
+	}
+	opts := core.Options{
+		NB:                    c.NB,
+		Mode:                  c.Protection,
+		Scheme:                c.Scheme,
+		Kernel:                c.Kernel,
+		Injector:              c.Injector,
+		PeriodicTrailingCheck: c.PeriodicTrailingCheck,
+	}
+	var sys *hetsim.System
+	if c.System != nil {
+		sys = hetsim.New(*c.System)
+	} else {
+		sys = hetsim.New(hetsim.DefaultConfig(c.GPUs))
+	}
+	return c, opts, sys
+}

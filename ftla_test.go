@@ -1,0 +1,156 @@
+package ftla
+
+import (
+	"math"
+	"testing"
+
+	"ftla/internal/core"
+)
+
+func residualVec(a *Matrix, x, b []float64) float64 {
+	n := a.Rows
+	max := 0.0
+	for i := 0; i < n; i++ {
+		s := 0.0
+		row := a.Row(i)
+		for j, v := range row {
+			s += v * x[j]
+		}
+		if d := math.Abs(s - b[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+func TestCholeskySolve(t *testing.T) {
+	n := 128
+	a := RandomSPD(n, 1)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i + 1)
+	}
+	res, err := Cholesky(a, Config{GPUs: 2, NB: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := res.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := residualVec(a, x, b); d > 1e-8 {
+		t.Fatalf("solve residual %g", d)
+	}
+	if res.Report.Mode != FullChecksum || res.Report.Scheme != NewScheme {
+		t.Fatal("zero-value config must default to full+new")
+	}
+}
+
+func TestLUSolveAndDet(t *testing.T) {
+	n := 96
+	a := RandomDiagDominant(n, 2)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	res, err := LU(a, Config{GPUs: 2, NB: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := res.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := residualVec(a, x, b); d > 1e-8 {
+		t.Fatalf("solve residual %g", d)
+	}
+	if res.Det() == 0 || math.IsNaN(res.Det()) {
+		t.Fatalf("determinant %v", res.Det())
+	}
+	if r := res.Residual(a); r > 1e-11 {
+		t.Fatalf("factor residual %g", r)
+	}
+}
+
+func TestQRSolve(t *testing.T) {
+	n := 96
+	a := Random(n, n, 3)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i%5) - 2
+	}
+	res, err := QR(a, Config{GPUs: 2, NB: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := res.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := residualVec(a, x, b); d > 1e-7 {
+		t.Fatalf("solve residual %g", d)
+	}
+	if r := res.Residual(a); r > 1e-11 {
+		t.Fatalf("factor residual %g", r)
+	}
+}
+
+func TestUnprotectedConfig(t *testing.T) {
+	a := RandomSPD(64, 4)
+	res, err := Cholesky(a, Unprotected(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Mode != NoProtection {
+		t.Fatal("Unprotected config ran protected")
+	}
+	if res.Report.Counter.TotalChecked() != 0 {
+		t.Fatal("unprotected run performed verifications")
+	}
+}
+
+func TestInjectionThroughPublicAPI(t *testing.T) {
+	inj := NewInjector(7)
+	inj.Schedule(FaultSpec{Kind: FaultDRAM, Op: OpTMU, Iteration: 1, Part: RefPart})
+	a := RandomDiagDominant(96, 5)
+	res, err := LU(a, Config{GPUs: 2, NB: 16, Injector: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inj.Events()) != 1 {
+		t.Fatal("fault did not fire through the public API")
+	}
+	if r := res.Residual(a); r > 1e-11 {
+		t.Fatalf("residual %g after injected fault", r)
+	}
+	if res.Report.OutcomeOf(true) == core.FaultFree {
+		t.Fatal("outcome should reflect detection/repair")
+	}
+}
+
+func TestSolveLengthValidation(t *testing.T) {
+	a := RandomSPD(64, 6)
+	res, err := Cholesky(a, Config{NB: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Solve(make([]float64, 7)); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+}
+
+func TestMatrixConstructors(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(1, 0) != 3 {
+		t.Fatal("FromRows wrong")
+	}
+	if NewMatrix(3, 4).Rows != 3 {
+		t.Fatal("NewMatrix wrong")
+	}
+	if Random(5, 5, 1).Equal(Random(5, 5, 2)) {
+		t.Fatal("different seeds should differ")
+	}
+	if !Random(5, 5, 9).Equal(Random(5, 5, 9)) {
+		t.Fatal("same seed must reproduce")
+	}
+}

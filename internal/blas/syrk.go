@@ -1,0 +1,107 @@
+package blas
+
+import (
+	"sync"
+
+	"ftla/internal/matrix"
+)
+
+// Syrk performs the symmetric rank-k update
+//
+//	C = alpha·A·Aᵀ + beta·C   (trans == false)
+//	C = alpha·Aᵀ·A + beta·C   (trans == true)
+//
+// updating only the lower triangle of C when lower is true (upper
+// otherwise). The opposite triangle is left untouched, as in reference
+// BLAS.
+func Syrk(lower, trans bool, alpha float64, a *matrix.Dense, beta float64, c *matrix.Dense) {
+	k := a.Cols
+	if trans {
+		k = a.Rows
+	}
+	AddFlops(uint64(c.Rows) * uint64(c.Cols) * uint64(k))
+	syrkRows(lower, trans, alpha, a, beta, c, 0, c.Rows)
+}
+
+// SyrkP is Syrk parallelized over row stripes of C.
+func SyrkP(workers int, lower, trans bool, alpha float64, a *matrix.Dense, beta float64, c *matrix.Dense) {
+	if workers <= 1 || c.Rows < 2*workers {
+		Syrk(lower, trans, alpha, a, beta, c)
+		return
+	}
+	k := a.Cols
+	if trans {
+		k = a.Rows
+	}
+	AddFlops(uint64(c.Rows) * uint64(c.Cols) * uint64(k))
+	var wg sync.WaitGroup
+	chunk := (c.Rows + workers - 1) / workers
+	for lo := 0; lo < c.Rows; lo += chunk {
+		hi := lo + chunk
+		if hi > c.Rows {
+			hi = c.Rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			syrkRows(lower, trans, alpha, a, beta, c, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func syrkRows(lower, trans bool, alpha float64, a *matrix.Dense, beta float64, c *matrix.Dense, rlo, rhi int) {
+	n := c.Rows
+	if c.Cols != n {
+		panic("blas: Syrk C not square")
+	}
+	var k int
+	if !trans {
+		if a.Rows != n {
+			panic("blas: Syrk dimension mismatch")
+		}
+		k = a.Cols
+	} else {
+		if a.Cols != n {
+			panic("blas: Syrk dimension mismatch")
+		}
+		k = a.Rows
+	}
+	for i := rlo; i < rhi; i++ {
+		jlo, jhi := 0, i+1
+		if !lower {
+			jlo, jhi = i, n
+		}
+		rc := c.Row(i)
+		if beta != 1 {
+			for j := jlo; j < jhi; j++ {
+				rc[j] *= beta
+			}
+		}
+		if alpha == 0 || k == 0 {
+			continue
+		}
+		if !trans {
+			ra := a.Row(i)
+			for j := jlo; j < jhi; j++ {
+				rb := a.Row(j)
+				s := 0.0
+				for p, v := range ra {
+					s += v * rb[p]
+				}
+				rc[j] += alpha * s
+			}
+		} else {
+			for p := 0; p < k; p++ {
+				rp := a.Row(p)
+				av := alpha * rp[i]
+				if av == 0 {
+					continue
+				}
+				for j := jlo; j < jhi; j++ {
+					rc[j] += av * rp[j]
+				}
+			}
+		}
+	}
+}

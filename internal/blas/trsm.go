@@ -1,0 +1,102 @@
+package blas
+
+import (
+	"sync"
+
+	"ftla/internal/matrix"
+)
+
+// Side selects which side of the triangular solve the coefficient matrix
+// appears on: op(A)·X = B (Left) or X·op(A) = B (Right).
+type Side int
+
+// Triangular-solve side constants.
+const (
+	Left Side = iota
+	Right
+)
+
+// Trsm solves a triangular system with multiple right-hand sides in place:
+//
+//	Left:  op(A) · X = alpha·B
+//	Right: X · op(A) = alpha·B
+//
+// where A is triangular (lower when lower is true), op is transpose when
+// trans is true, and unit selects an implicit unit diagonal. B is
+// overwritten with X.
+func Trsm(side Side, lower, trans, unit bool, alpha float64, a, b *matrix.Dense) {
+	AddFlops(uint64(a.Rows) * uint64(a.Rows) * uint64(stripeCount(side, b)))
+	trsmStripe(side, lower, trans, unit, alpha, a, b, 0, stripeCount(side, b))
+}
+
+// TrsmP is Trsm parallelized across independent right-hand-side stripes:
+// columns of B for Left solves, rows of B for Right solves.
+func TrsmP(workers int, side Side, lower, trans, unit bool, alpha float64, a, b *matrix.Dense) {
+	total := stripeCount(side, b)
+	if workers <= 1 || total < 2*workers {
+		Trsm(side, lower, trans, unit, alpha, a, b)
+		return
+	}
+	AddFlops(uint64(a.Rows) * uint64(a.Rows) * uint64(total))
+	var wg sync.WaitGroup
+	chunk := (total + workers - 1) / workers
+	for lo := 0; lo < total; lo += chunk {
+		hi := lo + chunk
+		if hi > total {
+			hi = total
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			trsmStripe(side, lower, trans, unit, alpha, a, b, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func stripeCount(side Side, b *matrix.Dense) int {
+	if side == Left {
+		return b.Cols
+	}
+	return b.Rows
+}
+
+// trsmStripe solves the stripes [lo, hi) of B. For Left solves a stripe is
+// a column of B; for Right solves it is a row.
+func trsmStripe(side Side, lower, trans, unit bool, alpha float64, a, b *matrix.Dense, lo, hi int) {
+	n := a.Rows
+	if a.Cols != n {
+		panic("blas: Trsm coefficient matrix not square")
+	}
+	if side == Left && b.Rows != n {
+		panic("blas: Trsm Left dimension mismatch")
+	}
+	if side == Right && b.Cols != n {
+		panic("blas: Trsm Right dimension mismatch")
+	}
+	if side == Left {
+		x := make([]float64, n)
+		for j := lo; j < hi; j++ {
+			for i := 0; i < n; i++ {
+				x[i] = alpha * b.At(i, j)
+			}
+			Trsv(lower, trans, unit, a, x)
+			for i := 0; i < n; i++ {
+				b.Set(i, j, x[i])
+			}
+		}
+		return
+	}
+	// Right side: X·op(A) = alpha·B  ⇔  op(A)ᵀ·Xᵀ = alpha·Bᵀ, so each row
+	// of B is solved against op(A)ᵀ. Trsv references the same stored
+	// triangle either way, so only the trans flag flips.
+	for i := lo; i < hi; i++ {
+		row := b.Row(i)
+		if alpha != 1 {
+			for k := range row {
+				row[k] *= alpha
+			}
+		}
+		Trsv(lower, !trans, unit, a, row)
+	}
+}

@@ -1,0 +1,187 @@
+package campaign
+
+import (
+	"testing"
+
+	"ftla/internal/core"
+)
+
+func findRow(t *testing.T, rows []Row, caseName, approach string) Row {
+	t.Helper()
+	for _, r := range rows {
+		if r.Case == caseName && r.Approach == approach {
+			return r
+		}
+	}
+	t.Fatalf("row %s/%s not found", caseName, approach)
+	return Row{}
+}
+
+func TestLUCampaignTableVIII(t *testing.T) {
+	cfg := DefaultConfig(LU)
+	rows, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != (len(Approaches())+1)*len(Cases(LU, cfg.Iteration)) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+
+	// Headline reproduction targets from Table VIII:
+	// (1) full+new tolerates every injected fault kind.
+	for _, c := range Cases(LU, cfg.Iteration) {
+		r := findRow(t, rows, c.Name, "full+new")
+		if !r.Fired {
+			t.Errorf("full+new %s: fault did not fire", c.Name)
+			continue
+		}
+		if r.Outcome == core.CorruptedResult || r.Outcome == core.DetectedCorrupt {
+			t.Errorf("full+new %s: outcome %v (residual %g)", c.Name, r.Outcome, r.Residual)
+		}
+	}
+
+	// (2) single-side checksums fail on PU faults (lack of protection on
+	// the updated panel).
+	rr := findRow(t, rows, "comp/PU", "single+post")
+	if rr.Outcome != core.CorruptedResult {
+		t.Errorf("single+post comp/PU: outcome %v, want silent corruption", rr.Outcome)
+	}
+
+	// (3) the new scheme fixes PCIe faults without local restart and with
+	// < 1%-class recovery overhead.
+	pc := findRow(t, rows, "pcie/PD-bcast", "full+new")
+	if pc.Outcome != core.ABFTFixed {
+		t.Errorf("full+new pcie: outcome %v, want abft-fixed", pc.Outcome)
+	}
+	if pc.RecoveryPct > 5 {
+		t.Errorf("full+new pcie recovery %.2f%% too high", pc.RecoveryPct)
+	}
+
+	// (4) every fault fires under every approach (the injector timing
+	// points exist in all schemes).
+	for _, r := range rows {
+		if !r.Fired {
+			t.Errorf("%s under %s never fired", r.Case, r.Approach)
+		}
+	}
+}
+
+func TestCholeskyCampaignNewSchemeSurvivesAll(t *testing.T) {
+	cfg := DefaultConfig(Cholesky)
+	cfg.N = 128
+	rows, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Approach != "full+new" {
+			continue
+		}
+		if r.Fired && (r.Outcome == core.CorruptedResult || r.Outcome == core.DetectedCorrupt) {
+			t.Errorf("full+new %s: outcome %v (residual %g)", r.Case, r.Outcome, r.Residual)
+		}
+	}
+}
+
+func TestQRCampaignNewSchemeSurvivesAll(t *testing.T) {
+	cfg := DefaultConfig(QR)
+	cfg.N = 128
+	rows, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Approach != "full+new" {
+			continue
+		}
+		if r.Case == "onchip/TMU/ref" {
+			// Documented limitation (DESIGN.md): a consistent on-chip
+			// corruption of V during QR's blocked TMU evades the checksum
+			// relation; the paper's campaign covers LU only.
+			continue
+		}
+		if r.Fired && (r.Outcome == core.CorruptedResult || r.Outcome == core.DetectedCorrupt) {
+			t.Errorf("full+new %s: outcome %v (residual %g)", r.Case, r.Outcome, r.Residual)
+		}
+	}
+}
+
+func TestOfflineBaselineDetectsEverything(t *testing.T) {
+	cfg := DefaultConfig(LU)
+	cfg.N = 128
+	rows, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Approach != "offline[34]" || !r.Fired {
+			continue
+		}
+		// Offline ABFT detects any corruption of the final factors but can
+		// never repair: a corrupted result must be flagged (never a silent
+		// N), and nothing is ever fixed online.
+		if r.Outcome == core.CorruptedResult {
+			t.Errorf("offline missed %s (residual %g)", r.Case, r.Residual)
+		}
+		if r.Outcome == core.ABFTFixed || r.Outcome == core.LocalRestarted {
+			t.Errorf("offline cannot repair, yet %s reported %v", r.Case, r.Outcome)
+		}
+	}
+}
+
+func TestVerdictNotation(t *testing.T) {
+	if (Row{Fired: false}).Verdict() != "-" {
+		t.Fatal("unfired verdict")
+	}
+	if (Row{Fired: true, Outcome: core.ABFTFixed, RecoveryPct: 0.5}).Verdict() != "Y" {
+		t.Fatal("cheap fix should be Y")
+	}
+	if (Row{Fired: true, Outcome: core.ABFTFixed, RecoveryPct: 3}).Verdict() != "Y*" {
+		t.Fatal("costly fix should be Y*")
+	}
+	if (Row{Fired: true, Outcome: core.LocalRestarted}).Verdict() != "R" {
+		t.Fatal("restart should be R")
+	}
+	if (Row{Fired: true, Outcome: core.CorruptedResult}).Verdict() != "N" {
+		t.Fatal("silent corruption should be N")
+	}
+}
+
+// TestFullNewExactVerdicts pins the exact Table VIII column of the paper's
+// approach as a regression oracle: memory and communication faults are
+// repaired in place, while 2-D-propagating faults inside PD/PU end in a
+// local in-memory restart.
+func TestFullNewExactVerdicts(t *testing.T) {
+	want := map[string]core.Outcome{
+		"dram/PD/update":  core.ABFTFixed,
+		"dram/PU/ref":     core.ABFTFixed,
+		"dram/PU/update":  core.ABFTFixed,
+		"dram/TMU/ref":    core.ABFTFixed,
+		"dram/TMU/ref2":   core.ABFTFixed,
+		"dram/TMU/update": core.ABFTFixed,
+		"onchip/PD":       core.LocalRestarted,
+		"onchip/PU/ref":   core.LocalRestarted,
+		"onchip/TMU/ref":  core.ABFTFixed,
+		"pcie/PD-bcast":   core.ABFTFixed,
+		"comp/PD":         core.LocalRestarted,
+		"comp/PU":         core.ABFTFixed,
+		"comp/TMU":        core.ABFTFixed,
+	}
+	rows, err := Run(DefaultConfig(LU))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Approach != "full+new" {
+			continue
+		}
+		expect, ok := want[r.Case]
+		if !ok {
+			t.Errorf("unexpected case %q — update the oracle", r.Case)
+			continue
+		}
+		if r.Outcome != expect {
+			t.Errorf("full+new %s: outcome %v, want %v (residual %g)", r.Case, r.Outcome, expect, r.Residual)
+		}
+	}
+}

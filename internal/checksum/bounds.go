@@ -1,0 +1,36 @@
+package checksum
+
+import "ftla/internal/matrix"
+
+// This file implements the paper's §III.B a-priori round-off bounds,
+// which separate checksum mismatches caused by soft errors from the
+// harmless drift between a maintained checksum and a recomputed one:
+//
+//	e_c = ‖c(C) − recal_c(C)‖∞ ≤ γₙ·‖Aᵗ‖₁·‖Bᵗ‖₁
+//	e_r = ‖r(C) − recal_r(C)‖∞ ≤ γₙ·‖Aᵗ‖∞·‖Bᵗ‖∞
+//
+// for a checksum maintained through the trailing update C ← C − Aᵗ·Bᵗ,
+// with γₙ = n·u/(1 − n·u). The protected engine uses a per-run scalar
+// tolerance derived from the input's magnitude (simpler bookkeeping, same
+// structure); these functions expose the sharp per-operation bounds for
+// callers that track operand norms, and the accompanying test verifies
+// the bound empirically.
+
+// TMUColBound returns the §III.B column-checksum round-off bound for one
+// trailing update with operand 1-norms normA1 and normB1 and inner
+// dimension k.
+func TMUColBound(normA1, normB1 float64, k int) float64 {
+	return matrix.Gamma(k+2) * normA1 * normB1
+}
+
+// TMURowBound returns the row-checksum bound with operand ∞-norms.
+func TMURowBound(normAInf, normBInf float64, k int) float64 {
+	return matrix.Gamma(k+2) * normAInf * normBInf
+}
+
+// AccumulatedBound composes per-iteration bounds over iters trailing
+// updates: maintained and recomputed checksums drift by at most the sum of
+// the per-update bounds (triangle inequality over the update sequence).
+func AccumulatedBound(perUpdate float64, iters int) float64 {
+	return perUpdate * float64(iters)
+}

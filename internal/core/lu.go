@@ -1,0 +1,674 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"ftla/internal/blas"
+	"ftla/internal/checksum"
+	"ftla/internal/fault"
+	"ftla/internal/hetsim"
+	"ftla/internal/lapack"
+	"ftla/internal/matrix"
+)
+
+// LU computes the protected blocked LU factorization with partial pivoting
+// of a on the simulated heterogeneous system. It returns the gathered
+// packed factors (unit-lower L below the diagonal, U on and above), the
+// global pivot sequence (piv[k] = row exchanged with row k at step k), and
+// the run report.
+//
+// Per-iteration dataflow (MAGMA hybrid right-looking LU):
+//
+//	GPU_owner → CPU   column panel transfer (+ column checksums)
+//	CPU               PD: GETF2 with partial pivoting
+//	GPUs              row interchanges on all other block columns, with
+//	                  incremental column-checksum maintenance
+//	CPU → all GPUs    factored panel broadcast (+ checksums)
+//	all GPUs          PU: U12 = L11⁻¹·A12 (row checksums ride the TRSM)
+//	all GPUs          TMU: A22 −= L21·U12 with full checksum maintenance
+func LU(sys *hetsim.System, a *matrix.Dense, opts Options) (*matrix.Dense, []int, *Result, error) {
+	if a.Rows != a.Cols {
+		return nil, nil, nil, fmt.Errorf("core: LU requires a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	if err := opts.Validate(a.Rows); err != nil {
+		return nil, nil, nil, err
+	}
+	n := a.Rows
+	res := &Result{
+		N: n, NB: opts.NB, GPUs: sys.NumGPUs(),
+		Mode: opts.Mode, Scheme: opts.Scheme, Kernel: opts.Kernel,
+	}
+	es := newEngine(sys, opts, res)
+	start := time.Now()
+	p := newProtected(es, a)
+	pl := planFor(opts.Scheme)
+	nb := opts.NB
+	nbr := p.nbr
+	G := sys.NumGPUs()
+	cpu := sys.CPU()
+	chk := opts.Mode != NoChecksum
+	full := opts.Mode == Full
+	piv := make([]int, n)
+
+	for k := 0; k < nbr; k++ {
+		o := k * nb
+		gk := p.owner(k)
+		m := n - o
+		strips := nbr - k
+
+		// ------------- PD: column panel on the CPU ---------------------
+		panelDev := p.local[gk].View(o, p.localOff(k), m, nb)
+		cpuPanel := cpu.Alloc(m, nb)
+		sys.Transfer(panelDev, cpuPanel)
+		pm := cpuPanel.Access(cpu)
+		var cpuChk *hetsim.Buffer
+		var cm *matrix.Dense
+		if chk {
+			cpuChk = cpu.Alloc(2*strips, nb)
+			sys.Transfer(p.colChkView(k, k, nbr), cpuChk)
+			cm = cpuChk.Access(cpu)
+		}
+		pdRegs := []fault.Region{
+			{Part: fault.ReferencePart, M: pm, Row0: o, Col0: o},
+			{Part: fault.UpdatePart, M: pm, Row0: o, Col0: o},
+		}
+		es.injectMem(k, fault.PD, pdRegs)
+		if pl.beforePD && chk {
+			// Under Full mode the panel's row-checksum pair rides along so
+			// that a 1-D column contamination (e.g. an on-chip row-panel
+			// fault consumed by an earlier TMU) can be rebuilt in place.
+			var rowRepairPD func(col int) bool
+			if full {
+				cpuRowChk := cpu.Alloc(m, 2)
+				sys.Transfer(p.rowChkView(k, o, n), cpuRowChk)
+				rm := cpuRowChk.Access(cpu)
+				rowRepairPD = func(col int) bool {
+					return p.reconstructColViaRowChk(pm, rm, col)
+				}
+			}
+			out, fixed := p.verifyRepairColReport(cpu.Workers(), pm, cm, rowRepairPD)
+			if out == repairFailed {
+				res.Unrecoverable = true
+			}
+			res.Counter.PDBefore += strips
+			// §VII.B Fig. 4b: corrections in the panel may be the visible
+			// edge of a 1-D row contamination from an earlier on-chip TMU
+			// fault; probe and repair the full rows across the trailing
+			// matrix (data and polluted row checksums).
+			if full {
+				seen := map[int]bool{}
+				for _, fe := range fixed {
+					r := o + fe.Row
+					if seen[r] {
+						continue
+					}
+					seen[r] = true
+					for g := 0; g < G; g++ {
+						if p.trailStart(g, k+1) >= p.nloc[g] {
+							continue
+						}
+						if !p.verifyRowQuick(g, r, p.trailStart(g, k+1)) {
+							p.repairContaminatedRow(g, r, k+1)
+						}
+					}
+				}
+			}
+		}
+		snapshot := pm.Clone()
+		es.injectOnChip(k, fault.PD, pdRegs)
+		lpiv := make([]int, nb)
+		if err := p.luPD(es, k, pm, cm, snapshot, lpiv, pl, pdRegs); err != nil {
+			return nil, nil, nil, err
+		}
+		for j, lp := range lpiv {
+			piv[o+j] = o + lp
+		}
+		if chk {
+			// Certified re-encode of the stored L\U panel.
+			p.encodeColInto(cpu.Workers(), pm, cm)
+		}
+
+		// ------------- Row interchanges on the other block columns ------
+		// Before moving any row, probe it against its row checksums: a row
+		// contaminated by an undetected on-chip 1-D propagation from an
+		// earlier TMU (§VII.B Fig. 4b) must be repaired *before* the
+		// interchange, because the incremental checksum maintenance under
+		// a swap reads the stored (corrupted) values and would otherwise
+		// bake the corruption into the checksums.
+		if full {
+			probed := map[int]bool{}
+			for j, lp := range lpiv {
+				for _, r := range [2]int{o + j, o + lp} {
+					if probed[r] {
+						continue
+					}
+					probed[r] = true
+					for g := 0; g < G; g++ {
+						if p.trailStart(g, k+1) >= p.nloc[g] {
+							continue
+						}
+						if !p.verifyRowQuick(g, r, p.trailStart(g, k+1)) {
+							res.Detected = true
+							res.Counter.DetectedErrors++
+							p.repairContaminatedRow(g, r, k+1)
+						}
+					}
+				}
+			}
+			// Each probe touches one row across the trailing columns;
+			// charge the block-equivalent cost (rows·cols / nb²).
+			res.Counter.SwapChecks += (len(probed)*(n-o-nb) + nb*nb - 1) / (nb * nb)
+		}
+		for j, lp := range lpiv {
+			if lp != j {
+				p.swapRows(o+j, o+lp, 0, k)
+				p.swapRows(o+j, o+lp, k+1, nbr)
+			}
+		}
+
+		// ------------- Panel broadcast (CPU → all GPUs) ------------------
+		chkRows := 2 * strips
+		if !chk {
+			chkRows = 2
+		}
+		stages := p.allocStages(m, chkRows, nb)
+		doBroadcast := func() {
+			es.withCommContext(k, fault.PD, o, o, func() {
+				// Writeback into the owner's authoritative storage first.
+				sys.Transfer(cpuPanel, panelDev)
+				if chk {
+					sys.Transfer(cpuChk, p.colChkView(k, k, nbr))
+				}
+				for g := 0; g < G; g++ {
+					if g == gk {
+						copyWithin(sys.GPU(gk), panelDev, stages[g].data)
+						if chk {
+							copyWithin(sys.GPU(gk), p.colChkView(k, k, nbr), stages[g].chk)
+						}
+						continue
+					}
+					sys.Transfer(cpuPanel, stages[g].data)
+					if chk {
+						sys.Transfer(cpuChk, stages[g].chk)
+					}
+				}
+			})
+		}
+		doBroadcast()
+		if pl.afterPDBcast && chk {
+			outs, corrupted := p.verifyStages(stages, &res.Counter.PDAfter, strips)
+			if corrupted == G && G > 1 {
+				// §VII.C: every GPU corrupted implicates the sender side —
+				// conservative local restart of the broadcast from the
+				// certified CPU copy.
+				res.Counter.LocalRestarts++
+				doBroadcast()
+			} else if corrupted > 0 {
+				p.rebroadcastFailed(cpuPanel, cpuChk, stages, outs)
+				// The owner's authoritative copy may have taken the hit on
+				// the writeback leg; repair it from the certified source.
+				gd := panelDev.Access(sys.GPU(gk))
+				gc := p.colChkView(k, k, nbr).Access(sys.GPU(gk))
+				if p.verifyRepairCol(sys.GPU(gk).Workers(), gd, gc, nil) == repairFailed {
+					sys.Transfer(cpuPanel, panelDev)
+					sys.Transfer(cpuChk, p.colChkView(k, k, nbr))
+					res.Counter.Rebroadcasts++
+				}
+			}
+		}
+
+		if k == nbr-1 {
+			break
+		}
+
+		// ------------- PU: U12 = L11⁻¹·A12 on every GPU ------------------
+		puRegs := p.luPURegions(k, stages)
+		es.injectMem(k, fault.PU, puRegs)
+		if pl.beforePU && chk {
+			// Reference part first: a DRAM fault on the received L11 block
+			// after the post-broadcast check would otherwise corrupt the
+			// row-panel TRSM consistently with its checksum TRSM.
+			for g := 0; g < G; g++ {
+				gdev := sys.GPU(g)
+				l11d := stages[g].data.View(0, 0, nb, nb).Access(gdev)
+				l11c := stages[g].chk.View(0, 0, 2, nb).Access(gdev)
+				if out := p.verifyRepairCol(gdev.Workers(), l11d, l11c, nil); out == repairFailed {
+					res.Unrecoverable = true
+				}
+				res.Counter.PUBefore++
+			}
+			p.luVerifyRowPanelPrePU(k, &res.Counter.PUBefore)
+		}
+		snaps := make([]luPUSnap, G)
+		for g := 0; g < G; g++ {
+			gdev := sys.GPU(g)
+			lb0 := p.trailStart(g, k+1)
+			snaps[g].lb0 = lb0
+			if lb0 >= p.nloc[g] {
+				continue
+			}
+			cols := p.nloc[g]*nb - lb0*nb
+			rowPanel := p.local[g].View(o, lb0*nb, nb, cols)
+			snaps[g].data = gdev.Alloc(nb, cols)
+			copyWithin(gdev, rowPanel, snaps[g].data)
+			if full {
+				rslab := p.rowChk[g].View(o, 2*lb0, nb, 2*(p.nloc[g]-lb0))
+				snaps[g].rchk = gdev.Alloc(nb, 2*(p.nloc[g]-lb0))
+				copyWithin(gdev, rslab, snaps[g].rchk)
+			}
+		}
+		es.injectOnChip(k, fault.PU, puRegs)
+		runPU := func(g int) {
+			gdev := sys.GPU(g)
+			lb0 := snaps[g].lb0
+			if lb0 >= p.nloc[g] {
+				return
+			}
+			cols := p.nloc[g]*nb - lb0*nb
+			l11 := stages[g].data.View(0, 0, nb, nb)
+			rowPanel := p.local[g].View(o, lb0*nb, nb, cols)
+			gdev.Trsm(blas.Left, true, false, true, 1, l11, rowPanel)
+			// Transient on-chip corruption is not visible to the checksum
+			// TRSM's independent loads.
+			es.restoreOnChip()
+			if full {
+				rslab := p.rowChk[g].View(o, 2*lb0, nb, 2*(p.nloc[g]-lb0))
+				gdev.Trsm(blas.Left, true, false, true, 1, l11, rslab)
+			}
+		}
+		for g := 0; g < G; g++ {
+			runPU(g)
+		}
+		es.injectComp(k, fault.PU, puRegs)
+		if pl.afterPU && full {
+			p.luVerifyRowPanelPostPU(k, snaps, runPU, &res.Counter.PUAfter)
+		}
+
+		// ------------- TMU: A22 −= L21·U12 on every GPU ------------------
+		tmuRegs := p.luTMURegions(k, stages)
+		es.injectMem(k, fault.TMU, tmuRegs)
+		if pl.beforeTMUPanels && chk {
+			_, _ = p.verifyStages(stages, &res.Counter.TMUBefore, strips)
+		}
+		if pl.beforeTMUTrailing && chk {
+			worst, blocks := p.verifyTrailingCol(o+nb, k+1)
+			res.Counter.TMUBefore += blocks
+			if worst == repairFailed {
+				res.Unrecoverable = true
+			}
+		}
+		es.injectOnChip(k, fault.TMU, tmuRegs)
+		for g := 0; g < G; g++ {
+			p.luTMUOnGPU(g, k, stages[g])
+		}
+		es.injectComp(k, fault.TMU, tmuRegs)
+		if pl.afterTMUTrailing && chk {
+			worst, blocks := p.verifyTrailingCol(o+nb, k+1)
+			res.Counter.TMUAfter += blocks
+			if worst == repairFailed {
+				res.Unrecoverable = true
+			}
+		}
+		if pl.afterTMUHeuristic && chk {
+			p.luHeuristicAfterTMU(k, stages)
+		}
+		if opts.PeriodicTrailingCheck > 0 && (k+1)%opts.PeriodicTrailingCheck == 0 && chk {
+			worst, blocks := p.verifyTrailingCol(o+nb, k+1)
+			res.Counter.TMUAfter += blocks
+			if worst == repairFailed {
+				res.Unrecoverable = true
+			}
+		}
+	}
+
+	out := p.gather()
+	es.finishResult(start)
+	return out, piv, res, nil
+}
+
+// luPUSnap holds one GPU's pre-PU row-panel snapshot for local restart.
+type luPUSnap struct {
+	data, rchk *hetsim.Buffer
+	lb0        int
+}
+
+// luPD factors the column panel on the CPU with a one-shot local restart
+// backed by the factor-product checksum check
+// c(P·A_panel) ?= (wᵀ·L̂)·Û (§III.B applied at panel granularity). The
+// left side is recomputed from the *snapshot* (clean input) with the
+// recorded pivots applied, so it is independent of every value the
+// factorization computed; the right side is computed from the stored
+// factors. Any corruption of L̂ or Û therefore breaks the equality.
+func (p *protected) luPD(es *engineSys, k int, pm, cm, snapshot *matrix.Dense, lpiv []int, pl plan, regs []fault.Region) error {
+	cpu := es.sys.CPU()
+	nb := p.nb
+	for attempt := 0; ; attempt++ {
+		var err error
+		cpu.Run("getf2", float64(pm.Rows*nb*nb), func(int) {
+			err = lapack.Getf2(pm, lpiv)
+		})
+		es.injectComp(k, fault.PD, regs)
+		ok := err == nil
+		if ok && pl.afterPDCPU && es.opts.Mode != NoChecksum {
+			ok = p.luProductCheck(pm, snapshot, lpiv)
+			es.res.Counter.PDAfter += pm.Rows / nb
+			if !ok {
+				es.res.Detected = true
+				es.res.Counter.DetectedErrors++
+			}
+		}
+		if ok {
+			return nil
+		}
+		if attempt >= 1 {
+			if err != nil {
+				return fmt.Errorf("core: LU PD failed after local restart at block %d: %w", k, err)
+			}
+			es.res.Unrecoverable = true
+			return nil
+		}
+		pm.CopyFrom(snapshot)
+		es.res.Counter.LocalRestarts++
+	}
+}
+
+// luProductCheck verifies per-strip c(P·A) == (wᵀL̂)·Û for the factored
+// panel.
+func (p *protected) luProductCheck(pm, snapshot *matrix.Dense, lpiv []int) bool {
+	t0 := time.Now()
+	defer func() { p.es.res.VerifyT += time.Since(t0) }()
+	nb := p.nb
+	m := pm.Rows
+	// c(P·A): permute the clean snapshot, re-encode.
+	pa := snapshot.Clone()
+	lapack.Laswp(pa, lpiv)
+	want := matrix.NewDense(checksum.ColDims(m, nb, nb))
+	checksum.EncodeCol(checksum.OptKernel, 1, pa, nb, want)
+	// (wᵀ·L̂)·Û from the stored factors.
+	l := matrix.NewDense(m, nb)
+	for i := 0; i < m; i++ {
+		for j := 0; j < nb && j <= i; j++ {
+			if j == i {
+				l.Set(i, j, 1)
+			} else {
+				l.Set(i, j, pm.At(i, j))
+			}
+		}
+	}
+	u := matrix.NewDense(nb, nb)
+	for i := 0; i < nb; i++ {
+		for j := i; j < nb; j++ {
+			u.Set(i, j, pm.At(i, j))
+		}
+	}
+	wl := matrix.NewDense(checksum.ColDims(m, nb, nb))
+	checksum.EncodeCol(checksum.OptKernel, 1, l, nb, wl)
+	got := matrix.NewDense(wl.Rows, nb)
+	blas.Gemm(false, false, 1, wl, u, 0, got)
+	d, _, _ := got.MaxAbsDiff(want)
+	return d <= p.tol*float64(nb)
+}
+
+// luPURegions exposes PU fault targets: ref = L11 (top block of GPU0's
+// stage), update = GPU0's local row panel.
+func (p *protected) luPURegions(k int, stages []stagePair) []fault.Region {
+	nb := p.nb
+	o := k * nb
+	regs := []fault.Region{
+		{Part: fault.ReferencePart, M: stages[0].data.UnsafeData().View(0, 0, nb, nb), Row0: o, Col0: o},
+	}
+	lb0 := p.trailStart(0, k+1)
+	if lb0 < p.nloc[0] {
+		cols := p.nloc[0]*nb - lb0*nb
+		regs = append(regs, fault.Region{
+			Part: fault.UpdatePart,
+			M:    p.local[0].View(o, lb0*nb, nb, cols).UnsafeData(),
+			Row0: o, Col0: (lb0*p.es.sys.NumGPUs() + 0) * nb,
+		})
+	}
+	return regs
+}
+
+// luTMURegions exposes TMU fault targets: reference region 0 is the L21
+// part of GPU0's stage, reference region 1 (Spec.RefIndex = 1) is GPU0's
+// U12 row panel, and the update part is GPU0's trailing region.
+func (p *protected) luTMURegions(k int, stages []stagePair) []fault.Region {
+	nb := p.nb
+	o := k * nb
+	st := stages[0].data
+	regs := []fault.Region{
+		{Part: fault.ReferencePart, M: st.UnsafeData().View(nb, 0, st.Rows()-nb, nb), Row0: o + nb, Col0: o},
+	}
+	lb0 := p.trailStart(0, k+1)
+	if lb0 < p.nloc[0] {
+		cols := p.nloc[0]*nb - lb0*nb
+		regs = append(regs,
+			fault.Region{
+				Part: fault.ReferencePart,
+				M:    p.local[0].View(o, lb0*nb, nb, cols).UnsafeData(),
+				Row0: o, Col0: (lb0*p.es.sys.NumGPUs() + 0) * nb,
+			},
+			fault.Region{
+				Part: fault.UpdatePart,
+				M:    p.local[0].View(o+nb, lb0*nb, p.n-o-nb, cols).UnsafeData(),
+				Row0: o + nb, Col0: (lb0*p.es.sys.NumGPUs() + 0) * nb,
+			})
+	}
+	return regs
+}
+
+// luVerifyRowPanelPrePU verifies the not-yet-updated row panel blocks
+// (strip k of every trailing block column) against their column checksums,
+// with 1-D column repair from the row checksums under Full mode.
+func (p *protected) luVerifyRowPanelPrePU(k int, counter *int) {
+	nb := p.nb
+	o := k * nb
+	G := p.es.sys.NumGPUs()
+	for g := 0; g < G; g++ {
+		gdev := p.es.sys.GPU(g)
+		lb0 := p.trailStart(g, k+1)
+		if lb0 >= p.nloc[g] {
+			continue
+		}
+		cols := p.nloc[g]*nb - lb0*nb
+		data := p.local[g].View(o, lb0*nb, nb, cols).Access(gdev)
+		chkv := p.colChk[g].View(2*k, lb0*nb, 2, cols).Access(gdev)
+		var rowRepair func(col int) bool
+		if p.es.opts.Mode == Full {
+			gg, jj := g, lb0*nb
+			rowRepair = func(col int) bool {
+				return p.repairFullColumn(gg, jj+col)
+			}
+		}
+		out, fixed := p.verifyRepairColReport(gdev.Workers(), data, chkv, rowRepair)
+		if out == repairFailed {
+			p.es.res.Unrecoverable = true
+		}
+		*counter += cols / nb
+		// Grouped corrections in one row signal a lazy on-chip 1-D case:
+		// repair the full row, including its polluted row checksums.
+		if p.es.opts.Mode == Full && out == repairCorrected {
+			seen := map[int]bool{}
+			for _, fe := range fixed {
+				r := o + fe.Row
+				if !seen[r] {
+					seen[r] = true
+					if !p.verifyRowQuick(g, r, lb0) {
+						p.repairContaminatedRow(g, r, k+1)
+					}
+				}
+			}
+		}
+	}
+}
+
+// luVerifyRowPanelPostPU verifies U12 against its maintained row checksums
+// on every GPU and falls back to a per-GPU local restart of PU when the
+// damage does not localize.
+func (p *protected) luVerifyRowPanelPostPU(k int, ss []luPUSnap, runPU func(g int), counter *int) {
+	nb := p.nb
+	o := k * nb
+	G := p.es.sys.NumGPUs()
+	for g := 0; g < G; g++ {
+		gdev := p.es.sys.GPU(g)
+		lb0 := p.trailStart(g, k+1)
+		if lb0 >= p.nloc[g] {
+			continue
+		}
+		cols := p.nloc[g]*nb - lb0*nb
+		data := p.local[g].View(o, lb0*nb, nb, cols).Access(gdev)
+		rchk := p.rowChk[g].View(o, 2*lb0, nb, 2*(p.nloc[g]-lb0)).Access(gdev)
+		out := p.verifyRepairRow(gdev.Workers(), data, rchk, nil)
+		*counter += cols / nb
+		if out == repairFailed {
+			if ss != nil && ss[g].data != nil {
+				copyWithin(gdev, ss[g].data, p.local[g].View(o, lb0*nb, nb, cols))
+				if ss[g].rchk != nil {
+					copyWithin(gdev, ss[g].rchk, p.rowChk[g].View(o, 2*lb0, nb, 2*(p.nloc[g]-lb0)))
+				}
+				p.es.res.Counter.LocalRestarts++
+				runPU(g)
+				if p.verifyRepairRow(gdev.Workers(), data, rchk, nil) == repairFailed {
+					p.es.res.Unrecoverable = true
+				}
+			} else {
+				p.es.res.Unrecoverable = true
+			}
+		}
+	}
+}
+
+// luTMUOnGPU applies the Schur update and full checksum maintenance on
+// GPU g:
+//
+//	A22        −= L21·U12
+//	colChk     −= c(L21)·U12                 (strips k+1..)
+//	rowChk     −= L21·r(U12)                 (pairs of the trailing blocks)
+func (p *protected) luTMUOnGPU(g, k int, st stagePair) {
+	gdev := p.es.sys.GPU(g)
+	nb := p.nb
+	o := k * nb
+	lb0 := p.trailStart(g, k+1)
+	if lb0 >= p.nloc[g] {
+		return
+	}
+	cols := p.nloc[g]*nb - lb0*nb
+	m2 := p.n - o - nb
+	l21 := st.data.View(nb, 0, m2, nb)
+	u12 := p.local[g].View(o, lb0*nb, nb, cols)
+	c := p.local[g].View(o+nb, lb0*nb, m2, cols)
+	gdev.Gemm(false, false, -1, l21, u12, 1, c)
+	// Transient on-chip corruption is not visible to the checksum kernels.
+	p.es.restoreOnChip()
+	if p.es.opts.Mode != NoChecksum {
+		cStage := st.chk.View(2, 0, 2*(p.nbr-k-1), nb) // strips k+1..nbr of L21
+		cc := p.colChk[g].View(2*(k+1), lb0*nb, 2*(p.nbr-k-1), cols)
+		gdev.Gemm(false, false, -1, cStage, u12, 1, cc)
+	}
+	if p.es.opts.Mode == Full {
+		rU12 := p.rowChk[g].View(o, 2*lb0, nb, 2*(p.nloc[g]-lb0))
+		rc := p.rowChk[g].View(o+nb, 2*lb0, m2, 2*(p.nloc[g]-lb0))
+		gdev.Gemm(false, false, -1, l21, rU12, 1, rc)
+	}
+}
+
+// luHeuristicAfterTMU re-verifies each GPU's panel copies instead of the
+// trailing matrix (§VII.B): the L21 stage via column checksums and the U12
+// row panel via row checksums. A corrupted stage element at global row r
+// contaminated trailing row r on that GPU; a corrupted U12 element at
+// global column c contaminated trailing column c. Both are rebuilt from
+// the orthogonal checksum dimension.
+func (p *protected) luHeuristicAfterTMU(k int, stages []stagePair) {
+	nb := p.nb
+	o := k * nb
+	G := p.es.sys.NumGPUs()
+	for g := 0; g < G; g++ {
+		gdev := p.es.sys.GPU(g)
+		// L21 stage copy (full panel stage; only rows >= o+nb feed TMU).
+		out, fixed := p.verifyRepairColReport(gdev.Workers(), stages[g].data.Access(gdev), stages[g].chk.Access(gdev), nil)
+		p.es.res.Counter.TMUAfter += p.nbr - k
+		if out == repairFailed {
+			p.es.res.Unrecoverable = true
+		}
+		for _, fe := range fixed {
+			if fe.Row < nb {
+				continue // L11/U11 part: not referenced by TMU
+			}
+			r := o + fe.Row
+			p.luRepairTrailingRow(g, k, r)
+		}
+		// U12 row panel via row checksums.
+		lb0 := p.trailStart(g, k+1)
+		if lb0 >= p.nloc[g] || p.es.opts.Mode != Full {
+			continue
+		}
+		cols := p.nloc[g]*nb - lb0*nb
+		data := p.local[g].View(o, lb0*nb, nb, cols).Access(gdev)
+		rchk := p.rowChk[g].View(o, 2*lb0, nb, 2*(p.nloc[g]-lb0)).Access(gdev)
+		t0 := time.Now()
+		ms := checksum.VerifyRow(gdev.Workers(), data, nb, rchk, p.tol)
+		p.es.res.VerifyT += time.Since(t0)
+		p.es.res.Counter.TMUAfter += cols / nb
+		if len(ms) == 0 {
+			continue
+		}
+		p.es.res.Detected = true
+		p.es.res.Counter.DetectedErrors += len(ms)
+		for _, m2 := range ms {
+			if lc, ok := checksum.LocateRow(m2, nb); ok {
+				checksum.CorrectRow(data, nb, m2, lc)
+				p.es.res.Counter.CorrectedElements++
+				localCol := m2.Strip*nb + lc
+				p.luRepairTrailingColumn(g, k, localCol)
+			} else {
+				p.es.res.Unrecoverable = true
+			}
+		}
+	}
+}
+
+// luRepairTrailingRow rebuilds trailing row r across GPU g's trailing
+// columns from the maintained column checksums.
+func (p *protected) luRepairTrailingRow(g, k, r int) {
+	t0 := time.Now()
+	defer func() { p.es.res.RecoverT += time.Since(t0) }()
+	nb := p.nb
+	gdev := p.es.sys.GPU(g)
+	lb0 := p.trailStart(g, k+1)
+	if lb0 >= p.nloc[g] {
+		return
+	}
+	jlo := lb0 * nb
+	cols := p.nloc[g]*nb - jlo
+	data := p.local[g].View(0, jlo, p.n, cols).Access(gdev)
+	chkv := p.colChk[g].View(0, jlo, 2*p.nbr, cols).Access(gdev)
+	p.reconstructRowViaColChk(data, chkv, r)
+	// The TMU row-checksum update consumed the corrupted L21 operand, so
+	// row r's row checksums are polluted; re-encode from the repaired row.
+	p.reencodeRowChkRow(g, r, lb0)
+	p.es.res.Counter.ReconstructedLins++
+}
+
+// luRepairTrailingColumn rebuilds the trailing part of GPU g's local
+// column (view-relative localCol, counted from the first trailing local
+// column) from the maintained row checksums.
+func (p *protected) luRepairTrailingColumn(g, k, localCol int) {
+	t0 := time.Now()
+	defer func() { p.es.res.RecoverT += time.Since(t0) }()
+	nb := p.nb
+	o := k * nb
+	gdev := p.es.sys.GPU(g)
+	lb0 := p.trailStart(g, k+1)
+	lb := lb0 + localCol/nb
+	if lb >= p.nloc[g] {
+		return
+	}
+	data := p.local[g].View(o+nb, lb*nb, p.n-o-nb, nb).Access(gdev)
+	rchk := p.rowChk[g].View(o+nb, 2*lb, p.n-o-nb, 2).Access(gdev)
+	p.reconstructColViaRowChk(data, rchk, localCol%nb)
+	// The TMU column-checksum update consumed the corrupted U12 operand,
+	// so this column's column checksums are polluted; re-encode.
+	p.reencodeColChkCol(g, lb*nb+localCol%nb)
+	p.es.res.Counter.ReconstructedLins++
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"math"
+
+	"ftla/internal/blas"
+	"ftla/internal/matrix"
+)
+
+// This file implements the original Huang–Abraham style *offline* ABFT
+// [34] as a comparison baseline: the input matrix is encoded with one
+// global dual-weight column checksum before the (unprotected)
+// factorization, and the checksum relation of the *final factors* is
+// verified once at the end:
+//
+//	LU:       c(A) = (w_Pᵀ·L̂)·Û      with w_P the weights permuted by piv
+//	Cholesky: c(A) = (wᵀ·L̂)·L̂ᵀ
+//	QR:       c(A) = (Qᵀ·w)ᵀ·R̂       applying the reflectors to the weights
+//
+// Offline ABFT detects any number of computation errors but — as the
+// paper's related-work discussion stresses — cannot correct them in
+// practice, because by the end of the run a single fault has propagated
+// through the factors; detection therefore ends in a complete restart.
+
+// OfflineChecksum encodes the global dual-weight column checksum of a:
+// row 0 holds 1ᵀA, row 1 holds [1,2,…,n]·A.
+func OfflineChecksum(a *matrix.Dense) *matrix.Dense {
+	out := matrix.NewDense(2, a.Cols)
+	s1 := out.Row(0)
+	s2 := out.Row(1)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		w := float64(i + 1)
+		for j, v := range row {
+			s1[j] += v
+			s2[j] += w * v
+		}
+	}
+	blas.AddFlops(3 * uint64(a.Rows) * uint64(a.Cols))
+	return out
+}
+
+// offlineTol mirrors the engine's tolerance derivation for whole-matrix
+// sums (the global weights grow the round-off by another factor of n).
+func offlineTol(n int, scale float64) float64 {
+	t := matrix.Gamma(n) * scale * scale * float64(n) * float64(n)
+	if t < 1e-8 {
+		t = 1e-8
+	}
+	return t
+}
+
+// offlineCompare reports whether got matches the maintained checksum chk
+// within tolerance (row 1 tolerance scaled by n for the weighted sums).
+func offlineCompare(chk, got *matrix.Dense, tol float64, n int) bool {
+	for j := 0; j < chk.Cols; j++ {
+		if d := math.Abs(chk.At(0, j) - got.At(0, j)); d > tol || math.IsNaN(d) {
+			return false
+		}
+		if d := math.Abs(chk.At(1, j) - got.At(1, j)); d > tol*float64(n) || math.IsNaN(d) {
+			return false
+		}
+	}
+	return true
+}
+
+// OfflineCheckLU verifies the end-of-run checksum relation for packed LU
+// factors with pivots. scale should be 1+max|A| of the original input.
+func OfflineCheckLU(chk, factors *matrix.Dense, piv []int, scale float64) bool {
+	n := factors.Rows
+	// w_P: apply the interchanges to the weight vectors, in order.
+	w1 := make([]float64, n)
+	w2 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		w1[i] = 1
+		w2[i] = float64(i + 1)
+	}
+	for k, p := range piv {
+		if p != k {
+			w1[k], w1[p] = w1[p], w1[k]
+			w2[k], w2[p] = w2[p], w2[k]
+		}
+	}
+	// t = w_Pᵀ·L̂ (unit lower triangular, packed below the diagonal).
+	t1 := make([]float64, n)
+	t2 := make([]float64, n)
+	for j := 0; j < n; j++ {
+		s1, s2 := w1[j], w2[j] // unit diagonal
+		for i := j + 1; i < n; i++ {
+			l := factors.At(i, j)
+			s1 += w1[i] * l
+			s2 += w2[i] * l
+		}
+		t1[j], t2[j] = s1, s2
+	}
+	// got = t·Û (upper triangular).
+	got := matrix.NewDense(2, n)
+	for j := 0; j < n; j++ {
+		s1, s2 := 0.0, 0.0
+		for i := 0; i <= j; i++ {
+			u := factors.At(i, j)
+			s1 += t1[i] * u
+			s2 += t2[i] * u
+		}
+		got.Set(0, j, s1)
+		got.Set(1, j, s2)
+	}
+	blas.AddFlops(4 * uint64(n) * uint64(n))
+	return offlineCompare(chk, got, offlineTol(n, scale), n)
+}
+
+// OfflineCheckCholesky verifies c(A) = (wᵀL̂)·L̂ᵀ for a lower factor.
+func OfflineCheckCholesky(chk, l *matrix.Dense, scale float64) bool {
+	n := l.Rows
+	t1 := make([]float64, n)
+	t2 := make([]float64, n)
+	for j := 0; j < n; j++ {
+		s1, s2 := 0.0, 0.0
+		for i := j; i < n; i++ {
+			v := l.At(i, j)
+			s1 += v * float64(1)
+			s2 += v * float64(i+1)
+			_ = v
+		}
+		t1[j], t2[j] = s1, s2
+	}
+	got := matrix.NewDense(2, n)
+	for j := 0; j < n; j++ {
+		// column j of L̂·L̂ᵀ uses row j of L̂: (L̂L̂ᵀ)_{·,j} = L̂·L̂[j,·]ᵀ
+		s1, s2 := 0.0, 0.0
+		for k := 0; k <= j; k++ {
+			ljk := l.At(j, k)
+			s1 += t1[k] * ljk
+			s2 += t2[k] * ljk
+		}
+		got.Set(0, j, s1)
+		got.Set(1, j, s2)
+	}
+	blas.AddFlops(4 * uint64(n) * uint64(n))
+	return offlineCompare(chk, got, offlineTol(n, scale), n)
+}
+
+// OfflineCheckQR verifies c(A) = (Qᵀw)ᵀ·R̂ by running the stored reflectors
+// over the weight vectors.
+func OfflineCheckQR(chk, factors *matrix.Dense, tau []float64, scale float64) bool {
+	n := factors.Rows
+	w1 := make([]float64, n)
+	w2 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		w1[i] = 1
+		w2[i] = float64(i + 1)
+	}
+	// Apply H_{k-1}···H_0 (= Qᵀ) to each weight vector.
+	apply := func(w []float64) {
+		for j := 0; j < len(tau); j++ {
+			if tau[j] == 0 {
+				continue
+			}
+			s := w[j]
+			for i := j + 1; i < n; i++ {
+				s += factors.At(i, j) * w[i]
+			}
+			ts := tau[j] * s
+			w[j] -= ts
+			for i := j + 1; i < n; i++ {
+				w[i] -= ts * factors.At(i, j)
+			}
+		}
+	}
+	apply(w1)
+	apply(w2)
+	got := matrix.NewDense(2, n)
+	for j := 0; j < n; j++ {
+		s1, s2 := 0.0, 0.0
+		for i := 0; i <= j && i < n; i++ {
+			r := factors.At(i, j)
+			s1 += w1[i] * r
+			s2 += w2[i] * r
+		}
+		got.Set(0, j, s1)
+		got.Set(1, j, s2)
+	}
+	blas.AddFlops(6 * uint64(n) * uint64(n))
+	return offlineCompare(chk, got, offlineTol(n, scale), n)
+}

@@ -1,0 +1,245 @@
+// Package core implements the paper's contribution: algorithm-based fault
+// tolerant (ABFT) blocked one-sided matrix decompositions — Cholesky, LU
+// with partial pivoting, and Householder QR — on the simulated
+// heterogeneous CPU+multi-GPU system of internal/hetsim, with
+//
+//   - full (two-dimensional) per-block checksum maintenance on the trailing
+//     matrix and single-side checksums on decomposed panels (§IV),
+//   - three checking schemes: the prior-operation and post-operation
+//     schemes of earlier work and the paper's new prioritized scheme
+//     (Algorithm 2) with heuristic TMU checking and post-broadcast panel
+//     verification that protects PCIe communication (§VII),
+//   - online error detection, localization, correction, 1-D row/column
+//     reconstruction, and local in-memory restart recovery,
+//   - verification counters reproducing Table VI and outcome
+//     classification reproducing Table VIII.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"ftla/internal/checksum"
+	"ftla/internal/fault"
+	"ftla/internal/hetsim"
+)
+
+// Mode selects the checksum coverage.
+type Mode int
+
+// Checksum coverage modes.
+const (
+	// NoChecksum disables ABFT entirely — the unprotected baseline.
+	NoChecksum Mode = iota
+	// SingleSide maintains checksums in one dimension only (column
+	// checksums), as in prior work [11][12][31][32].
+	SingleSide
+	// Full maintains checksums in both dimensions on the trailing matrix
+	// and one dimension on decomposed panels (§IV).
+	Full
+)
+
+func (m Mode) String() string {
+	switch m {
+	case NoChecksum:
+		return "none"
+	case SingleSide:
+		return "single-side"
+	default:
+		return "full"
+	}
+}
+
+// Scheme selects when checksum verification happens.
+type Scheme int
+
+// Checking schemes.
+const (
+	// NoCheck performs no verification (valid only with NoChecksum).
+	NoCheck Scheme = iota
+	// PriorOp verifies every operation's inputs (reference and update
+	// parts, including the trailing matrix before TMU) before the
+	// operation runs [11][12].
+	PriorOp
+	// PostOp verifies every operation's outputs after it runs, including
+	// the trailing matrix after every TMU [13][31][32].
+	PostOp
+	// NewScheme is the paper's Algorithm 2: checks prioritized by
+	// operation sensitivity (PD and PU checked on both sides), panel
+	// verification postponed until after the PCIe broadcast so
+	// communication errors are caught, and all trailing-matrix checks
+	// replaced by the heuristic panel checks of §VII.B.
+	NewScheme
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case NoCheck:
+		return "none"
+	case PriorOp:
+		return "prior-op"
+	case PostOp:
+		return "post-op"
+	default:
+		return "new"
+	}
+}
+
+// Options configures a protected factorization.
+type Options struct {
+	// NB is the block size; the matrix order must be a multiple of NB
+	// (the paper likewise rounds matrix sizes to MAGMA's block size).
+	NB int
+	// Mode and Scheme select the protection; see the type docs.
+	Mode   Mode
+	Scheme Scheme
+	// Kernel selects the checksum-encoding kernel (§VIII): the GEMM-based
+	// baseline or the optimized dedicated kernel.
+	Kernel checksum.Kernel
+	// Injector, when non-nil, injects the scheduled faults at the §X.A
+	// timing points.
+	Injector *fault.Injector
+	// PeriodicTrailingCheck, when > 0, additionally verifies the whole
+	// trailing matrix every k-th iteration under NewScheme — the paper's
+	// mitigation for accumulating undetected on-chip 1-D propagations
+	// (§VII.B). 0 disables it.
+	PeriodicTrailingCheck int
+}
+
+// Validate normalizes and sanity-checks the options for order n.
+func (o *Options) Validate(n int) error {
+	if o.NB <= 0 {
+		o.NB = 64
+	}
+	if n <= 0 || n%o.NB != 0 {
+		return fmt.Errorf("core: matrix order %d must be a positive multiple of NB=%d", n, o.NB)
+	}
+	if o.Mode == NoChecksum && o.Scheme != NoCheck {
+		return fmt.Errorf("core: scheme %v requires checksums", o.Scheme)
+	}
+	if o.Mode != NoChecksum && o.Scheme == NoCheck {
+		return fmt.Errorf("core: mode %v requires a checking scheme", o.Mode)
+	}
+	return nil
+}
+
+// Counter tallies verification and recovery work, reproducing the
+// quantities of Table VI (blocks verified per phase) plus recovery events.
+type Counter struct {
+	// Blocks verified, by phase.
+	PDBefore  int
+	PDAfter   int // post-broadcast under NewScheme
+	PUBefore  int
+	PUAfter   int
+	TMUBefore int
+	TMUAfter  int // heuristic panel checks under NewScheme
+	// SwapChecks is the block-equivalent cost of the pre-interchange row
+	// probes that keep the lazy on-chip detection of §VII.B sound under
+	// LU partial pivoting (see DESIGN.md §4).
+	SwapChecks int
+
+	// Recovery events.
+	CorrectedElements int // single elements fixed from a checksum
+	ReconstructedLins int // whole rows/columns rebuilt from the orthogonal checksum
+	LocalRestarts     int // PD/PU/TMU redone from a snapshot
+	Rebroadcasts      int // panel broadcasts repeated after PCIe corruption
+	DetectedErrors    int // verification mismatches observed
+}
+
+// TotalChecked returns the total number of block verifications
+// (block-equivalents for row probes).
+func (c *Counter) TotalChecked() int {
+	return c.PDBefore + c.PDAfter + c.PUBefore + c.PUAfter + c.TMUBefore + c.TMUAfter + c.SwapChecks
+}
+
+// Outcome classifies how a protected run ended, the four-way outcome of
+// the paper's coverage analysis (§X.B).
+type Outcome int
+
+// Run outcomes.
+const (
+	// FaultFree: no error was detected and the result verifies.
+	FaultFree Outcome = iota
+	// ABFTFixed: errors were detected and repaired online from checksums.
+	ABFTFixed
+	// LocalRestarted: errors were detected and repaired, but at least one
+	// local in-memory restart was needed.
+	LocalRestarted
+	// DetectedCorrupt: an error was detected but could not be repaired
+	// online; a complete restart is required, but the user is at least
+	// warned (the detected half of the paper's "Complete Restart" bucket).
+	DetectedCorrupt
+	// CorruptedResult: the run finished but the result is wrong and the
+	// fault escaped detection entirely — the paper's 'N' outcome.
+	CorruptedResult
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case FaultFree:
+		return "fault-free"
+	case ABFTFixed:
+		return "abft-fixed"
+	case LocalRestarted:
+		return "local-restart"
+	case DetectedCorrupt:
+		return "detected-corrupt"
+	default:
+		return "corrupted"
+	}
+}
+
+// Result reports a protected factorization run.
+type Result struct {
+	N        int
+	NB       int
+	GPUs     int
+	Mode     Mode
+	Scheme   Scheme
+	Kernel   checksum.Kernel
+	Wall     time.Duration
+	EncodeT  time.Duration // time spent encoding checksums
+	VerifyT  time.Duration // time spent verifying checksums
+	RecoverT time.Duration // time spent in recovery actions
+	Counter  Counter
+	// Detected is true when any verification mismatch fired.
+	Detected bool
+	// Unrecoverable is true when a detected error could not be repaired
+	// online (the ABFT equivalent of "needs a complete restart").
+	Unrecoverable bool
+	// SimMakespan is the simulated-clock makespan from hetsim.
+	SimMakespan float64
+	// PCIeBytes is the total PCIe traffic.
+	PCIeBytes int64
+	// Flops counts the floating-point operations executed by the run
+	// (data kernels plus all checksum encode/verify work) — a
+	// deterministic work metric for overhead comparisons that wall-clock
+	// noise cannot perturb.
+	Flops uint64
+}
+
+// OutcomeOf derives the run outcome given whether the final residual check
+// passed.
+func (r *Result) OutcomeOf(residualOK bool) Outcome {
+	switch {
+	case !residualOK && (r.Detected || r.Unrecoverable):
+		return DetectedCorrupt
+	case !residualOK:
+		return CorruptedResult
+	case r.Counter.LocalRestarts > 0:
+		return LocalRestarted
+	case r.Detected:
+		return ABFTFixed
+	default:
+		return FaultFree
+	}
+}
+
+// engineSys bundles the pieces every decomposition driver needs.
+type engineSys struct {
+	sys        *hetsim.System
+	opts       Options
+	res        *Result
+	inj        *fault.Injector
+	startFlops uint64
+}

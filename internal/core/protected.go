@@ -1,0 +1,658 @@
+package core
+
+import (
+	"time"
+
+	"ftla/internal/checksum"
+	"ftla/internal/hetsim"
+	"ftla/internal/matrix"
+)
+
+// protected is the distributed, checksum-encoded matrix state. The n×n
+// matrix is distributed over the GPUs in a 1-D block-column-cyclic layout
+// (block column bj lives on GPU bj mod G, as in MAGMA): each GPU stores a
+// compact n × localCols panel of its block columns, a column-checksum
+// matrix with one 2-row strip per block row, and (under Full mode) a
+// row-checksum matrix with one 2-column strip per local block column.
+type protected struct {
+	es  *engineSys
+	n   int
+	nb  int
+	nbr int // number of block rows == block columns
+	tol float64
+
+	local  []*hetsim.Buffer // [g] n × localCols(g)
+	colChk []*hetsim.Buffer // [g] 2·nbr × localCols(g)
+	rowChk []*hetsim.Buffer // [g] n × 2·localBlocks(g); nil when mode != Full
+	nloc   []int            // local block count per GPU
+}
+
+// owner returns the GPU index holding block column bj.
+func (p *protected) owner(bj int) int { return bj % p.es.sys.NumGPUs() }
+
+// localBlock returns the local block index of block column bj on its
+// owner.
+func (p *protected) localBlock(bj int) int { return bj / p.es.sys.NumGPUs() }
+
+// localOff returns the local column offset of block column bj on its
+// owner.
+func (p *protected) localOff(bj int) int { return p.localBlock(bj) * p.nb }
+
+// trailStart returns, for GPU g, the first local block index belonging to
+// block columns >= bj.
+func (p *protected) trailStart(g, bj int) int {
+	// Smallest lb with lb*G + g >= bj.
+	G := p.es.sys.NumGPUs()
+	lb := (bj - g + G - 1) / G
+	if lb < 0 {
+		lb = 0
+	}
+	return lb
+}
+
+// newProtected distributes a (resident on the CPU) across the GPUs and
+// encodes the initial checksums on-device with the configured kernel.
+func newProtected(es *engineSys, a *matrix.Dense) *protected {
+	n := a.Rows
+	nb := es.opts.NB
+	G := es.sys.NumGPUs()
+	p := &protected{es: es, n: n, nb: nb, nbr: n / nb}
+	scale := 1 + matrix.NormMax(a)
+	p.tol = matrix.Gamma(n) * scale * scale * float64(n)
+	if p.tol < 1e-9 {
+		p.tol = 1e-9
+	}
+
+	p.local = make([]*hetsim.Buffer, G)
+	p.colChk = make([]*hetsim.Buffer, G)
+	p.rowChk = make([]*hetsim.Buffer, G)
+	p.nloc = make([]int, G)
+	for g := 0; g < G; g++ {
+		p.nloc[g] = (p.nbr - g + G - 1) / G
+	}
+	cpu := es.sys.CPU()
+	for g := 0; g < G; g++ {
+		cols := p.nloc[g] * nb
+		if cols == 0 {
+			cols = nb // never happens for nbr >= G; defensive
+		}
+		p.local[g] = es.sys.GPU(g).Alloc(n, p.nloc[g]*nb)
+		// Ship each block column over PCIe.
+		for lb := 0; lb < p.nloc[g]; lb++ {
+			bj := lb*G + g
+			src := cpu.AllocFrom(a.View(0, bj*nb, n, nb))
+			es.sys.Transfer(src, p.local[g].View(0, lb*nb, n, nb))
+		}
+	}
+	if es.opts.Mode != NoChecksum {
+		t0 := time.Now()
+		for g := 0; g < G; g++ {
+			gdev := es.sys.GPU(g)
+			lc := p.nloc[g] * nb
+			p.colChk[g] = gdev.Alloc(2*p.nbr, lc)
+			data := p.local[g]
+			cc := p.colChk[g]
+			gdev.Run("encode-col", 4*float64(n*lc), func(w int) {
+				checksum.EncodeCol(es.opts.Kernel, w, data.Access(gdev), nb, cc.Access(gdev))
+			})
+			if es.opts.Mode == Full {
+				p.rowChk[g] = gdev.Alloc(n, 2*p.nloc[g])
+				rc := p.rowChk[g]
+				gdev.Run("encode-row", 4*float64(n*lc), func(w int) {
+					checksum.EncodeRow(es.opts.Kernel, w, data.Access(gdev), nb, rc.Access(gdev))
+				})
+			}
+		}
+		es.res.EncodeT += time.Since(t0)
+	}
+	return p
+}
+
+// gather copies the distributed matrix back to a CPU-resident dense
+// matrix over PCIe.
+func (p *protected) gather() *matrix.Dense {
+	out := matrix.NewDense(p.n, p.n)
+	cpu := p.es.sys.CPU()
+	for bj := 0; bj < p.nbr; bj++ {
+		g := p.owner(bj)
+		dst := cpu.Alloc(p.n, p.nb)
+		p.es.sys.Transfer(p.local[g].View(0, p.localOff(bj), p.n, p.nb), dst)
+		out.View(0, bj*p.nb, p.n, p.nb).CopyFrom(dst.Access(cpu))
+	}
+	return out
+}
+
+// colChkView returns the column-checksum strip rows [2·slo, 2·shi) of
+// block column bj on its owner.
+func (p *protected) colChkView(bj, slo, shi int) *hetsim.Buffer {
+	g := p.owner(bj)
+	return p.colChk[g].View(2*slo, p.localOff(bj), 2*(shi-slo), p.nb)
+}
+
+// rowChkView returns the row-checksum pair columns of block column bj,
+// rows [rlo, rhi). Only valid under Full mode.
+func (p *protected) rowChkView(bj, rlo, rhi int) *hetsim.Buffer {
+	g := p.owner(bj)
+	return p.rowChk[g].View(rlo, 2*p.localBlock(bj), rhi-rlo, 2)
+}
+
+// swapRows applies the LU row interchange r1 <-> r2 on every GPU across
+// block columns [bjLo, bjHi), maintaining the column checksums
+// incrementally (the v₂-weighted sums change under a swap; the v₁ sums
+// change only across strips) and letting row-checksum rows travel with
+// their data rows.
+func (p *protected) swapRows(r1, r2, bjLo, bjHi int) {
+	if r1 == r2 {
+		return
+	}
+	G := p.es.sys.NumGPUs()
+	s1, s2 := r1/p.nb, r2/p.nb
+	w1 := float64(r1%p.nb + 1)
+	w2 := float64(r2%p.nb + 1)
+	for g := 0; g < G; g++ {
+		gdev := p.es.sys.GPU(g)
+		lbLo := p.trailStart(g, bjLo)
+		lbHi := p.trailStart(g, bjHi)
+		if lbLo >= lbHi {
+			continue
+		}
+		local, cc, rc := p.local[g], p.colChk[g], p.rowChk[g]
+		mode := p.es.opts.Mode
+		gdev.Run("laswp", float64((lbHi-lbLo)*p.nb), func(int) {
+			data := local.Access(gdev)
+			jlo, jhi := lbLo*p.nb, lbHi*p.nb
+			row1 := data.Row(r1)[jlo:jhi]
+			row2 := data.Row(r2)[jlo:jhi]
+			for j := range row1 {
+				row1[j], row2[j] = row2[j], row1[j]
+			}
+			if mode != NoChecksum {
+				chk := cc.Access(gdev)
+				if s1 == s2 {
+					c2 := chk.Row(2*s1 + 1)[jlo:jhi]
+					for j := range row1 {
+						// Post-swap: row1 holds b (old r2), row2 holds a.
+						c2[j] += (w1 - w2) * (row1[j] - row2[j])
+					}
+				} else {
+					c11 := chk.Row(2 * s1)[jlo:jhi]
+					c12 := chk.Row(2*s1 + 1)[jlo:jhi]
+					c21 := chk.Row(2 * s2)[jlo:jhi]
+					c22 := chk.Row(2*s2 + 1)[jlo:jhi]
+					for j := range row1 {
+						d := row1[j] - row2[j] // b − a
+						c11[j] += d
+						c12[j] += w1 * d
+						c21[j] -= d
+						c22[j] -= w2 * d
+					}
+				}
+			}
+			if mode == Full && rc != nil {
+				rchk := rc.Access(gdev)
+				pjlo, pjhi := 2*lbLo, 2*lbHi
+				rr1 := rchk.Row(r1)[pjlo:pjhi]
+				rr2 := rchk.Row(r2)[pjlo:pjhi]
+				for j := range rr1 {
+					rr1[j], rr2[j] = rr2[j], rr1[j]
+				}
+			}
+		})
+	}
+}
+
+// repairOutcome reports what a verify-and-repair pass concluded.
+type repairOutcome int
+
+const (
+	repairClean     repairOutcome = iota // no mismatch
+	repairCorrected                      // mismatches found, all repaired
+	repairFailed                         // mismatches remain: needs restart
+)
+
+// verifyRepairCol verifies the column checksums of rows [rlo, rhi) of the
+// given data against chk (strip indices aligned: chk row 0..1 covers data
+// rows [rlo, rlo+nb)) and repairs what it can:
+//
+//  1. every mismatch that localizes to a single element is corrected
+//     (0-D errors and 1-D row corruption, which shows as one localizable
+//     error per column);
+//  2. under Full mode, a column whose mismatches do not localize (1-D
+//     column corruption) is rebuilt element-wise from the row checksums
+//     when rowRepair is non-nil;
+//  3. anything else is repairFailed (2-D propagation → local restart).
+//
+// The pass re-verifies after repair, charges verify/recovery time, and
+// updates the counters.
+func (p *protected) verifyRepairCol(workers int, data *matrix.Dense, chk *matrix.Dense, rowRepair func(col int) bool) repairOutcome {
+	t0 := time.Now()
+	ms := checksum.VerifyCol(workers, data, p.nb, chk, p.tol)
+	p.es.res.VerifyT += time.Since(t0)
+	if len(ms) == 0 {
+		return repairClean
+	}
+	p.es.res.Detected = true
+	p.es.res.Counter.DetectedErrors += len(ms)
+	t1 := time.Now()
+	defer func() { p.es.res.RecoverT += time.Since(t1) }()
+
+	stuckCols := map[int]bool{}
+	for _, m := range ms {
+		rows := p.nb
+		if got := data.Rows - m.Strip*p.nb; got < rows {
+			rows = got
+		}
+		if lr, ok := checksum.LocateCol(m, rows); ok {
+			checksum.CorrectCol(data, p.nb, m, lr)
+			p.es.res.Counter.CorrectedElements++
+		} else {
+			stuckCols[m.Col] = true
+		}
+	}
+	for col := range stuckCols {
+		if rowRepair == nil || !rowRepair(col) {
+			return repairFailed
+		}
+		p.es.res.Counter.ReconstructedLins++
+	}
+	// Re-verify: corrections must reconcile; surviving columns (e.g. a
+	// multi-element corruption that aliased as a localizable single error)
+	// escalate to the column repair before the pass gives up.
+	t2 := time.Now()
+	ms = checksum.VerifyCol(workers, data, p.nb, chk, p.tol)
+	p.es.res.VerifyT += time.Since(t2)
+	if len(ms) != 0 && rowRepair != nil {
+		ok := true
+		seen := map[int]bool{}
+		for _, m := range ms {
+			if !seen[m.Col] {
+				seen[m.Col] = true
+				if !rowRepair(m.Col) {
+					ok = false
+				}
+			}
+		}
+		if ok {
+			t3 := time.Now()
+			ms = checksum.VerifyCol(workers, data, p.nb, chk, p.tol)
+			p.es.res.VerifyT += time.Since(t3)
+		}
+	}
+	if len(ms) != 0 {
+		return repairFailed
+	}
+	return repairCorrected
+}
+
+// verifyRepairRow is the row-checksum dual of verifyRepairCol: localizable
+// mismatches are corrected element-wise; a row whose mismatches do not
+// localize is handed to colRepair (reconstruction from column checksums).
+func (p *protected) verifyRepairRow(workers int, data *matrix.Dense, chk *matrix.Dense, colRepair func(row int) bool) repairOutcome {
+	t0 := time.Now()
+	ms := checksum.VerifyRow(workers, data, p.nb, chk, p.tol)
+	p.es.res.VerifyT += time.Since(t0)
+	if len(ms) == 0 {
+		return repairClean
+	}
+	p.es.res.Detected = true
+	p.es.res.Counter.DetectedErrors += len(ms)
+	t1 := time.Now()
+	defer func() { p.es.res.RecoverT += time.Since(t1) }()
+
+	stuckRows := map[int]bool{}
+	for _, m := range ms {
+		cols := p.nb
+		if got := data.Cols - m.Strip*p.nb; got < cols {
+			cols = got
+		}
+		if lc, ok := checksum.LocateRow(m, cols); ok {
+			checksum.CorrectRow(data, p.nb, m, lc)
+			p.es.res.Counter.CorrectedElements++
+		} else {
+			stuckRows[m.Row] = true
+		}
+	}
+	for row := range stuckRows {
+		if colRepair == nil || !colRepair(row) {
+			return repairFailed
+		}
+		p.es.res.Counter.ReconstructedLins++
+	}
+	t2 := time.Now()
+	ms = checksum.VerifyRow(workers, data, p.nb, chk, p.tol)
+	p.es.res.VerifyT += time.Since(t2)
+	if len(ms) != 0 {
+		return repairFailed
+	}
+	return repairCorrected
+}
+
+// verifyTrailingCol verifies (and repairs) the column checksums of the
+// trailing region rows >= rlo, block columns >= bj0 across every GPU.
+// blocks counts the matrix blocks verified for the Table VI counters.
+// Under Full mode, 1-D column corruption is repaired from the local row
+// checksums, and repaired rows/columns get their orthogonal checksums
+// re-encoded.
+func (p *protected) verifyTrailingCol(rlo, bj0 int) (worst repairOutcome, blocks int) {
+	nb := p.nb
+	o := rlo
+	G := p.es.sys.NumGPUs()
+	worst = repairClean
+	for g := 0; g < G; g++ {
+		gdev := p.es.sys.GPU(g)
+		lbLo := p.trailStart(g, bj0)
+		if lbLo >= p.nloc[g] {
+			continue
+		}
+		jlo := lbLo * nb
+		cols := p.nloc[g]*nb - jlo
+		data := p.local[g].View(o, jlo, p.n-o, cols).Access(gdev)
+		chk := p.colChk[g].View(2*(o/nb), jlo, 2*(p.nbr-o/nb), cols).Access(gdev)
+		var rowRepair func(col int) bool
+		if p.es.opts.Mode == Full {
+			gg, jj := g, jlo
+			rowRepair = func(col int) bool {
+				// Rebuild the whole column from the row checksums, then
+				// re-encode its (possibly polluted) column checksums so the
+				// ladder's re-verification reconciles.
+				return p.repairFullColumn(gg, jj+col)
+			}
+		}
+		out, fixed := p.verifyRepairColReport(gdev.Workers(), data, chk, rowRepair)
+		if out > worst {
+			worst = out
+		}
+		blocks += (cols / nb) * (p.nbr - o/nb)
+		// Restore orthogonal-checksum consistency after repairs.
+		if p.es.opts.Mode == Full && out == repairCorrected {
+			p.reconcileOrthogonal(g, o, p.n, lbLo, p.nloc[g])
+		}
+		_ = fixed
+	}
+	return worst, blocks
+}
+
+// reconcileOrthogonal cross-checks GPU g's region (global rows
+// [rlo, rhi), local blocks >= lbLo) against its row checksums after
+// column-checksum-based repairs, and resolves the two second-order damage
+// patterns a single fault can leave behind:
+//
+//   - a data column that was "corrected" into agreement with a *polluted*
+//     column checksum (corruption transformed by a non-GEMM update aliases
+//     as a single-element error): many rows of one column disagree with
+//     the (clean) row checksums → rebuild the column from the row
+//     checksums and re-encode its column checksums;
+//   - a clean data row whose row checksums were polluted by the corrupted
+//     operand of a checksum-maintenance kernel: one row disagrees across
+//     strips → re-encode that row's row checksums from the (repaired)
+//     data.
+func (p *protected) reconcileOrthogonal(g, rlo, rhi, lbLo, lbHi int) {
+	if p.es.opts.Mode != Full {
+		return
+	}
+	t0 := time.Now()
+	defer func() { p.es.res.RecoverT += time.Since(t0) }()
+	gdev := p.es.sys.GPU(g)
+	nb := p.nb
+	if lbHi > p.nloc[g] {
+		lbHi = p.nloc[g]
+	}
+	jlo := lbLo * nb
+	cols := lbHi*nb - jlo
+	if cols <= 0 || rhi <= rlo {
+		return
+	}
+	data := p.local[g].View(rlo, jlo, rhi-rlo, cols).Access(gdev)
+	rchk := p.rowChk[g].View(rlo, 2*lbLo, rhi-rlo, 2*(lbHi-lbLo)).Access(gdev)
+	ms := checksum.VerifyRow(gdev.Workers(), data, nb, rchk, p.tol)
+	if len(ms) == 0 {
+		return
+	}
+	rowHits := map[int]int{}
+	colHits := map[int][]int{} // local col -> rows
+	for _, m := range ms {
+		rowHits[m.Row]++
+		if lc, ok := checksum.LocateRow(m, nb); ok {
+			col := m.Strip*nb + lc
+			colHits[col] = append(colHits[col], m.Row)
+		}
+	}
+	repairedCols := map[int]bool{}
+	for col, rows := range colHits {
+		if len(rows) >= 2 {
+			// Aliased column corruption: the row checksums are the clean
+			// authority — rebuild the whole column and refresh its column
+			// checksums.
+			p.repairFullColumn(g, jlo+col)
+			repairedCols[col] = true
+		}
+	}
+	for r, hits := range rowHits {
+		if hits >= 2 {
+			// The same row disagreeing in several strips is a polluted
+			// row-checksum line (unless it was part of a column repair).
+			covered := false
+			for col, rows := range colHits {
+				if repairedCols[col] {
+					for _, rr := range rows {
+						if rr == r {
+							covered = true
+						}
+					}
+				}
+			}
+			if !covered {
+				p.reencodeRowChkRow(g, rlo+r, lbLo)
+			}
+		}
+	}
+	// Remaining single-hit rows: data agrees with the (just-reconciled)
+	// column checksums, so the row checksum entry is the polluted side.
+	ms = checksum.VerifyRow(gdev.Workers(), data, nb, rchk, p.tol)
+	seen := map[int]bool{}
+	for _, m := range ms {
+		if !seen[m.Row] {
+			seen[m.Row] = true
+			p.reencodeRowChkRow(g, rlo+m.Row, lbLo)
+		}
+	}
+}
+
+// reconstructColViaRowChk rebuilds column col of data (a view whose
+// columns are grouped in nb-blocks aligned with rchk's 2-column strips)
+// from the v₁ row checksums. Rows listed in skipRows (view-relative) are
+// left untouched — used when a specific row's row checksum is known to be
+// polluted.
+func (p *protected) reconstructColViaRowChk(data, rchk *matrix.Dense, col int, skipRows ...int) bool {
+	s := col / p.nb
+	clo := s * p.nb
+	chi := clo + p.nb
+	if chi > data.Cols {
+		chi = data.Cols
+	}
+	skip := map[int]bool{}
+	for _, r := range skipRows {
+		skip[r] = true
+	}
+	for i := 0; i < data.Rows; i++ {
+		if skip[i] {
+			continue
+		}
+		row := data.Row(i)
+		sum := 0.0
+		for c := clo; c < chi; c++ {
+			if c != col {
+				sum += row[c]
+			}
+		}
+		row[col] = rchk.At(i, 2*s) - sum
+	}
+	return true
+}
+
+// reencodeRowChkRow recomputes the row-checksum pairs of global row r on
+// GPU g for local blocks [lbLo, nloc). This is the certified re-encode
+// that restores consistency after the data row has been repaired: the TMU
+// row-checksum update consumes the raw (possibly corrupted) panel operand,
+// so the contaminated row's row checksums are polluted and must be rebuilt
+// from the repaired data.
+func (p *protected) reencodeRowChkRow(g, r, lbLo int) {
+	if p.es.opts.Mode != Full {
+		return
+	}
+	gdev := p.es.sys.GPU(g)
+	data := p.local[g].Access(gdev)
+	rchk := p.rowChk[g].Access(gdev)
+	nb := p.nb
+	for lb := lbLo; lb < p.nloc[g]; lb++ {
+		s1, s2 := 0.0, 0.0
+		row := data.Row(r)[lb*nb : lb*nb+nb]
+		for j, v := range row {
+			s1 += v
+			s2 += float64(j+1) * v
+		}
+		rchk.Set(r, 2*lb, s1)
+		rchk.Set(r, 2*lb+1, s2)
+	}
+}
+
+// verifyRowQuick reports whether global row r on GPU g is consistent with
+// its row checksums over local blocks [lbLo, nloc). It is the cheap O(cols)
+// probe used before row interchanges move data around.
+func (p *protected) verifyRowQuick(g, r, lbLo int) bool {
+	if p.es.opts.Mode != Full {
+		return true
+	}
+	gdev := p.es.sys.GPU(g)
+	data := p.local[g].Access(gdev)
+	rchk := p.rowChk[g].Access(gdev)
+	nb := p.nb
+	for lb := lbLo; lb < p.nloc[g]; lb++ {
+		s1 := 0.0
+		row := data.Row(r)[lb*nb : lb*nb+nb]
+		for _, v := range row {
+			s1 += v
+		}
+		if d := s1 - rchk.At(r, 2*lb); d > p.tol || d < -p.tol || d != d {
+			return false
+		}
+	}
+	return true
+}
+
+// repairFullColumn rebuilds GPU g's local column (GPU-local index
+// localCol) over the full matrix height from its row checksums, then
+// re-encodes the column's column checksums from the repaired data. This is
+// the uniform stuck-column repair: reconstructing only a verification
+// window and then re-encoding the whole column's checksums would make any
+// contamination outside the window permanently invisible, so every
+// detection point repairs the entire column at once (the row checksums
+// are maintained for every row, finalized or trailing).
+func (p *protected) repairFullColumn(g, localCol int) bool {
+	if p.es.opts.Mode != Full {
+		return false
+	}
+	gdev := p.es.sys.GPU(g)
+	nb := p.nb
+	lb := localCol / nb
+	if lb >= p.nloc[g] {
+		return false
+	}
+	data := p.local[g].View(0, lb*nb, p.n, nb).Access(gdev)
+	rchk := p.rowChk[g].View(0, 2*lb, p.n, 2).Access(gdev)
+	p.reconstructColViaRowChk(data, rchk, localCol%nb)
+	p.reencodeColChkCol(g, localCol)
+	p.es.res.Counter.ReconstructedLins++
+	return true
+}
+
+// reencodeColChkCol recomputes the column-checksum entries of local column
+// localCol on GPU g for every strip — the dual of reencodeRowChkRow, used
+// after a contaminated column has been rebuilt (the TMU column-checksum
+// update consumes the raw row-panel operand).
+func (p *protected) reencodeColChkCol(g, localCol int) {
+	if p.es.opts.Mode == NoChecksum {
+		return
+	}
+	gdev := p.es.sys.GPU(g)
+	data := p.local[g].Access(gdev)
+	cchk := p.colChk[g].Access(gdev)
+	nb := p.nb
+	for s := 0; s < p.nbr; s++ {
+		s1, s2 := 0.0, 0.0
+		for i := 0; i < nb; i++ {
+			v := data.At(s*nb+i, localCol)
+			s1 += v
+			s2 += float64(i+1) * v
+		}
+		cchk.Set(2*s, localCol, s1)
+		cchk.Set(2*s+1, localCol, s2)
+	}
+}
+
+// repairContaminatedRow fully repairs global row r on GPU g when its data
+// or row checksums may be inconsistent (the lazy on-chip 1-D case of
+// §VII.B Fig. 4b, triggered by the pre-swap probe or by grouped panel
+// corrections): the row's strip is verified against the column checksums
+// (clean in this failure mode), every column corrected by localization,
+// and the row's row checksums re-encoded from the repaired data. Returns
+// false if the strip cannot be reconciled.
+func (p *protected) repairContaminatedRow(g, r, bjLo int) bool {
+	t0 := time.Now()
+	defer func() { p.es.res.RecoverT += time.Since(t0) }()
+	gdev := p.es.sys.GPU(g)
+	nb := p.nb
+	lbLo := p.trailStart(g, bjLo)
+	if lbLo >= p.nloc[g] {
+		return true
+	}
+	jlo := lbLo * nb
+	cols := p.nloc[g]*nb - jlo
+	s := r / nb
+	data := p.local[g].View(s*nb, jlo, nb, cols).Access(gdev)
+	chk := p.colChk[g].View(2*s, jlo, 2, cols).Access(gdev)
+	// A stuck column here is a 1-D column contamination crossing this
+	// strip (e.g. an on-chip row-panel fault consumed by a previous TMU):
+	// rebuild the entire column from the row checksums.
+	rowRepair := func(col int) bool {
+		return p.repairFullColumn(g, jlo+col)
+	}
+	out, _ := p.verifyRepairColReport(gdev.Workers(), data, chk, rowRepair)
+	if out == repairFailed {
+		p.es.res.Unrecoverable = true
+		return false
+	}
+	p.reencodeRowChkRow(g, r, lbLo)
+	return true
+}
+
+// reconstructRowViaColChk rebuilds row r of data from the v₁ column
+// checksums (chk strip-aligned with data rows). Columns listed in skipCols
+// (view-relative) are left untouched — used when a column's checksum is
+// known to be polluted.
+func (p *protected) reconstructRowViaColChk(data, chk *matrix.Dense, r int, skipCols ...int) bool {
+	s := r / p.nb
+	rlo := s * p.nb
+	rhi := rlo + p.nb
+	if rhi > data.Rows {
+		rhi = data.Rows
+	}
+	skip := map[int]bool{}
+	for _, c := range skipCols {
+		skip[c] = true
+	}
+	row := data.Row(r)
+	for j := 0; j < data.Cols; j++ {
+		if skip[j] {
+			continue
+		}
+		sum := 0.0
+		for i := rlo; i < rhi; i++ {
+			if i != r {
+				sum += data.At(i, j)
+			}
+		}
+		row[j] = chk.At(2*s, j) - sum
+	}
+	return true
+}

@@ -1,0 +1,657 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"ftla/internal/checksum"
+	"ftla/internal/fault"
+	"ftla/internal/hetsim"
+	"ftla/internal/lapack"
+	"ftla/internal/matrix"
+)
+
+// QR computes the protected blocked Householder QR factorization of a on
+// the simulated heterogeneous system. It returns the gathered packed
+// factors (R in the upper triangle, Householder vectors below) along with
+// the reflector coefficients tau and the run report.
+//
+// Per-iteration dataflow (MAGMA hybrid right-looking QR, §IV.B):
+//
+//	GPU_owner → CPU   column panel transfer (+ column checksums)
+//	CPU               PD: checksum-maintaining Householder panel
+//	                  factorization (Algorithm 1)
+//	CPU               CTF: T = LARFT(V), validated by an orthogonality
+//	                  probe; recomputed from V on failure
+//	CPU → all GPUs    panel + c(V) + T broadcast
+//	all GPUs          TMU: A₂ = (I − V·Tᵀ·Vᵀ)·A₂ with full checksums
+//	                  maintained from c(V) (Table III, red terms)
+func QR(sys *hetsim.System, a *matrix.Dense, opts Options) (*matrix.Dense, []float64, *Result, error) {
+	if a.Rows != a.Cols {
+		return nil, nil, nil, fmt.Errorf("core: QR requires a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	if err := opts.Validate(a.Rows); err != nil {
+		return nil, nil, nil, err
+	}
+	n := a.Rows
+	res := &Result{
+		N: n, NB: opts.NB, GPUs: sys.NumGPUs(),
+		Mode: opts.Mode, Scheme: opts.Scheme, Kernel: opts.Kernel,
+	}
+	es := newEngine(sys, opts, res)
+	start := time.Now()
+	p := newProtected(es, a)
+	pl := planFor(opts.Scheme)
+	nb := opts.NB
+	nbr := p.nbr
+	G := sys.NumGPUs()
+	cpu := sys.CPU()
+	chk := opts.Mode != NoChecksum
+	tau := make([]float64, n)
+
+	for k := 0; k < nbr; k++ {
+		o := k * nb
+		gk := p.owner(k)
+		m := n - o
+		strips := nbr - k
+
+		// ------------- PD: column panel, verified on its GPU -------------
+		panelDev := p.local[gk].View(o, p.localOff(k), m, nb)
+		gpuPDRegs := []fault.Region{
+			{Part: fault.ReferencePart, M: panelDev.UnsafeData(), Row0: o, Col0: o},
+			{Part: fault.UpdatePart, M: panelDev.UnsafeData(), Row0: o, Col0: o},
+		}
+		es.injectMem(k, fault.PD, gpuPDRegs)
+		if pl.beforePD && chk {
+			// The panel is verified on its owner GPU *before* it ships to
+			// the CPU: QR's block-reflector TMU can leave aliased column
+			// corruption that only the orthogonal-checksum reconciliation
+			// untangles, and the row checksums live on the GPU.
+			gdev := sys.GPU(gk)
+			gdata := panelDev.Access(gdev)
+			gchk := p.colChkView(k, k, nbr).Access(gdev)
+			var rowRepair func(col int) bool
+			if opts.Mode == Full {
+				loff := p.localOff(k)
+				rowRepair = func(col int) bool {
+					return p.repairFullColumn(gk, loff+col)
+				}
+			}
+			if out := p.verifyRepairCol(gdev.Workers(), gdata, gchk, rowRepair); out == repairFailed {
+				res.Unrecoverable = true
+			}
+			if opts.Mode == Full {
+				lb := p.localBlock(k)
+				p.reconcileOrthogonal(gk, o, n, lb, lb+1)
+			}
+			res.Counter.PDBefore += strips
+		}
+		cpuPanel := cpu.Alloc(m, nb)
+		sys.Transfer(panelDev, cpuPanel)
+		pm := cpuPanel.Access(cpu)
+		var cpuChk *hetsim.Buffer
+		var cm *matrix.Dense
+		if chk {
+			cpuChk = cpu.Alloc(2*strips, nb)
+			sys.Transfer(p.colChkView(k, k, nbr), cpuChk)
+			cm = cpuChk.Access(cpu)
+		}
+		pdRegs := []fault.Region{
+			{Part: fault.ReferencePart, M: pm, Row0: o, Col0: o},
+			{Part: fault.UpdatePart, M: pm, Row0: o, Col0: o},
+		}
+		snapshot := pm.Clone()
+		var snapChk *matrix.Dense
+		if chk {
+			snapChk = cm.Clone()
+		}
+		es.injectOnChip(k, fault.PD, pdRegs)
+		ltau := tau[o : o+nb]
+		if err := p.qrPD(es, k, pm, cm, snapshot, snapChk, ltau, pl, pdRegs); err != nil {
+			return nil, nil, nil, err
+		}
+		if chk {
+			// Certified re-encode of the stored V\R panel.
+			p.encodeColInto(cpu.Workers(), pm, cm)
+		}
+
+		// ------------- CTF: T = LARFT(V) on the CPU ---------------------
+		var tmat *matrix.Dense
+		cpu.Run("larft", float64(m*nb*nb), func(int) {
+			tmat = lapack.Larft(pm, ltau)
+		})
+		tRegs := []fault.Region{{Part: fault.UpdatePart, M: tmat, Row0: o, Col0: o}}
+		es.injectComp(k, fault.CTF, tRegs)
+		if chk && !p.qrOrthoProbe(pm, tmat) {
+			// Corrupted T: detected by the orthogonality probe, recovered
+			// by recomputing T from V (§IV.B).
+			res.Detected = true
+			res.Counter.DetectedErrors++
+			t0 := time.Now()
+			cpu.Run("larft", float64(m*nb*nb), func(int) {
+				tmat = lapack.Larft(pm, ltau)
+			})
+			res.RecoverT += time.Since(t0)
+			if !p.qrOrthoProbe(pm, tmat) {
+				res.Unrecoverable = true
+			}
+		}
+		cpuT := cpu.AllocFrom(tmat)
+
+		// c(V): column checksums of the materialized reflectors, the
+		// operand that maintains the trailing column checksums (Table III).
+		var cpuCV *hetsim.Buffer
+		if chk {
+			vmat := lapack.MaterializeV(pm)
+			cv := matrix.NewDense(checksum.ColDims(m, nb, nb))
+			p.encodeColInto(cpu.Workers(), vmat, cv)
+			cpuCV = cpu.AllocFrom(cv)
+		}
+
+		// ------------- Panel broadcast (CPU → all GPUs) ------------------
+		chkRows := 2 * strips
+		if !chk {
+			chkRows = 2
+		}
+		stages := p.allocStages(m, chkRows, nb)
+		cvStage := make([]*hetsim.Buffer, G)
+		tStage := make([]*hetsim.Buffer, G)
+		doBroadcast := func() {
+			es.withCommContext(k, fault.PD, o, o, func() {
+				sys.Transfer(cpuPanel, panelDev)
+				if chk {
+					sys.Transfer(cpuChk, p.colChkView(k, k, nbr))
+				}
+				for g := 0; g < G; g++ {
+					if cvStage[g] == nil {
+						cvStage[g] = sys.GPU(g).Alloc(chkRows, nb)
+						tStage[g] = sys.GPU(g).Alloc(nb, nb)
+					}
+					if g == gk {
+						copyWithin(sys.GPU(gk), panelDev, stages[g].data)
+						if chk {
+							copyWithin(sys.GPU(gk), p.colChkView(k, k, nbr), stages[g].chk)
+						}
+					} else {
+						sys.Transfer(cpuPanel, stages[g].data)
+						if chk {
+							sys.Transfer(cpuChk, stages[g].chk)
+						}
+					}
+					if chk {
+						sys.Transfer(cpuCV, cvStage[g])
+					}
+					sys.Transfer(cpuT, tStage[g])
+				}
+			})
+		}
+		doBroadcast()
+		if pl.afterPDBcast && chk {
+			outs, corrupted := p.verifyStages(stages, &res.Counter.PDAfter, strips)
+			if corrupted == G && G > 1 {
+				res.Counter.LocalRestarts++
+				doBroadcast()
+			} else if corrupted > 0 {
+				p.rebroadcastFailed(cpuPanel, cpuChk, stages, outs)
+				// The owner's authoritative copy may have taken the hit on
+				// the writeback leg; repair it from the certified source.
+				gd := panelDev.Access(sys.GPU(gk))
+				gc := p.colChkView(k, k, nbr).Access(sys.GPU(gk))
+				if p.verifyRepairCol(sys.GPU(gk).Workers(), gd, gc, nil) == repairFailed {
+					sys.Transfer(cpuPanel, panelDev)
+					sys.Transfer(cpuChk, p.colChkView(k, k, nbr))
+					res.Counter.Rebroadcasts++
+				}
+			}
+			// Validate T on every GPU with the probe; recompute locally
+			// from the (verified) stage V on failure.
+			for g := 0; g < G; g++ {
+				gdev := sys.GPU(g)
+				sd := stages[g].data.Access(gdev)
+				td := tStage[g].Access(gdev)
+				if !p.qrOrthoProbe(sd, td) {
+					res.Detected = true
+					res.Counter.DetectedErrors++
+					t0 := time.Now()
+					gdev.Run("larft", float64(m*nb*nb), func(int) {
+						td.CopyFrom(lapack.Larft(sd, ltau))
+					})
+					res.RecoverT += time.Since(t0)
+				}
+			}
+		}
+
+		if k == nbr-1 {
+			break
+		}
+
+		// ------------- TMU: A₂ = Qᵀ·A₂ on every GPU ----------------------
+		tmuRegs := p.qrTMURegions(k, stages)
+		es.injectMem(k, fault.TMU, tmuRegs)
+		if pl.beforeTMUPanels && chk {
+			_, _ = p.verifyStages(stages, &res.Counter.TMUBefore, strips)
+		}
+		if pl.beforeTMUTrailing && chk {
+			worst, blocks := p.verifyTrailingCol(o, k+1)
+			res.Counter.TMUBefore += blocks
+			if worst == repairFailed {
+				res.Unrecoverable = true
+			}
+		}
+		es.injectOnChip(k, fault.TMU, tmuRegs)
+		for g := 0; g < G; g++ {
+			p.qrTMUOnGPU(g, k, stages[g], cvStage[g], tStage[g])
+		}
+		es.injectComp(k, fault.TMU, tmuRegs)
+		if pl.afterTMUTrailing && chk {
+			worst, blocks := p.verifyTrailingCol(o, k+1)
+			res.Counter.TMUAfter += blocks
+			if worst == repairFailed {
+				res.Unrecoverable = true
+			}
+		}
+		if pl.afterTMUHeuristic && chk {
+			p.qrHeuristicAfterTMU(k, stages, cvStage, tStage)
+		}
+		if opts.PeriodicTrailingCheck > 0 && (k+1)%opts.PeriodicTrailingCheck == 0 && chk {
+			worst, blocks := p.verifyTrailingCol(o, k+1)
+			res.Counter.TMUAfter += blocks
+			if worst == repairFailed {
+				res.Unrecoverable = true
+			}
+		}
+	}
+
+	out := p.gather()
+	es.finishResult(start)
+	return out, tau, res, nil
+}
+
+// qrPD runs the checksum-maintaining Householder panel factorization of
+// Algorithm 1 on the CPU, with a one-shot local restart on verification
+// failure. The panel's per-strip column checksums cm are maintained
+// through every reflector:
+//
+//	c_s ← c_s − τ·(w_sᵀ·v_s)·(vᵀ·P)     for the updated columns, and
+//	c_s[j] recomputed from the stored column j (which holds β and the
+//	reflector tail rather than H·P's mathematical zeros).
+//
+// Post-PD verification recomputes the stored panel's checksums against the
+// maintained ones, catching computation faults whose effect diverges from
+// the checksum path.
+func (p *protected) qrPD(es *engineSys, k int, pm, cm, snapshot, snapChk *matrix.Dense, ltau []float64, pl plan, regs []fault.Region) error {
+	cpu := es.sys.CPU()
+	nb := p.nb
+	m := pm.Rows
+	for attempt := 0; ; attempt++ {
+		cpu.Run("geqr2-chk", 2*float64(m*nb*nb), func(int) {
+			p.qrPanelChecked(pm, cm, ltau)
+		})
+		es.injectComp(k, fault.PD, regs)
+		ok := true
+		if pl.afterPDCPU && es.opts.Mode != NoChecksum {
+			t0 := time.Now()
+			ms := checksum.VerifyCol(cpu.Workers(), pm, nb, cm, p.tol*float64(nb))
+			es.res.VerifyT += time.Since(t0)
+			es.res.Counter.PDAfter += m / nb
+			if len(ms) != 0 {
+				ok = false
+				es.res.Detected = true
+				es.res.Counter.DetectedErrors += len(ms)
+			}
+		}
+		if ok {
+			return nil
+		}
+		if attempt >= 1 {
+			es.res.Unrecoverable = true
+			return nil
+		}
+		pm.CopyFrom(snapshot)
+		if snapChk != nil {
+			cm.CopyFrom(snapChk)
+		}
+		es.res.Counter.LocalRestarts++
+	}
+}
+
+// qrPanelChecked is Geqr2 with Algorithm 1's checksum maintenance woven
+// between reflector generation and application. Numerics of the factor
+// itself are identical to lapack.Geqr2 (same HouseGen/HouseApply kernels).
+func (p *protected) qrPanelChecked(pm, cm *matrix.Dense, ltau []float64) {
+	m, nb := pm.Rows, pm.Cols
+	maintain := cm != nil && p.es.opts.Mode != NoChecksum
+	strips := checksum.Strips(m, p.nb)
+	v := make([]float64, m)
+	w := make([]float64, nb)
+	th1 := make([]float64, strips)
+	th2 := make([]float64, strips)
+	for j := 0; j < nb; j++ {
+		ltau[j] = lapack.HouseGen(pm, j, v)
+		if maintain {
+			// Per-strip weighted sums of the reflector (θ in Algorithm 1's
+			// lines 6–8; here per block strip rather than per panel).
+			for s := 0; s < strips; s++ {
+				th1[s], th2[s] = 0, 0
+			}
+			for i := j; i < m; i++ {
+				s := i / p.nb
+				lw := float64(i%p.nb + 1)
+				th1[s] += v[i-j]
+				th2[s] += lw * v[i-j]
+			}
+		}
+		if ltau[j] != 0 && j+1 < nb {
+			lapack.HouseApply(pm, j, v[:m-j], ltau[j], w[:nb-j-1])
+			if maintain {
+				// c_s[cols j+1..] −= τ·θ_s·u, u = vᵀP from HouseApply.
+				for s := 0; s < strips; s++ {
+					c1 := cm.Row(2 * s)
+					c2 := cm.Row(2*s + 1)
+					t1 := ltau[j] * th1[s]
+					t2 := ltau[j] * th2[s]
+					for c := j + 1; c < nb; c++ {
+						u := w[c-j-1]
+						c1[c] -= t1 * u
+						c2[c] -= t2 * u
+					}
+				}
+			}
+		}
+		if maintain {
+			// Column j's stored content changed shape (β + reflector
+			// tail); refresh its checksum entries directly.
+			for s := 0; s < strips; s++ {
+				lo := s * p.nb
+				hi := lo + p.nb
+				if hi > m {
+					hi = m
+				}
+				s1, s2 := 0.0, 0.0
+				for i := lo; i < hi; i++ {
+					val := pm.At(i, j)
+					s1 += val
+					s2 += float64(i-lo+1) * val
+				}
+				cm.Set(2*s, j, s1)
+				cm.Set(2*s+1, j, s2)
+			}
+		}
+	}
+}
+
+// qrOrthoProbe checks T against V by verifying that the block reflector
+// preserves the norm of a probe vector: y = (I − V·Tᵀ·Vᵀ)·x must satisfy
+// ‖y‖ = ‖x‖ for orthogonal Q. A corrupted T (or V/T mismatch) breaks norm
+// preservation generically at O(m·nb) cost — the cheap CTF validation of
+// §IV.B.
+func (p *protected) qrOrthoProbe(panel, tmat *matrix.Dense) bool {
+	t0 := time.Now()
+	defer func() { p.es.res.VerifyT += time.Since(t0) }()
+	m, nb := panel.Rows, tmat.Rows
+	x := make([]float64, m)
+	for i := range x {
+		x[i] = 1 + float64(i%7)/7
+	}
+	// w = Vᵀx
+	w := make([]float64, nb)
+	for i := 0; i < m; i++ {
+		xi := x[i]
+		for j := 0; j < nb && j <= i; j++ {
+			if i == j {
+				w[j] += xi
+			} else {
+				w[j] += panel.At(i, j) * xi
+			}
+		}
+	}
+	// w2 = Tᵀw
+	w2 := make([]float64, nb)
+	for j := 0; j < nb; j++ {
+		s := 0.0
+		for i := 0; i <= j; i++ {
+			s += tmat.At(i, j) * w[i]
+		}
+		w2[j] = s
+	}
+	// y = x − V·w2
+	ny2 := 0.0
+	for i := 0; i < m; i++ {
+		yi := x[i]
+		for j := 0; j < nb && j <= i; j++ {
+			if i == j {
+				yi -= w2[j]
+			} else {
+				yi -= panel.At(i, j) * w2[j]
+			}
+		}
+		ny2 += yi * yi
+	}
+	nx := matrix.VecNorm2(x)
+	return math.Abs(math.Sqrt(ny2)-nx) <= 1e-8*nx
+}
+
+// qrTMURegions exposes TMU fault targets: ref = the reflector part of
+// GPU0's stage (rows below the R11 block), update = GPU0's trailing
+// region.
+func (p *protected) qrTMURegions(k int, stages []stagePair) []fault.Region {
+	nb := p.nb
+	o := k * nb
+	st := stages[0].data
+	regs := []fault.Region{
+		{Part: fault.ReferencePart, M: st.UnsafeData().View(nb, 0, st.Rows()-nb, nb), Row0: o + nb, Col0: o},
+	}
+	lb0 := p.trailStart(0, k+1)
+	if lb0 < p.nloc[0] {
+		cols := p.nloc[0]*nb - lb0*nb
+		regs = append(regs, fault.Region{
+			Part: fault.UpdatePart,
+			M:    p.local[0].View(o, lb0*nb, p.n-o, cols).UnsafeData(),
+			Row0: o, Col0: (lb0*p.es.sys.NumGPUs() + 0) * nb,
+		})
+	}
+	return regs
+}
+
+// qrTMUOnGPU applies the block reflector to GPU g's trailing columns
+// (rows o..n — the top nb rows become R12) and maintains both checksum
+// dimensions:
+//
+//	C      ← C − V·Tᵀ·Vᵀ·C
+//	colChk ← colChk − c(V)·W₂          (W₂ = Tᵀ·Vᵀ·C)
+//	rowChk ← rowChk − V·Tᵀ·Vᵀ·rowChk   (row checksums ride as columns)
+func (p *protected) qrTMUOnGPU(g, k int, st stagePair, cv, tm *hetsim.Buffer) {
+	gdev := p.es.sys.GPU(g)
+	nb := p.nb
+	o := k * nb
+	lb0 := p.trailStart(g, k+1)
+	if lb0 >= p.nloc[g] {
+		return
+	}
+	cols := p.nloc[g]*nb - lb0*nb
+	m := p.n - o
+	c := p.local[g].View(o, lb0*nb, m, cols)
+	// Materialize V on-device.
+	vbuf := gdev.Alloc(m, nb)
+	gdev.Run("materialize-v", 0, func(int) {
+		vbuf.Access(gdev).CopyFrom(lapack.MaterializeV(st.data.Access(gdev)))
+	})
+	w := gdev.Alloc(nb, cols)
+	w2 := gdev.Alloc(nb, cols)
+	gdev.Gemm(true, false, 1, vbuf, c, 0, w)
+	gdev.Gemm(true, false, 1, tm, w, 0, w2)
+	gdev.Gemm(false, false, -1, vbuf, w2, 1, c)
+	if p.es.opts.Mode != NoChecksum {
+		cc := p.colChk[g].View(2*k, lb0*nb, 2*(p.nbr-k), cols)
+		gdev.Gemm(false, false, -1, cv, w2, 1, cc)
+	}
+	if p.es.opts.Mode == Full {
+		rc := p.rowChk[g].View(o, 2*lb0, m, 2*(p.nloc[g]-lb0))
+		wr := gdev.Alloc(nb, 2*(p.nloc[g]-lb0))
+		wr2 := gdev.Alloc(nb, 2*(p.nloc[g]-lb0))
+		gdev.Gemm(true, false, 1, vbuf, rc, 0, wr)
+		gdev.Gemm(true, false, 1, tm, wr, 0, wr2)
+		gdev.Gemm(false, false, -1, vbuf, wr2, 1, rc)
+	}
+}
+
+// qrHeuristicAfterTMU re-verifies each GPU's stage panel after TMU. A
+// corrupted reflector element contaminates the trailing update 2-D
+// (through the T-factor mixing), so unlike the GEMM-shaped TMUs the repair
+// is a local in-memory restart: the applied (corrupted but known) linear
+// map M̃ = I − Ṽ·Tᵀ·Ṽᵀ is inverted via the Woodbury identity to roll the
+// trailing columns (and the row-checksum slab) back, the column checksums
+// are rolled back with the recomputed W̃₂, and the TMU is redone with the
+// repaired reflectors.
+func (p *protected) qrHeuristicAfterTMU(k int, stages []stagePair, cvStage, tStage []*hetsim.Buffer) {
+	G := p.es.sys.NumGPUs()
+	nb := p.nb
+	o := k * nb
+	// Retirement check: the top strip of the just-updated region is the
+	// final R12 — it is never referenced again, so this is its last chance
+	// to be verified (the QR analogue of the post-PU panel check).
+	for g := 0; g < G; g++ {
+		gdev := p.es.sys.GPU(g)
+		lb0 := p.trailStart(g, k+1)
+		if lb0 >= p.nloc[g] {
+			continue
+		}
+		cols := p.nloc[g]*nb - lb0*nb
+		data := p.local[g].View(o, lb0*nb, nb, cols).Access(gdev)
+		chkv := p.colChk[g].View(2*k, lb0*nb, 2, cols).Access(gdev)
+		var rowRepair func(col int) bool
+		if p.es.opts.Mode == Full {
+			gg, jj := g, lb0*nb
+			rowRepair = func(col int) bool {
+				return p.repairFullColumn(gg, jj+col)
+			}
+		}
+		if out := p.verifyRepairCol(gdev.Workers(), data, chkv, rowRepair); out == repairFailed {
+			p.es.res.Unrecoverable = true
+		}
+		// Reconcile against the row checksums: QR's transforming TMU can
+		// leave corruption that agrees with polluted column checksums;
+		// the finalized R12 strip gets its last consistency pass here.
+		p.reconcileOrthogonal(g, o, o+nb, lb0, p.nloc[g])
+		p.es.res.Counter.TMUAfter += cols / nb
+	}
+	for g := 0; g < G; g++ {
+		gdev := p.es.sys.GPU(g)
+		sd := stages[g].data.Access(gdev)
+		corruptCopy := sd.Clone()
+		out, fixed := p.verifyRepairColReport(gdev.Workers(), sd, stages[g].chk.Access(gdev), nil)
+		p.es.res.Counter.TMUAfter += p.nbr - k
+		if out == repairClean {
+			continue
+		}
+		if out == repairFailed {
+			p.es.res.Unrecoverable = true
+			continue
+		}
+		relevant := false
+		for _, fe := range fixed {
+			if fe.Row >= p.nb || fe.Col < fe.Row {
+				// Below the R11 block, or within the strict lower triangle
+				// of the top block: part of V, referenced by TMU.
+				relevant = true
+			}
+		}
+		if !relevant {
+			continue
+		}
+		p.qrRollbackRedo(g, k, corruptCopy, stages[g], cvStage[g], tStage[g])
+	}
+}
+
+// qrRollbackRedo implements the Woodbury local restart for GPU g's TMU.
+func (p *protected) qrRollbackRedo(g, k int, corrupt *matrix.Dense, st stagePair, cv, tm *hetsim.Buffer) {
+	t0 := time.Now()
+	defer func() { p.es.res.RecoverT += time.Since(t0) }()
+	gdev := p.es.sys.GPU(g)
+	nb := p.nb
+	o := k * nb
+	lb0 := p.trailStart(g, k+1)
+	if lb0 >= p.nloc[g] {
+		return
+	}
+	cols := p.nloc[g]*nb - lb0*nb
+	m := p.n - o
+	c := p.local[g].View(o, lb0*nb, m, cols).Access(gdev)
+	tmat := tm.Access(gdev)
+	vCorrupt := lapack.MaterializeV(corrupt)
+
+	// X = (T⁻ᵀ − ṼᵀṼ)⁻¹ via dense solves.
+	kinv := matrix.NewDense(nb, nb) // T⁻ᵀ = solve Tᵀ·K = I
+	kinv.Eye()
+	for col := 0; col < nb; col++ {
+		x := kinv.Col(col)
+		// Forward solve with lower-triangular Tᵀ.
+		for i := 0; i < nb; i++ {
+			s := x[i]
+			for j := 0; j < i; j++ {
+				s -= tmat.At(j, i) * x[j]
+			}
+			x[i] = s / tmat.At(i, i)
+		}
+		kinv.SetCol(col, x)
+	}
+	vtv := matrix.NewDense(nb, nb)
+	mulInto(vtv, vCorrupt, vCorrupt, true, false, 1, 0)
+	kinv.Sub(vtv) // S = T⁻ᵀ − ṼᵀṼ
+	spiv := make([]int, nb)
+	if err := lapack.Getf2(kinv, spiv); err != nil {
+		p.es.res.Unrecoverable = true
+		return
+	}
+	solveS := func(b *matrix.Dense) {
+		lapack.Laswp(b, spiv)
+		// L·y = b, then U·x = y, using the packed factors in kinv.
+		for col := 0; col < b.Cols; col++ {
+			for i := 0; i < nb; i++ {
+				s := b.At(i, col)
+				for j := 0; j < i; j++ {
+					s -= kinv.At(i, j) * b.At(j, col)
+				}
+				b.Set(i, col, s)
+			}
+			for i := nb - 1; i >= 0; i-- {
+				s := b.At(i, col)
+				for j := i + 1; j < nb; j++ {
+					s -= kinv.At(i, j) * b.At(j, col)
+				}
+				b.Set(i, col, s/kinv.At(i, i))
+			}
+		}
+	}
+	rollback := func(mdat *matrix.Dense) {
+		// m_prev = m_new + Ṽ·S⁻¹·Ṽᵀ·m_new
+		vt := matrix.NewDense(nb, mdat.Cols)
+		mulInto(vt, vCorrupt, mdat, true, false, 1, 0)
+		solveS(vt)
+		mulInto(mdat, vCorrupt, vt, false, false, 1, 1)
+	}
+	rollback(c)
+	if p.es.opts.Mode != NoChecksum {
+		// colChk_prev = colChk_new + c(V)·W̃₂, W̃₂ = Tᵀ·Ṽᵀ·C_prev.
+		wt := matrix.NewDense(nb, cols)
+		mulInto(wt, vCorrupt, c, true, false, 1, 0)
+		w2t := matrix.NewDense(nb, cols)
+		mulInto(w2t, tmat, wt, true, false, 1, 0)
+		cc := p.colChk[g].View(2*k, lb0*nb, 2*(p.nbr-k), cols).Access(gdev)
+		mulInto(cc, cv.Access(gdev), w2t, false, false, 1, 1)
+	}
+	if p.es.opts.Mode == Full {
+		rc := p.rowChk[g].View(o, 2*lb0, m, 2*(p.nloc[g]-lb0)).Access(gdev)
+		rollback(rc)
+	}
+	p.es.res.Counter.LocalRestarts++
+	// Redo the TMU with the repaired stage.
+	p.qrTMUOnGPU(g, k, st, cv, tm)
+}
+
+// mulInto is a small helper: dst = alpha·op(a)·op(b) + beta·dst using the
+// sequential GEMM (recovery-path code, not the hot path).
+func mulInto(dst, a, b *matrix.Dense, transA, transB bool, alpha, beta float64) {
+	blasGemm(transA, transB, alpha, a, b, beta, dst)
+}

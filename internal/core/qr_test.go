@@ -1,0 +1,184 @@
+package core
+
+import (
+	"testing"
+
+	"ftla/internal/fault"
+	"ftla/internal/lapack"
+	"ftla/internal/matrix"
+)
+
+func qrResidual(a, out *matrix.Dense, tau []float64) float64 {
+	q := lapack.BuildQ(out, tau)
+	r := lapack.ExtractR(out)
+	return matrix.QRResidual(a, q, r)
+}
+
+func runQR(t *testing.T, n, gpus int, opts Options, inj *fault.Injector) (*matrix.Dense, *matrix.Dense, []float64, *Result) {
+	t.Helper()
+	rng := matrix.NewRNG(uint64(n) + 101)
+	a := matrix.Random(n, n, rng)
+	opts.Injector = inj
+	sys := testSystem(gpus)
+	out, tau, res, err := QR(sys, a, opts)
+	if err != nil {
+		t.Fatalf("QR failed: %v", err)
+	}
+	return a, out, tau, res
+}
+
+func TestQRUnprotectedCorrect(t *testing.T) {
+	a, out, tau, _ := runQR(t, 64, 1, cholOpts(NoChecksum, NoCheck), nil)
+	if r := qrResidual(a, out, tau); r > 1e-11 {
+		t.Fatalf("residual %g", r)
+	}
+}
+
+func TestQRMatchesReference(t *testing.T) {
+	rng := matrix.NewRNG(42)
+	n := 96
+	a := matrix.Random(n, n, rng)
+	ref := a.Clone()
+	refTau := make([]float64, n)
+	lapack.Geqrf(ref, 16, refTau)
+
+	sys := testSystem(2)
+	out, tau, _, err := QR(sys, a, cholOpts(Full, NewScheme))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.EqualWithin(ref, 1e-10) {
+		d, i, j := out.MaxAbsDiff(ref)
+		t.Fatalf("protected QR differs from reference by %g at (%d,%d)", d, i, j)
+	}
+	for k := range tau {
+		if diff := tau[k] - refTau[k]; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("tau[%d] differs: %g vs %g", k, tau[k], refTau[k])
+		}
+	}
+}
+
+func TestQRCleanAllSchemes(t *testing.T) {
+	for _, gpus := range []int{1, 2, 3} {
+		for _, tc := range []struct {
+			mode   Mode
+			scheme Scheme
+		}{
+			{SingleSide, PriorOp},
+			{SingleSide, PostOp},
+			{Full, PostOp},
+			{Full, NewScheme},
+		} {
+			a, out, tau, res := runQR(t, 96, gpus, cholOpts(tc.mode, tc.scheme), nil)
+			if r := qrResidual(a, out, tau); r > 1e-11 {
+				t.Fatalf("gpus=%d %v/%v residual %g", gpus, tc.mode, tc.scheme, r)
+			}
+			if res.Detected {
+				t.Fatalf("gpus=%d %v/%v false positive (counters=%+v)", gpus, tc.mode, tc.scheme, res.Counter)
+			}
+		}
+	}
+}
+
+func TestQRComputationFaultTMU(t *testing.T) {
+	inj := fault.NewInjector(51)
+	inj.Schedule(fault.Spec{Kind: fault.Computation, Op: fault.TMU, Iteration: 1})
+	a, out, tau, res := runQR(t, 96, 2, cholOpts(Full, NewScheme), inj)
+	if len(inj.Events()) != 1 {
+		t.Fatalf("fault did not fire: %v", inj.Events())
+	}
+	if r := qrResidual(a, out, tau); r > 1e-11 {
+		t.Fatalf("residual %g (counters=%+v)", r, res.Counter)
+	}
+	if !res.Detected {
+		t.Fatal("QR TMU computation fault undetected")
+	}
+}
+
+func TestQRComputationFaultPD(t *testing.T) {
+	inj := fault.NewInjector(52)
+	inj.Schedule(fault.Spec{Kind: fault.Computation, Op: fault.PD, Iteration: 1})
+	a, out, tau, res := runQR(t, 96, 2, cholOpts(Full, NewScheme), inj)
+	if r := qrResidual(a, out, tau); r > 1e-11 {
+		t.Fatalf("residual %g (counters=%+v)", r, res.Counter)
+	}
+	if res.Counter.LocalRestarts == 0 {
+		t.Fatal("QR PD fault should trigger local restart")
+	}
+}
+
+func TestQRMemoryFaultBeforePD(t *testing.T) {
+	inj := fault.NewInjector(53)
+	inj.Schedule(fault.Spec{Kind: fault.OffChipMemory, Op: fault.PD, Iteration: 2, Part: fault.UpdatePart})
+	a, out, tau, res := runQR(t, 96, 2, cholOpts(Full, NewScheme), inj)
+	if r := qrResidual(a, out, tau); r > 1e-11 {
+		t.Fatalf("residual %g (counters=%+v)", r, res.Counter)
+	}
+	if !res.Detected {
+		t.Fatal("memory fault before QR PD undetected")
+	}
+}
+
+func TestQRFaultInT(t *testing.T) {
+	inj := fault.NewInjector(54)
+	inj.Schedule(fault.Spec{Kind: fault.Computation, Op: fault.CTF, Iteration: 1})
+	a, out, tau, res := runQR(t, 96, 2, cholOpts(Full, NewScheme), inj)
+	if len(inj.Events()) != 1 {
+		t.Fatalf("CTF fault did not fire: %v", inj.Events())
+	}
+	if r := qrResidual(a, out, tau); r > 1e-11 {
+		t.Fatalf("residual %g: corrupted T not recovered (counters=%+v)", r, res.Counter)
+	}
+	if !res.Detected {
+		t.Fatal("CTF fault undetected by the orthogonality probe")
+	}
+}
+
+func TestQRCommunicationFault(t *testing.T) {
+	inj := fault.NewInjector(55)
+	inj.Schedule(fault.Spec{Kind: fault.Communication, Op: fault.PD, Iteration: 1, GPUTarget: 1})
+	a, out, tau, res := runQR(t, 96, 2, cholOpts(Full, NewScheme), inj)
+	if len(inj.Events()) != 1 {
+		t.Fatal("comm fault did not fire")
+	}
+	if r := qrResidual(a, out, tau); r > 1e-11 {
+		t.Fatalf("residual %g (counters=%+v)", r, res.Counter)
+	}
+	if !res.Detected {
+		t.Fatal("comm fault undetected")
+	}
+}
+
+func TestQROffChipFaultTMURefWoodbury(t *testing.T) {
+	// DRAM corruption of the reflector stage during TMU: detected by the
+	// post-TMU stage check, recovered by the Woodbury rollback + redo.
+	inj := fault.NewInjector(56)
+	inj.Schedule(fault.Spec{Kind: fault.OffChipMemory, Op: fault.TMU, Iteration: 0, Part: fault.ReferencePart, Row: 30, Col: 5})
+	a, out, tau, res := runQR(t, 96, 2, cholOpts(Full, NewScheme), inj)
+	if len(inj.Events()) != 1 {
+		t.Fatal("fault did not fire")
+	}
+	if r := qrResidual(a, out, tau); r > 1e-10 {
+		t.Fatalf("residual %g (counters=%+v events=%v)", r, res.Counter, inj.Events())
+	}
+	if res.Counter.LocalRestarts == 0 {
+		t.Fatalf("expected a Woodbury local restart (counters=%+v)", res.Counter)
+	}
+}
+
+func TestQROrthoProbeCatchesCorruptT(t *testing.T) {
+	rng := matrix.NewRNG(9)
+	m, nb := 48, 8
+	panel := matrix.Random(m, nb, rng)
+	tau := make([]float64, nb)
+	lapack.Geqr2(panel, tau)
+	tmat := lapack.Larft(panel, tau)
+	p := &protected{nb: nb, es: &engineSys{res: &Result{}}}
+	if !p.qrOrthoProbe(panel, tmat) {
+		t.Fatal("probe rejected a correct T")
+	}
+	tmat.Set(2, 5, tmat.At(2, 5)+0.5)
+	if p.qrOrthoProbe(panel, tmat) {
+		t.Fatal("probe accepted a corrupted T")
+	}
+}

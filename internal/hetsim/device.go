@@ -1,0 +1,191 @@
+// Package hetsim simulates a heterogeneous compute node: one CPU and a set
+// of GPU devices connected by PCIe links. It substitutes for the CUDA/
+// MAGMA platform of the paper (see DESIGN.md §1).
+//
+// The simulation is structural, not merely temporal: each device owns a
+// private memory space (matrices allocated on a device can only be touched
+// through that device's kernel API), data moves between devices only
+// through explicit Transfer/Broadcast calls on PCIe links, and device
+// kernels really execute in parallel on a per-device goroutine worker pool.
+// Fault-injection hooks are exposed at exactly the points the paper's fault
+// model names: kernel outputs (computation errors), resident buffers
+// (memory errors), and link transfers (communication errors).
+package hetsim
+
+import (
+	"fmt"
+	"sync"
+
+	"ftla/internal/blas"
+	"ftla/internal/matrix"
+)
+
+// Kind distinguishes the CPU from GPU devices.
+type Kind int
+
+// Device kinds.
+const (
+	CPU Kind = iota
+	GPU
+)
+
+func (k Kind) String() string {
+	if k == CPU {
+		return "CPU"
+	}
+	return "GPU"
+}
+
+// Device is one compute unit of the simulated node. All kernel methods
+// check buffer residency, so an algorithm that forgets a PCIe transfer
+// fails loudly instead of silently reading remote memory.
+type Device struct {
+	kind    Kind
+	id      int // 0-based among GPUs; -1 for the CPU
+	workers int
+	gflops  float64 // nominal throughput for the simulated clock
+
+	mu      sync.Mutex
+	simSecs float64 // accumulated simulated busy time
+	sys     *System
+}
+
+// Kind returns the device kind.
+func (d *Device) Kind() Kind { return d.kind }
+
+// ID returns the GPU index, or -1 for the CPU.
+func (d *Device) ID() int { return d.id }
+
+// Name returns a human-readable device name such as "GPU2" or "CPU".
+func (d *Device) Name() string {
+	if d.kind == CPU {
+		return "CPU"
+	}
+	return fmt.Sprintf("GPU%d", d.id)
+}
+
+// Workers returns the size of the device's parallel worker pool.
+func (d *Device) Workers() int { return d.workers }
+
+// SimTime returns the device's accumulated simulated busy seconds.
+func (d *Device) SimTime() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.simSecs
+}
+
+func (d *Device) addSim(flops float64) {
+	if d.gflops <= 0 {
+		return
+	}
+	d.mu.Lock()
+	d.simSecs += flops / (d.gflops * 1e9)
+	d.mu.Unlock()
+}
+
+// Buffer is a matrix resident in one device's memory.
+type Buffer struct {
+	dev *Device
+	m   *matrix.Dense
+}
+
+// Device returns the owning device.
+func (b *Buffer) Device() *Device { return b.dev }
+
+// Rows returns the row count of the resident matrix.
+func (b *Buffer) Rows() int { return b.m.Rows }
+
+// Cols returns the column count of the resident matrix.
+func (b *Buffer) Cols() int { return b.m.Cols }
+
+// Alloc allocates a zeroed r-by-c matrix in the device's memory.
+func (d *Device) Alloc(r, c int) *Buffer {
+	return &Buffer{dev: d, m: matrix.NewDense(r, c)}
+}
+
+// AllocFrom allocates a device buffer initialized with a copy of m. It
+// models a host-side upload for the CPU and is rejected for GPUs, which
+// must receive data over PCIe.
+func (d *Device) AllocFrom(m *matrix.Dense) *Buffer {
+	if d.kind != CPU {
+		panic("hetsim: GPU buffers must be filled via Transfer, not AllocFrom")
+	}
+	return &Buffer{dev: d, m: m.Clone()}
+}
+
+// Access returns the resident matrix for direct manipulation by code
+// executing "on" the owning device. Callers assert which device they run
+// on; a mismatch is a programming error in the algorithm's data movement
+// and panics.
+func (b *Buffer) Access(d *Device) *matrix.Dense {
+	if b.dev != d {
+		panic(fmt.Sprintf("hetsim: buffer resident on %s accessed from %s", b.dev.Name(), d.Name()))
+	}
+	return b.m
+}
+
+// View returns a sub-buffer aliasing a rectangular region of b.
+func (b *Buffer) View(i, j, r, c int) *Buffer {
+	return &Buffer{dev: b.dev, m: b.m.View(i, j, r, c)}
+}
+
+// unsafeData exposes the matrix without a residency check; it is used only
+// by System transfer internals and by fault injection (which models
+// physics, not an algorithm's data movement).
+func (b *Buffer) unsafeData() *matrix.Dense { return b.m }
+
+// UnsafeData exposes the resident matrix to fault injectors and test
+// assertions without a residency check. Algorithm code must use Access.
+func (b *Buffer) UnsafeData() *matrix.Dense { return b.m }
+
+// --- Device kernels -------------------------------------------------------
+//
+// Each kernel validates residency of every operand, runs the parallel BLAS
+// on the device's worker pool, advances the simulated clock by the kernel's
+// flop count, and reports the operation to the system trace.
+
+// Gemm computes C = alpha·op(A)·op(B) + beta·C on the device.
+func (d *Device) Gemm(transA, transB bool, alpha float64, a, b *Buffer, beta float64, c *Buffer) {
+	am, bm, cm := a.Access(d), b.Access(d), c.Access(d)
+	k := am.Cols
+	if transA {
+		k = am.Rows
+	}
+	blas.GemmP(d.workers, transA, transB, alpha, am, bm, beta, cm)
+	flops := 2 * float64(cm.Rows) * float64(cm.Cols) * float64(k)
+	d.addSim(flops)
+	d.sys.trace("gemm", d, flops)
+}
+
+// Trsm solves a triangular system with multiple right-hand sides on the
+// device (see blas.Trsm).
+func (d *Device) Trsm(side blas.Side, lower, trans, unit bool, alpha float64, a, b *Buffer) {
+	am, bm := a.Access(d), b.Access(d)
+	blas.TrsmP(d.workers, side, lower, trans, unit, alpha, am, bm)
+	flops := float64(am.Rows) * float64(am.Rows) * float64(bm.Rows*bm.Cols) / float64(am.Rows)
+	d.addSim(flops)
+	d.sys.trace("trsm", d, flops)
+}
+
+// Syrk performs a symmetric rank-k update on the device (see blas.Syrk).
+func (d *Device) Syrk(lower, trans bool, alpha float64, a *Buffer, beta float64, c *Buffer) {
+	am, cm := a.Access(d), c.Access(d)
+	blas.SyrkP(d.workers, lower, trans, alpha, am, beta, cm)
+	k := am.Cols
+	if trans {
+		k = am.Rows
+	}
+	flops := float64(cm.Rows) * float64(cm.Cols) * float64(k)
+	d.addSim(flops)
+	d.sys.trace("syrk", d, flops)
+}
+
+// Run executes an arbitrary kernel body on the device, charging the given
+// flop count to the simulated clock. The body receives the device's worker
+// count so it can parallelize. It is the escape hatch for panel kernels
+// (POTF2/GETF2/GEQR2) and checksum kernels.
+func (d *Device) Run(name string, flops float64, body func(workers int)) {
+	body(d.workers)
+	d.addSim(flops)
+	d.sys.trace(name, d, flops)
+}

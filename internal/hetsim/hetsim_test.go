@@ -1,0 +1,313 @@
+package hetsim
+
+import (
+	"strings"
+	"testing"
+
+	"ftla/internal/blas"
+	"ftla/internal/matrix"
+)
+
+func newSys(t *testing.T, gpus int) *System {
+	t.Helper()
+	return New(DefaultConfig(gpus))
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero GPUs")
+		}
+	}()
+	New(Config{NumGPUs: 0})
+}
+
+func TestDeviceNames(t *testing.T) {
+	s := newSys(t, 2)
+	if s.CPU().Name() != "CPU" || s.CPU().ID() != -1 {
+		t.Fatalf("CPU identity wrong: %s %d", s.CPU().Name(), s.CPU().ID())
+	}
+	if s.GPU(1).Name() != "GPU1" || s.GPU(1).Kind() != GPU {
+		t.Fatalf("GPU identity wrong")
+	}
+	if got := s.NumGPUs(); got != 2 {
+		t.Fatalf("NumGPUs = %d", got)
+	}
+}
+
+func TestResidencyEnforced(t *testing.T) {
+	s := newSys(t, 2)
+	b := s.GPU(0).Alloc(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected residency panic")
+		}
+	}()
+	b.Access(s.GPU(1))
+}
+
+func TestAllocFromOnlyCPU(t *testing.T) {
+	s := newSys(t, 1)
+	m := matrix.NewDense(2, 2)
+	if b := s.CPU().AllocFrom(m); b.Rows() != 2 {
+		t.Fatal("CPU AllocFrom failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for GPU AllocFrom")
+		}
+	}()
+	s.GPU(0).AllocFrom(m)
+}
+
+func TestAllocFromCopies(t *testing.T) {
+	s := newSys(t, 1)
+	m := matrix.NewDense(2, 2)
+	b := s.CPU().AllocFrom(m)
+	m.Set(0, 0, 9)
+	if b.Access(s.CPU()).At(0, 0) != 0 {
+		t.Fatal("AllocFrom must copy")
+	}
+}
+
+func TestTransferCopiesData(t *testing.T) {
+	s := newSys(t, 1)
+	src := s.CPU().AllocFrom(matrix.FromRows([][]float64{{1, 2}, {3, 4}}))
+	dst := s.GPU(0).Alloc(2, 2)
+	s.Transfer(src, dst)
+	if dst.Access(s.GPU(0)).At(1, 1) != 4 {
+		t.Fatal("transfer did not copy payload")
+	}
+	if s.BytesTransferred() != 32 {
+		t.Fatalf("bytes transferred = %d, want 32", s.BytesTransferred())
+	}
+	if s.PCIeSimTime() <= 0 {
+		t.Fatal("PCIe sim clock did not advance")
+	}
+}
+
+func TestTransferSameDevicePanics(t *testing.T) {
+	s := newSys(t, 1)
+	a := s.GPU(0).Alloc(2, 2)
+	b := s.GPU(0).Alloc(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected same-device transfer panic")
+		}
+	}()
+	s.Transfer(a, b)
+}
+
+func TestTransferShapeMismatchPanics(t *testing.T) {
+	s := newSys(t, 1)
+	a := s.CPU().Alloc(2, 2)
+	b := s.GPU(0).Alloc(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected shape mismatch panic")
+		}
+	}()
+	s.Transfer(a, b)
+}
+
+func TestTransferHookRunsOnPayload(t *testing.T) {
+	s := newSys(t, 1)
+	called := false
+	s.SetTransferHook(func(from, to *Device, payload *matrix.Dense) {
+		called = true
+		if from.Kind() != CPU || to.Kind() != GPU {
+			t.Errorf("hook endpoints wrong: %v -> %v", from.Kind(), to.Kind())
+		}
+		payload.Set(0, 0, 999) // corrupt, as a fault injector would
+	})
+	src := s.CPU().AllocFrom(matrix.FromRows([][]float64{{1}}))
+	dst := s.GPU(0).Alloc(1, 1)
+	s.Transfer(src, dst)
+	if !called {
+		t.Fatal("hook not called")
+	}
+	if dst.UnsafeData().At(0, 0) != 999 {
+		t.Fatal("hook corruption not visible in destination")
+	}
+	if src.UnsafeData().At(0, 0) != 1 {
+		t.Fatal("hook must not corrupt the source")
+	}
+}
+
+func TestBroadcastReachesAllGPUs(t *testing.T) {
+	s := newSys(t, 3)
+	src := s.CPU().AllocFrom(matrix.FromRows([][]float64{{7}}))
+	var dsts []*Buffer
+	for _, g := range s.GPUs() {
+		dsts = append(dsts, g.Alloc(1, 1))
+	}
+	s.Broadcast(src, dsts)
+	for i, d := range dsts {
+		if d.UnsafeData().At(0, 0) != 7 {
+			t.Fatalf("GPU%d did not receive broadcast", i)
+		}
+	}
+}
+
+func TestBroadcastPerLegFaults(t *testing.T) {
+	// A fault on one leg must not corrupt other receivers — this is the
+	// observable §VII.C uses to distinguish communication errors.
+	s := newSys(t, 3)
+	leg := 0
+	s.SetTransferHook(func(from, to *Device, payload *matrix.Dense) {
+		if leg == 1 {
+			payload.Set(0, 0, -1)
+		}
+		leg++
+	})
+	src := s.CPU().AllocFrom(matrix.FromRows([][]float64{{7}}))
+	var dsts []*Buffer
+	for _, g := range s.GPUs() {
+		dsts = append(dsts, g.Alloc(1, 1))
+	}
+	s.Broadcast(src, dsts)
+	corrupted := 0
+	for _, d := range dsts {
+		if d.UnsafeData().At(0, 0) != 7 {
+			corrupted++
+		}
+	}
+	if corrupted != 1 {
+		t.Fatalf("corrupted receivers = %d, want exactly 1", corrupted)
+	}
+}
+
+func TestGemmKernelOnDevice(t *testing.T) {
+	s := newSys(t, 1)
+	g := s.GPU(0)
+	rng := matrix.NewRNG(1)
+	am, bm := matrix.Random(8, 8, rng), matrix.Random(8, 8, rng)
+	a, b, c := g.Alloc(8, 8), g.Alloc(8, 8), g.Alloc(8, 8)
+	a.UnsafeData().CopyFrom(am)
+	b.UnsafeData().CopyFrom(bm)
+	g.Gemm(false, false, 1, a, b, 0, c)
+	want := matrix.NewDense(8, 8)
+	blas.Gemm(false, false, 1, am, bm, 0, want)
+	if !c.UnsafeData().EqualWithin(want, 1e-12) {
+		t.Fatal("device Gemm wrong")
+	}
+	if g.SimTime() <= 0 {
+		t.Fatal("sim clock did not advance")
+	}
+}
+
+func TestKernelCrossDevicePanics(t *testing.T) {
+	s := newSys(t, 2)
+	a := s.GPU(0).Alloc(4, 4)
+	b := s.GPU(1).Alloc(4, 4)
+	c := s.GPU(0).Alloc(4, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected cross-device kernel panic")
+		}
+	}()
+	s.GPU(0).Gemm(false, false, 1, a, b, 0, c)
+}
+
+func TestTraceRecordsEvents(t *testing.T) {
+	s := newSys(t, 1)
+	s.EnableTrace(true)
+	src := s.CPU().Alloc(2, 2)
+	dst := s.GPU(0).Alloc(2, 2)
+	s.Transfer(src, dst)
+	s.GPU(0).Run("custom", 100, func(int) {})
+	evts := s.Events()
+	if len(evts) != 2 {
+		t.Fatalf("events = %d, want 2", len(evts))
+	}
+	if evts[0].Op != "pcie" || !strings.Contains(evts[0].Device, "->") {
+		t.Fatalf("first event wrong: %+v", evts[0])
+	}
+	if evts[1].Op != "custom" || evts[1].Flops != 100 {
+		t.Fatalf("second event wrong: %+v", evts[1])
+	}
+	s.EnableTrace(false)
+	if len(s.Events()) != 0 {
+		t.Fatal("disabling trace must clear events")
+	}
+}
+
+func TestBufferView(t *testing.T) {
+	s := newSys(t, 1)
+	b := s.GPU(0).Alloc(4, 4)
+	v := b.View(1, 1, 2, 2)
+	v.UnsafeData().Set(0, 0, 5)
+	if b.UnsafeData().At(1, 1) != 5 {
+		t.Fatal("buffer view does not alias parent")
+	}
+	if v.Device() != s.GPU(0) {
+		t.Fatal("view residency wrong")
+	}
+}
+
+func TestSimMakespan(t *testing.T) {
+	s := newSys(t, 2)
+	s.GPU(0).Run("k", 1e9, func(int) {})
+	if s.SimMakespan() <= 0 {
+		t.Fatal("makespan should be positive after work")
+	}
+}
+
+func TestTrsmSyrkKernels(t *testing.T) {
+	s := newSys(t, 1)
+	g := s.GPU(0)
+	rng := matrix.NewRNG(2)
+	n := 6
+	lm := matrix.Random(n, n, rng)
+	for i := 0; i < n; i++ {
+		lm.Set(i, i, 3)
+	}
+	bm := matrix.Random(n, 4, rng)
+	l, b := g.Alloc(n, n), g.Alloc(n, 4)
+	l.UnsafeData().CopyFrom(lm)
+	b.UnsafeData().CopyFrom(bm)
+	g.Trsm(blas.Left, true, false, false, 1, l, b)
+	want := bm.Clone()
+	blas.Trsm(blas.Left, true, false, false, 1, lm, want)
+	if !b.UnsafeData().EqualWithin(want, 1e-13) {
+		t.Fatal("device Trsm wrong")
+	}
+
+	am := matrix.Random(n, 3, rng)
+	a, c := g.Alloc(n, 3), g.Alloc(n, n)
+	a.UnsafeData().CopyFrom(am)
+	g.Syrk(true, false, 1, a, 0, c)
+	wantc := matrix.NewDense(n, n)
+	blas.Syrk(true, false, 1, am, 0, wantc)
+	if !c.UnsafeData().EqualWithin(wantc, 1e-13) {
+		t.Fatal("device Syrk wrong")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	s := newSys(t, 2)
+	s.GPU(0).Run("k", 2e9, func(int) {})
+	s.GPU(1).Run("k", 1e9, func(int) {})
+	src := s.CPU().Alloc(64, 64)
+	dst := s.GPU(0).Alloc(64, 64)
+	s.Transfer(src, dst)
+	stats := s.Utilization()
+	if len(stats) != 4 { // CPU + 2 GPUs + PCIe
+		t.Fatalf("stats = %d", len(stats))
+	}
+	sum := 0.0
+	byName := map[string]DeviceStat{}
+	for _, st := range stats {
+		sum += st.Share
+		byName[st.Name] = st
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("shares sum to %v", sum)
+	}
+	if byName["GPU0"].SimSecs <= byName["GPU1"].SimSecs {
+		t.Fatal("GPU0 did twice the work")
+	}
+	if byName["PCIe"].SimSecs <= 0 {
+		t.Fatal("PCIe time missing")
+	}
+}

@@ -1,0 +1,236 @@
+package hetsim
+
+import (
+	"fmt"
+	"sync"
+
+	"ftla/internal/matrix"
+)
+
+// Config describes the simulated node. The zero value is not valid; use
+// DefaultConfig as a starting point.
+type Config struct {
+	// NumGPUs is the number of simulated GPU devices (>= 1).
+	NumGPUs int
+	// CPUWorkers and GPUWorkers size the per-device goroutine pools that
+	// stand in for CPU cores and GPU SMs.
+	CPUWorkers int
+	GPUWorkers int
+	// CPUGflops and GPUGflops drive the simulated clock. They only affect
+	// reported simulated times, never results.
+	CPUGflops float64
+	GPUGflops float64
+	// PCIeGBps and PCIeLatencyUS drive the simulated communication clock.
+	PCIeGBps      float64
+	PCIeLatencyUS float64
+}
+
+// DefaultConfig returns a configuration shaped like the paper's testbed
+// (many-core CPU, PCIe-attached GPUs) scaled to a laptop-class simulator.
+func DefaultConfig(numGPUs int) Config {
+	return Config{
+		NumGPUs:       numGPUs,
+		CPUWorkers:    2,
+		GPUWorkers:    4,
+		CPUGflops:     50,
+		GPUGflops:     1000,
+		PCIeGBps:      12,
+		PCIeLatencyUS: 10,
+	}
+}
+
+// TransferHook observes (and may corrupt, for fault injection) the payload
+// of a PCIe transfer after it has been written to the destination buffer.
+// from may be the CPU or a GPU; to likewise.
+type TransferHook func(from, to *Device, payload *matrix.Dense)
+
+// Event is one trace record: a kernel execution or a transfer.
+type Event struct {
+	Op     string
+	Device string
+	Flops  float64
+	Bytes  int
+}
+
+// System is the simulated heterogeneous node.
+type System struct {
+	cfg  Config
+	cpu  *Device
+	gpus []*Device
+
+	mu           sync.Mutex
+	pcieSimSecs  float64
+	transferred  int64 // total bytes moved over PCIe
+	events       []Event
+	traceEnabled bool
+	hook         TransferHook
+}
+
+// New builds a simulated node from cfg.
+func New(cfg Config) *System {
+	if cfg.NumGPUs < 1 {
+		panic("hetsim: NumGPUs must be >= 1")
+	}
+	if cfg.CPUWorkers < 1 {
+		cfg.CPUWorkers = 1
+	}
+	if cfg.GPUWorkers < 1 {
+		cfg.GPUWorkers = 1
+	}
+	s := &System{cfg: cfg}
+	s.cpu = &Device{kind: CPU, id: -1, workers: cfg.CPUWorkers, gflops: cfg.CPUGflops, sys: s}
+	for i := 0; i < cfg.NumGPUs; i++ {
+		s.gpus = append(s.gpus, &Device{kind: GPU, id: i, workers: cfg.GPUWorkers, gflops: cfg.GPUGflops, sys: s})
+	}
+	return s
+}
+
+// CPU returns the host device.
+func (s *System) CPU() *Device { return s.cpu }
+
+// GPUs returns the GPU devices.
+func (s *System) GPUs() []*Device { return s.gpus }
+
+// GPU returns GPU i.
+func (s *System) GPU(i int) *Device { return s.gpus[i] }
+
+// NumGPUs returns the GPU count.
+func (s *System) NumGPUs() int { return len(s.gpus) }
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// SetTransferHook installs (or clears, with nil) the PCIe fault-injection
+// hook.
+func (s *System) SetTransferHook(h TransferHook) {
+	s.mu.Lock()
+	s.hook = h
+	s.mu.Unlock()
+}
+
+// EnableTrace turns on event recording (off by default: the event slice
+// grows with every kernel).
+func (s *System) EnableTrace(on bool) {
+	s.mu.Lock()
+	s.traceEnabled = on
+	if !on {
+		s.events = nil
+	}
+	s.mu.Unlock()
+}
+
+// Events returns a copy of the recorded trace.
+func (s *System) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, len(s.events))
+	copy(out, s.events)
+	return out
+}
+
+func (s *System) trace(op string, d *Device, flops float64) {
+	s.mu.Lock()
+	if s.traceEnabled {
+		s.events = append(s.events, Event{Op: op, Device: d.Name(), Flops: flops})
+	}
+	s.mu.Unlock()
+}
+
+// PCIeSimTime returns accumulated simulated PCIe seconds.
+func (s *System) PCIeSimTime() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pcieSimSecs
+}
+
+// BytesTransferred returns the total bytes moved over PCIe.
+func (s *System) BytesTransferred() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.transferred
+}
+
+// Transfer copies the contents of src into dst over the PCIe fabric. The
+// two buffers must have identical shape and live on different devices (a
+// same-device Transfer is almost always an algorithmic mistake and
+// panics). The transfer hook, if installed, runs on the received payload —
+// exactly the paper's communication-error window: after the sender's
+// memory was read, before any receiver-side verification.
+func (s *System) Transfer(src, dst *Buffer) {
+	if src.dev == dst.dev {
+		panic("hetsim: Transfer within a single device; use device-local copies")
+	}
+	sm, dm := src.unsafeData(), dst.unsafeData()
+	if sm.Rows != dm.Rows || sm.Cols != dm.Cols {
+		panic(fmt.Sprintf("hetsim: Transfer shape mismatch %dx%d -> %dx%d", sm.Rows, sm.Cols, dm.Rows, dm.Cols))
+	}
+	dm.CopyFrom(sm)
+	bytes := 8 * sm.Rows * sm.Cols
+	s.mu.Lock()
+	s.transferred += int64(bytes)
+	if s.cfg.PCIeGBps > 0 {
+		s.pcieSimSecs += s.cfg.PCIeLatencyUS/1e6 + float64(bytes)/(s.cfg.PCIeGBps*1e9)
+	}
+	if s.traceEnabled {
+		s.events = append(s.events, Event{Op: "pcie", Device: src.dev.Name() + "->" + dst.dev.Name(), Bytes: bytes})
+	}
+	hook := s.hook
+	s.mu.Unlock()
+	if hook != nil {
+		hook(src.dev, dst.dev, dm)
+	}
+}
+
+// Broadcast transfers src to every destination buffer. Each leg is an
+// independent PCIe transfer (so a communication fault can hit one receiver
+// and not another, the case §VII.C disambiguates).
+func (s *System) Broadcast(src *Buffer, dsts []*Buffer) {
+	for _, d := range dsts {
+		if d.dev == src.dev {
+			// The source device already holds the panel; a self-copy models
+			// the local staging MAGMA does and costs no PCIe time.
+			d.unsafeData().CopyFrom(src.unsafeData())
+			continue
+		}
+		s.Transfer(src, d)
+	}
+}
+
+// SimMakespan returns a crude simulated makespan: the maximum device busy
+// time plus all PCIe time (transfers on this simulator are serialized).
+func (s *System) SimMakespan() float64 {
+	max := s.cpu.SimTime()
+	for _, g := range s.gpus {
+		if t := g.SimTime(); t > max {
+			max = t
+		}
+	}
+	return max + s.PCIeSimTime()
+}
+
+// DeviceStat is one device's share of the simulated busy time.
+type DeviceStat struct {
+	Name    string
+	SimSecs float64
+	Share   float64 // fraction of total device busy time
+}
+
+// Utilization summarizes the simulated busy time per device (plus a PCIe
+// pseudo-device), for load-balance reports.
+func (s *System) Utilization() []DeviceStat {
+	stats := []DeviceStat{{Name: "CPU", SimSecs: s.cpu.SimTime()}}
+	for _, g := range s.gpus {
+		stats = append(stats, DeviceStat{Name: g.Name(), SimSecs: g.SimTime()})
+	}
+	stats = append(stats, DeviceStat{Name: "PCIe", SimSecs: s.PCIeSimTime()})
+	total := 0.0
+	for _, st := range stats {
+		total += st.SimSecs
+	}
+	if total > 0 {
+		for i := range stats {
+			stats[i].Share = stats[i].SimSecs / total
+		}
+	}
+	return stats
+}

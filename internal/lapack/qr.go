@@ -1,0 +1,306 @@
+package lapack
+
+import (
+	"math"
+
+	"ftla/internal/blas"
+	"ftla/internal/matrix"
+)
+
+// Geqr2 computes an unblocked Householder QR factorization of the m-by-n
+// panel a (m >= n expected for panel use, but m < n is handled) in place.
+// On return the upper triangle holds R, the strict lower trapezoid holds
+// the Householder vectors (with implicit unit leading element), and tau
+// (length min(m, n)) holds the reflector coefficients:
+// H_j = I − tau_j·v_j·v_jᵀ and A = H_0·H_1···H_{k−1}·R.
+func Geqr2(a *matrix.Dense, tau []float64) {
+	m, n := a.Rows, a.Cols
+	mn := m
+	if n < mn {
+		mn = n
+	}
+	if len(tau) != mn {
+		panic("lapack: Geqr2 tau has wrong length")
+	}
+	v := make([]float64, m)
+	w := make([]float64, n)
+	for j := 0; j < mn; j++ {
+		tau[j] = HouseGen(a, j, v)
+		if tau[j] != 0 && j+1 < n {
+			HouseApply(a, j, v[:m-j], tau[j], w[:n-j-1])
+		}
+	}
+}
+
+// HouseGen builds the Householder reflector for column j from rows j..m of
+// a. It overwrites a(j,j) with beta (the R diagonal entry), stores the tail
+// of v below the diagonal, fills v[0:m-j] with the full reflector vector
+// (unit leading element), and returns tau. It is exported so the
+// checksum-maintaining panel factorization in internal/core (the paper's
+// Algorithm 1) can reuse the exact numerics of Geqr2.
+func HouseGen(a *matrix.Dense, j int, v []float64) float64 {
+	m := a.Rows
+	alpha := a.At(j, j)
+	normx := 0.0
+	{
+		scale, ssq := 0.0, 1.0
+		for i := j + 1; i < m; i++ {
+			x := a.At(i, j)
+			if x == 0 {
+				continue
+			}
+			ax := math.Abs(x)
+			if scale < ax {
+				ssq = 1 + ssq*(scale/ax)*(scale/ax)
+				scale = ax
+			} else {
+				ssq += (ax / scale) * (ax / scale)
+			}
+		}
+		normx = scale * math.Sqrt(ssq)
+	}
+	if normx == 0 {
+		// Column already collapsed; H = I.
+		v[0] = 1
+		for i := 1; i < m-j; i++ {
+			v[i] = 0
+		}
+		return 0
+	}
+	beta := -math.Copysign(math.Hypot(alpha, normx), alpha)
+	tau := (beta - alpha) / beta
+	scale := 1 / (alpha - beta)
+	v[0] = 1
+	for i := j + 1; i < m; i++ {
+		val := a.At(i, j) * scale
+		v[i-j] = val
+		a.Set(i, j, val)
+	}
+	a.Set(j, j, beta)
+	return tau
+}
+
+// HouseApply applies H = I − tau·v·vᵀ to columns j+1..n of a, rows j..m.
+// v has length m−j with v[0] == 1; w is scratch of length n−j−1 that on
+// return holds u = vᵀ·A[j:m, j+1:n] — the quantity the checksum-maintaining
+// panel factorization needs to update its checksum rows.
+func HouseApply(a *matrix.Dense, j int, v []float64, tau float64, w []float64) {
+	m, n := a.Rows, a.Cols
+	// w = vᵀ · A[j:m, j+1:n]
+	for c := range w {
+		w[c] = 0
+	}
+	for i := j; i < m; i++ {
+		vi := v[i-j]
+		if vi == 0 {
+			continue
+		}
+		row := a.Row(i)
+		for c := j + 1; c < n; c++ {
+			w[c-j-1] += vi * row[c]
+		}
+	}
+	// A −= tau · v · wᵀ
+	for i := j; i < m; i++ {
+		tv := tau * v[i-j]
+		if tv == 0 {
+			continue
+		}
+		row := a.Row(i)
+		for c := j + 1; c < n; c++ {
+			row[c] -= tv * w[c-j-1]
+		}
+	}
+}
+
+// Larft forms the k-by-k upper triangular factor T of the block reflector
+// Q = I − V·T·Vᵀ from the forward, column-wise reflectors stored in the
+// m-by-k unit lower trapezoid v with coefficients tau.
+func Larft(v *matrix.Dense, tau []float64) *matrix.Dense {
+	m, k := v.Rows, v.Cols
+	t := matrix.NewDense(k, k)
+	for j := 0; j < k; j++ {
+		t.Set(j, j, tau[j])
+		if j == 0 || tau[j] == 0 {
+			continue
+		}
+		// t[0:j, j] = −tau_j · T[0:j,0:j] · (V[:,0:j]ᵀ · v_j)
+		w := make([]float64, j)
+		for i := j; i < m; i++ {
+			vij := vAt(v, i, j)
+			if vij == 0 {
+				continue
+			}
+			row := v.Row(i)
+			for c := 0; c < j; c++ {
+				w[c] += vAt2(row, i, c) * vij
+			}
+		}
+		for c := 0; c < j; c++ {
+			w[c] *= -tau[j]
+		}
+		// w = T[0:j,0:j] · w (T upper triangular)
+		for r := 0; r < j; r++ {
+			s := 0.0
+			for c := r; c < j; c++ {
+				s += t.At(r, c) * w[c]
+			}
+			t.Set(r, j, s)
+		}
+	}
+	return t
+}
+
+// vAt reads the implicit unit-lower-trapezoid element V(i, j): 1 on the
+// diagonal, 0 above, stored value below.
+func vAt(v *matrix.Dense, i, j int) float64 {
+	switch {
+	case i == j:
+		return 1
+	case i < j:
+		return 0
+	default:
+		return v.At(i, j)
+	}
+}
+
+// vAt2 is vAt for a pre-fetched row slice.
+func vAt2(row []float64, i, c int) float64 {
+	switch {
+	case i == c:
+		return 1
+	case i < c:
+		return 0
+	default:
+		return row[c]
+	}
+}
+
+// materializeV expands the implicit unit lower trapezoid into an explicit
+// m-by-k matrix.
+func materializeV(v *matrix.Dense) *matrix.Dense {
+	m, k := v.Rows, v.Cols
+	out := matrix.NewDense(m, k)
+	for i := 0; i < m; i++ {
+		for j := 0; j < k; j++ {
+			out.Set(i, j, vAt(v, i, j))
+		}
+	}
+	return out
+}
+
+// Larfb applies the block reflector defined by (v, t) to c from the left:
+//
+//	trans == false: C = Q·C  = C − V·T ·Vᵀ·C
+//	trans == true:  C = Qᵀ·C = C − V·Tᵀ·Vᵀ·C
+//
+// v is the m-by-k unit lower trapezoid of reflectors, t the k-by-k upper
+// triangular factor from Larft.
+func Larfb(trans bool, v, t, c *matrix.Dense) {
+	LarfbP(1, trans, v, t, c)
+}
+
+// LarfbP is Larfb with the two GEMMs parallelized over `workers`
+// goroutines.
+func LarfbP(workers int, trans bool, v, t, c *matrix.Dense) {
+	vd := materializeV(v)
+	k := vd.Cols
+	// W = Vᵀ·C (k×n)
+	w := matrix.NewDense(k, c.Cols)
+	blas.GemmP(workers, true, false, 1, vd, c, 0, w)
+	// W = op(T)·W
+	tw := matrix.NewDense(k, c.Cols)
+	blas.Gemm(trans, false, 1, t, w, 0, tw)
+	// C −= V·W
+	blas.GemmP(workers, false, false, -1, vd, tw, 1, c)
+}
+
+// Geqrf computes a blocked QR factorization with block size nb, the
+// unprotected single-device reference implementation. tau must have length
+// min(m, n).
+func Geqrf(a *matrix.Dense, nb int, tau []float64) {
+	m, n := a.Rows, a.Cols
+	mn := m
+	if n < mn {
+		mn = n
+	}
+	if len(tau) != mn {
+		panic("lapack: Geqrf tau has wrong length")
+	}
+	if nb <= 0 {
+		nb = 64
+	}
+	for j := 0; j < mn; j += nb {
+		jb := nb
+		if j+jb > mn {
+			jb = mn - j
+		}
+		panel := a.View(j, j, m-j, jb)
+		Geqr2(panel, tau[j:j+jb])
+		if j+jb < n {
+			t := Larft(panel, tau[j:j+jb])
+			trail := a.View(j, j+jb, m-j, n-j-jb)
+			Larfb(true, panel, t, trail)
+		}
+	}
+}
+
+// BuildQ materializes the explicit m-by-m orthogonal factor Q from the
+// reflectors produced by Geqr2/Geqrf stored in a (m-by-n) with
+// coefficients tau. Reflectors are applied in reverse to the identity:
+// Q = H_0·H_1···H_{k−1}.
+func BuildQ(a *matrix.Dense, tau []float64) *matrix.Dense {
+	m := a.Rows
+	q := matrix.NewDense(m, m)
+	q.Eye()
+	for j := len(tau) - 1; j >= 0; j-- {
+		if tau[j] == 0 {
+			continue
+		}
+		v := make([]float64, m-j)
+		v[0] = 1
+		for i := j + 1; i < m; i++ {
+			v[i-j] = a.At(i, j)
+		}
+		// Q[j:m, :] −= tau · v · (vᵀ · Q[j:m, :])
+		w := make([]float64, m)
+		for i := j; i < m; i++ {
+			vi := v[i-j]
+			if vi == 0 {
+				continue
+			}
+			row := q.Row(i)
+			for c := 0; c < m; c++ {
+				w[c] += vi * row[c]
+			}
+		}
+		for i := j; i < m; i++ {
+			tv := tau[j] * v[i-j]
+			if tv == 0 {
+				continue
+			}
+			row := q.Row(i)
+			for c := 0; c < m; c++ {
+				row[c] -= tv * w[c]
+			}
+		}
+	}
+	return q
+}
+
+// ExtractR copies the upper-triangular (trapezoidal) factor R out of the
+// factored matrix a into a fresh m-by-n matrix.
+func ExtractR(a *matrix.Dense) *matrix.Dense {
+	r := matrix.NewDense(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := i; j < a.Cols; j++ {
+			r.Set(i, j, a.At(i, j))
+		}
+	}
+	return r
+}
+
+// MaterializeV exposes the explicit m-by-k reflector matrix (unit lower
+// trapezoid) for callers that need V as a dense operand, such as the
+// checksum-maintained trailing update in internal/core.
+func MaterializeV(v *matrix.Dense) *matrix.Dense { return materializeV(v) }

@@ -1,0 +1,295 @@
+// Package matrix provides dense row-major matrices and the supporting
+// utilities (views, norms, generators, residual checks) used by the BLAS,
+// LAPACK, checksum, and fault-tolerance layers of this repository.
+//
+// A Dense value is a rectangular view onto a flat []float64 backing slice
+// with an explicit row stride, so inexpensive sub-matrix views (panels,
+// trailing matrices, matrix blocks) can alias one allocation. All
+// higher-level algorithms in this module operate on such views.
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a dense matrix of float64 values in row-major order.
+//
+// Element (i, j) is stored at Data[i*Stride+j]. Rows <= 0 or Cols <= 0
+// denote an empty matrix; operations on empty matrices are no-ops.
+type Dense struct {
+	Rows   int
+	Cols   int
+	Stride int
+	Data   []float64
+}
+
+// NewDense allocates a zeroed r-by-c matrix with a tight stride.
+func NewDense(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("matrix: negative dimension %dx%d", r, c))
+	}
+	return &Dense{Rows: r, Cols: c, Stride: c, Data: make([]float64, r*c)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows. It copies the
+// input.
+func FromRows(rows [][]float64) *Dense {
+	if len(rows) == 0 {
+		return NewDense(0, 0)
+	}
+	r, c := len(rows), len(rows[0])
+	m := NewDense(r, c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic("matrix: ragged rows")
+		}
+		copy(m.Row(i), row)
+	}
+	return m
+}
+
+// At returns element (i, j). It bounds-checks in terms of the view.
+func (m *Dense) At(i, j int) float64 {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("matrix: At(%d,%d) out of range %dx%d", i, j, m.Rows, m.Cols))
+	}
+	return m.Data[i*m.Stride+j]
+}
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("matrix: Set(%d,%d) out of range %dx%d", i, j, m.Rows, m.Cols))
+	}
+	m.Data[i*m.Stride+j] = v
+}
+
+// Row returns row i as a slice aliasing the backing store.
+func (m *Dense) Row(i int) []float64 {
+	if i < 0 || i >= m.Rows {
+		panic(fmt.Sprintf("matrix: Row(%d) out of range %d", i, m.Rows))
+	}
+	if m.Cols == 0 {
+		return nil
+	}
+	return m.Data[i*m.Stride : i*m.Stride+m.Cols]
+}
+
+// View returns an r-by-c sub-matrix view rooted at (i, j) that aliases m's
+// backing store. Mutations through the view are visible in m.
+func (m *Dense) View(i, j, r, c int) *Dense {
+	if r == 0 || c == 0 {
+		return &Dense{Rows: r, Cols: c, Stride: m.Stride}
+	}
+	if i < 0 || j < 0 || r < 0 || c < 0 || i+r > m.Rows || j+c > m.Cols {
+		panic(fmt.Sprintf("matrix: View(%d,%d,%d,%d) out of range %dx%d", i, j, r, c, m.Rows, m.Cols))
+	}
+	off := i*m.Stride + j
+	return &Dense{
+		Rows:   r,
+		Cols:   c,
+		Stride: m.Stride,
+		Data:   m.Data[off : off+(r-1)*m.Stride+c],
+	}
+}
+
+// Clone returns a deep copy of m with a tight stride.
+func (m *Dense) Clone() *Dense {
+	out := NewDense(m.Rows, m.Cols)
+	out.CopyFrom(m)
+	return out
+}
+
+// CopyFrom copies src into m. Dimensions must match exactly.
+func (m *Dense) CopyFrom(src *Dense) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic(fmt.Sprintf("matrix: copy dimension mismatch %dx%d <- %dx%d", m.Rows, m.Cols, src.Rows, src.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		copy(m.Row(i), src.Row(i))
+	}
+}
+
+// Zero sets every element of m (through the view) to zero.
+func (m *Dense) Zero() {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = 0
+		}
+	}
+}
+
+// Fill sets every element of m to v.
+func (m *Dense) Fill(v float64) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = v
+		}
+	}
+}
+
+// Eye overwrites m with the identity pattern (ones on the main diagonal).
+func (m *Dense) Eye() {
+	m.Zero()
+	n := m.Rows
+	if m.Cols < n {
+		n = m.Cols
+	}
+	for i := 0; i < n; i++ {
+		m.Data[i*m.Stride+i] = 1
+	}
+}
+
+// T returns a newly allocated transpose of m.
+func (m *Dense) T() *Dense {
+	out := NewDense(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j*out.Stride+i] = v
+		}
+	}
+	return out
+}
+
+// Equal reports whether m and b have identical shape and elements.
+func (m *Dense) Equal(b *Dense) bool {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		return false
+	}
+	for i := 0; i < m.Rows; i++ {
+		ra, rb := m.Row(i), b.Row(i)
+		for j := range ra {
+			if ra[j] != rb[j] && !(math.IsNaN(ra[j]) && math.IsNaN(rb[j])) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// EqualWithin reports whether m and b agree element-wise within tol.
+func (m *Dense) EqualWithin(b *Dense, tol float64) bool {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		return false
+	}
+	for i := 0; i < m.Rows; i++ {
+		ra, rb := m.Row(i), b.Row(i)
+		for j := range ra {
+			if math.Abs(ra[j]-rb[j]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest absolute element-wise difference between m
+// and b, along with its location.
+func (m *Dense) MaxAbsDiff(b *Dense) (d float64, row, col int) {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		panic("matrix: MaxAbsDiff dimension mismatch")
+	}
+	row, col = -1, -1
+	for i := 0; i < m.Rows; i++ {
+		ra, rb := m.Row(i), b.Row(i)
+		for j := range ra {
+			if diff := math.Abs(ra[j] - rb[j]); diff > d {
+				d, row, col = diff, i, j
+			}
+		}
+	}
+	return d, row, col
+}
+
+// String renders small matrices for debugging; large matrices are
+// abbreviated to their shape.
+func (m *Dense) String() string {
+	if m.Rows*m.Cols > 400 {
+		return fmt.Sprintf("Dense(%dx%d)", m.Rows, m.Cols)
+	}
+	s := ""
+	for i := 0; i < m.Rows; i++ {
+		s += "["
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%10.4g", m.At(i, j))
+		}
+		s += "]\n"
+	}
+	return s
+}
+
+// Scale multiplies every element of m by alpha.
+func (m *Dense) Scale(alpha float64) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] *= alpha
+		}
+	}
+}
+
+// Add accumulates b into m element-wise (m += b).
+func (m *Dense) Add(b *Dense) {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		panic("matrix: Add dimension mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		ra, rb := m.Row(i), b.Row(i)
+		for j := range ra {
+			ra[j] += rb[j]
+		}
+	}
+}
+
+// Sub subtracts b from m element-wise (m -= b).
+func (m *Dense) Sub(b *Dense) {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		panic("matrix: Sub dimension mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		ra, rb := m.Row(i), b.Row(i)
+		for j := range ra {
+			ra[j] -= rb[j]
+		}
+	}
+}
+
+// SwapRows exchanges rows i and j in place.
+func (m *Dense) SwapRows(i, j int) {
+	if i == j {
+		return
+	}
+	ri, rj := m.Row(i), m.Row(j)
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+// Col returns a copy of column j.
+func (m *Dense) Col(j int) []float64 {
+	if j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("matrix: Col(%d) out of range %d", j, m.Cols))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = m.Data[i*m.Stride+j]
+	}
+	return out
+}
+
+// SetCol overwrites column j with v.
+func (m *Dense) SetCol(j int, v []float64) {
+	if len(v) != m.Rows {
+		panic("matrix: SetCol length mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		m.Data[i*m.Stride+j] = v[i]
+	}
+}

@@ -1,0 +1,417 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDenseZeroed(t *testing.T) {
+	m := NewDense(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || m.Stride != 4 {
+		t.Fatalf("bad shape: %+v", m)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("element (%d,%d) not zero", i, j)
+			}
+		}
+	}
+}
+
+func TestNewDenseNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative dimension")
+		}
+	}()
+	NewDense(-1, 2)
+}
+
+func TestSetAtRoundTrip(t *testing.T) {
+	m := NewDense(4, 5)
+	m.Set(2, 3, 7.5)
+	if got := m.At(2, 3); got != 7.5 {
+		t.Fatalf("At(2,3) = %v, want 7.5", got)
+	}
+	if m.Data[2*5+3] != 7.5 {
+		t.Fatal("row-major layout violated")
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	m := NewDense(2, 2)
+	for _, c := range [][2]int{{-1, 0}, {0, -1}, {2, 0}, {0, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("At(%d,%d) did not panic", c[0], c[1])
+				}
+			}()
+			m.At(c[0], c[1])
+		}()
+	}
+}
+
+func TestViewAliasesParent(t *testing.T) {
+	m := NewDense(6, 6)
+	v := m.View(2, 3, 3, 2)
+	v.Set(0, 0, 42)
+	if m.At(2, 3) != 42 {
+		t.Fatal("view write not visible in parent")
+	}
+	m.Set(4, 4, 9)
+	if v.At(2, 1) != 9 {
+		t.Fatal("parent write not visible in view")
+	}
+	if v.Stride != m.Stride {
+		t.Fatal("view stride must match parent stride")
+	}
+}
+
+func TestViewOfView(t *testing.T) {
+	m := NewDense(8, 8)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			m.Set(i, j, float64(10*i+j))
+		}
+	}
+	v := m.View(2, 2, 6, 6).View(1, 1, 2, 2)
+	if v.At(0, 0) != 33 || v.At(1, 1) != 44 {
+		t.Fatalf("nested view wrong: %v %v", v.At(0, 0), v.At(1, 1))
+	}
+}
+
+func TestEmptyView(t *testing.T) {
+	m := NewDense(4, 4)
+	v := m.View(4, 4, 0, 0)
+	if v.Rows != 0 || v.Cols != 0 {
+		t.Fatal("empty view should have zero dims")
+	}
+	v.Zero() // must not panic
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := NewDense(3, 3)
+	m.Set(1, 1, 5)
+	c := m.Clone()
+	c.Set(1, 1, 6)
+	if m.At(1, 1) != 5 {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+func TestCloneOfViewTightStride(t *testing.T) {
+	m := NewDense(5, 5)
+	m.Set(1, 2, 3)
+	c := m.View(1, 1, 3, 3).Clone()
+	if c.Stride != 3 {
+		t.Fatalf("clone stride = %d, want 3", c.Stride)
+	}
+	if c.At(0, 1) != 3 {
+		t.Fatal("clone content wrong")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	mt := m.T()
+	if mt.Rows != 3 || mt.Cols != 2 {
+		t.Fatalf("transpose shape %dx%d", mt.Rows, mt.Cols)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != mt.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		m := Random(1+int(seed%7), 1+int(seed%5), rng)
+		return m.T().T().Equal(m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEye(t *testing.T) {
+	m := NewDense(3, 5)
+	m.Fill(7)
+	m.Eye()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 5; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if m.At(i, j) != want {
+				t.Fatalf("Eye wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{10, 20}, {30, 40}})
+	a.Add(b)
+	if a.At(1, 1) != 44 {
+		t.Fatalf("Add wrong: %v", a)
+	}
+	a.Sub(b)
+	if a.At(0, 0) != 1 {
+		t.Fatalf("Sub wrong: %v", a)
+	}
+	a.Scale(3)
+	if a.At(1, 0) != 9 {
+		t.Fatalf("Scale wrong: %v", a)
+	}
+}
+
+func TestSwapRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	m.SwapRows(0, 2)
+	if m.At(0, 0) != 5 || m.At(2, 1) != 2 {
+		t.Fatalf("SwapRows wrong: %v", m)
+	}
+	m.SwapRows(1, 1) // no-op must be safe
+	if m.At(1, 0) != 3 {
+		t.Fatal("self-swap changed data")
+	}
+}
+
+func TestColSetCol(t *testing.T) {
+	m := NewDense(3, 3)
+	m.SetCol(1, []float64{7, 8, 9})
+	got := m.Col(1)
+	if got[0] != 7 || got[1] != 8 || got[2] != 9 {
+		t.Fatalf("Col round trip wrong: %v", got)
+	}
+	// Col returns a copy.
+	got[0] = 99
+	if m.At(0, 1) != 7 {
+		t.Fatal("Col must copy")
+	}
+}
+
+func TestEqualWithinAndMaxAbsDiff(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := a.Clone()
+	b.Set(1, 0, 3.25)
+	if a.EqualWithin(b, 0.1) {
+		t.Fatal("EqualWithin too loose")
+	}
+	if !a.EqualWithin(b, 0.3) {
+		t.Fatal("EqualWithin too strict")
+	}
+	d, i, j := a.MaxAbsDiff(b)
+	if d != 0.25 || i != 1 || j != 0 {
+		t.Fatalf("MaxAbsDiff = %v at (%d,%d)", d, i, j)
+	}
+}
+
+func TestEqualHandlesNaN(t *testing.T) {
+	a := NewDense(1, 1)
+	b := NewDense(1, 1)
+	a.Set(0, 0, math.NaN())
+	b.Set(0, 0, math.NaN())
+	if !a.Equal(b) {
+		t.Fatal("NaN == NaN under Equal by design")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestNorms(t *testing.T) {
+	m := FromRows([][]float64{{1, -2}, {-3, 4}})
+	if got := Norm1(m); got != 6 {
+		t.Fatalf("Norm1 = %v, want 6", got)
+	}
+	if got := NormInf(m); got != 7 {
+		t.Fatalf("NormInf = %v, want 7", got)
+	}
+	if got := NormMax(m); got != 4 {
+		t.Fatalf("NormMax = %v, want 4", got)
+	}
+	want := math.Sqrt(1 + 4 + 9 + 16)
+	if got := NormFro(m); math.Abs(got-want) > 1e-14 {
+		t.Fatalf("NormFro = %v, want %v", got, want)
+	}
+}
+
+func TestNormFroOverflowSafe(t *testing.T) {
+	m := NewDense(1, 2)
+	m.Set(0, 0, 1e300)
+	m.Set(0, 1, 1e300)
+	got := NormFro(m)
+	want := 1e300 * math.Sqrt2
+	if math.IsInf(got, 0) || math.Abs(got-want)/want > 1e-14 {
+		t.Fatalf("NormFro overflowed: %v", got)
+	}
+}
+
+func TestVecNorm2(t *testing.T) {
+	if got := VecNorm2([]float64{3, 4}); math.Abs(got-5) > 1e-15 {
+		t.Fatalf("VecNorm2 = %v, want 5", got)
+	}
+	if got := VecNorm2(nil); got != 0 {
+		t.Fatalf("VecNorm2(nil) = %v", got)
+	}
+}
+
+func TestGammaMonotone(t *testing.T) {
+	if Gamma(10) <= 0 || Gamma(100) <= Gamma(10) {
+		t.Fatal("Gamma must be positive and increasing")
+	}
+	if Gamma(1000) > 1e-10 {
+		t.Fatalf("Gamma(1000) unexpectedly large: %v", Gamma(1000))
+	}
+}
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("RNG not deterministic")
+		}
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	rng := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := rng.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	rng := NewRNG(11)
+	n := 50000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := rng.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumsq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.02 || math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal moments off: mean=%v var=%v", mean, variance)
+	}
+}
+
+func TestRandomSPDIsSymmetric(t *testing.T) {
+	rng := NewRNG(3)
+	m := RandomSPD(20, rng)
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 20; j++ {
+			if m.At(i, j) != m.At(j, i) {
+				t.Fatalf("not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Diagonal dominance-ish: diagonal should be positive and large.
+	for i := 0; i < 20; i++ {
+		if m.At(i, i) <= 0 {
+			t.Fatal("SPD diagonal not positive")
+		}
+	}
+}
+
+func TestRandomDiagDominant(t *testing.T) {
+	rng := NewRNG(5)
+	m := RandomDiagDominant(30, rng)
+	for i := 0; i < 30; i++ {
+		row := m.Row(i)
+		s := 0.0
+		for j, v := range row {
+			if j != i {
+				s += math.Abs(v)
+			}
+		}
+		if math.Abs(row[i]) <= s {
+			t.Fatalf("row %d not diagonally dominant", i)
+		}
+	}
+}
+
+// Property: Norm1(Aᵀ) == NormInf(A).
+func TestNormDualityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		m := Random(2+int(seed%9), 2+int(seed%6), rng)
+		return math.Abs(Norm1(m.T())-NormInf(m)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Frobenius norm is invariant under transpose.
+func TestFroTransposeInvariant(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		m := Random(1+int(seed%8), 1+int(seed%8), rng)
+		return math.Abs(NormFro(m)-NormFro(m.T())) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResidualIdentityFactorizations(t *testing.T) {
+	// A = I: L = I is an exact Cholesky factor.
+	n := 6
+	a := NewDense(n, n)
+	a.Eye()
+	l := NewDense(n, n)
+	l.Eye()
+	if r := CholeskyResidual(a, l); r > 1e-15 {
+		t.Fatalf("identity Cholesky residual %v", r)
+	}
+	// LU of I with no pivoting is I.
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	lu := NewDense(n, n)
+	lu.Eye()
+	if r := LUResidual(a, lu, piv); r > 1e-15 {
+		t.Fatalf("identity LU residual %v", r)
+	}
+	// QR of I: Q=I, R=I.
+	if r := QRResidual(a, l, lu); r > 1e-15 {
+		t.Fatalf("identity QR residual %v", r)
+	}
+	if r := OrthoResidual(l); r > 1e-15 {
+		t.Fatalf("identity ortho residual %v", r)
+	}
+}
+
+func TestResidualDetectsCorruption(t *testing.T) {
+	n := 8
+	a := NewDense(n, n)
+	a.Eye()
+	l := NewDense(n, n)
+	l.Eye()
+	l.Set(3, 3, 2) // wrong factor
+	if r := CholeskyResidual(a, l); r < 0.1 {
+		t.Fatalf("corrupted factor residual too small: %v", r)
+	}
+}

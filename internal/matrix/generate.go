@@ -1,0 +1,99 @@
+package matrix
+
+import "math"
+
+// RNG is a small, deterministic, allocation-free pseudo-random generator
+// (SplitMix64 core) so experiments are reproducible without math/rand's
+// global state. The zero value is NOT usable; construct with NewRNG.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed + 0x9e3779b97f4a7c15}
+}
+
+// Uint64 advances the generator and returns 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard normal value via Box-Muller. It burns two
+// uniforms per call for simplicity.
+func (r *RNG) NormFloat64() float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Intn returns a uniform value in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("matrix: Intn on non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Random fills and returns an r-by-c matrix with uniform entries in
+// [-1, 1).
+func Random(r, c int, rng *RNG) *Dense {
+	m := NewDense(r, c)
+	for i := range m.Data {
+		m.Data[i] = 2*rng.Float64() - 1
+	}
+	return m
+}
+
+// RandomSPD returns an n-by-n symmetric positive definite matrix built as
+// B*Bᵀ + n*I, which is well conditioned enough for Cholesky on every size
+// used in the experiments.
+func RandomSPD(n int, rng *RNG) *Dense {
+	b := Random(n, n, rng)
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := 0.0
+			ri, rj := b.Row(i), b.Row(j)
+			for k := 0; k < n; k++ {
+				s += ri[k] * rj[k]
+			}
+			if i == j {
+				s += float64(n)
+			}
+			m.Set(i, j, s)
+			m.Set(j, i, s)
+		}
+	}
+	return m
+}
+
+// RandomDiagDominant returns an n-by-n strictly diagonally dominant matrix,
+// safe for LU factorization without pathological pivot growth (pivoting is
+// still exercised because off-diagonal magnitudes vary).
+func RandomDiagDominant(n int, rng *RNG) *Dense {
+	m := Random(n, n, rng)
+	for i := 0; i < n; i++ {
+		row := m.Row(i)
+		s := 0.0
+		for j, v := range row {
+			if j != i {
+				s += math.Abs(v)
+			}
+		}
+		row[i] = s + 1 + rng.Float64()
+	}
+	return m
+}

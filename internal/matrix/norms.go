@@ -1,0 +1,102 @@
+package matrix
+
+import "math"
+
+// Norm1 returns the 1-norm of m (maximum absolute column sum).
+func Norm1(m *Dense) float64 {
+	if m.Rows == 0 || m.Cols == 0 {
+		return 0
+	}
+	sums := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			sums[j] += math.Abs(v)
+		}
+	}
+	max := 0.0
+	for _, s := range sums {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// NormInf returns the infinity norm of m (maximum absolute row sum).
+func NormInf(m *Dense) float64 {
+	max := 0.0
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		s := 0.0
+		for _, v := range row {
+			s += math.Abs(v)
+		}
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// NormFro returns the Frobenius norm of m, with scaling to avoid overflow.
+func NormFro(m *Dense) float64 {
+	scale, ssq := 0.0, 1.0
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for _, v := range row {
+			if v == 0 {
+				continue
+			}
+			a := math.Abs(v)
+			if scale < a {
+				ssq = 1 + ssq*(scale/a)*(scale/a)
+				scale = a
+			} else {
+				ssq += (a / scale) * (a / scale)
+			}
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// NormMax returns the largest absolute element of m.
+func NormMax(m *Dense) float64 {
+	max := 0.0
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for _, v := range row {
+			if a := math.Abs(v); a > max {
+				max = a
+			}
+		}
+	}
+	return max
+}
+
+// VecNorm2 returns the Euclidean norm of v with overflow-safe scaling.
+func VecNorm2(v []float64) float64 {
+	scale, ssq := 0.0, 1.0
+	for _, x := range v {
+		if x == 0 {
+			continue
+		}
+		a := math.Abs(x)
+		if scale < a {
+			ssq = 1 + ssq*(scale/a)*(scale/a)
+			scale = a
+		} else {
+			ssq += (a / scale) * (a / scale)
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// Gamma returns the standard rounding-error growth factor
+// gamma_n = n*u / (1 - n*u) used in the checksum round-off bounds, where u
+// is the IEEE-754 double-precision unit round-off.
+func Gamma(n int) float64 {
+	const u = 0x1p-53
+	nu := float64(n) * u
+	return nu / (1 - nu)
+}

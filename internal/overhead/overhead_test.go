@@ -1,0 +1,89 @@
+package overhead
+
+import (
+	"testing"
+
+	"ftla/internal/checksum"
+	"ftla/internal/core"
+	"ftla/internal/hetsim"
+	"ftla/internal/matrix"
+)
+
+func TestStructure(t *testing.T) {
+	for _, d := range []Decomp{Cholesky, LU, QR} {
+		b := Analytic(d, 1024, 64, 0)
+		if b.Encode <= 0 || b.Update <= 0 || b.Verify <= 0 {
+			t.Fatalf("%v: non-positive component %+v", d, b)
+		}
+		// Encoding and verification vanish as 1/n...
+		b2 := Analytic(d, 2048, 64, 0)
+		if b2.Encode >= b.Encode || b2.Verify >= b.Verify {
+			t.Errorf("%v: encode/verify must shrink with n: %+v vs %+v", d, b, b2)
+		}
+		// ...while updating is n-independent and shrinks with NB.
+		if b2.Update != b.Update {
+			t.Errorf("%v: update term must not depend on n", d)
+		}
+		b3 := Analytic(d, 1024, 128, 0)
+		if b3.Update >= b.Update {
+			t.Errorf("%v: update term must shrink with NB", d)
+		}
+	}
+}
+
+func TestErrorsIncreaseVerification(t *testing.T) {
+	if Analytic(LU, 1024, 64, 3).Verify <= Analytic(LU, 1024, 64, 0).Verify {
+		t.Fatal("K errors must add verification cost")
+	}
+}
+
+func TestQRCheapestRelative(t *testing.T) {
+	// QR's O(n³) constant is largest, so its relative protection overhead
+	// is smallest (the §IX and Fig. 15 observation).
+	ch := Analytic(Cholesky, 2048, 64, 0).Total()
+	lu := Analytic(LU, 2048, 64, 0).Total()
+	qr := Analytic(QR, 2048, 64, 0).Total()
+	if qr >= lu || qr >= ch {
+		t.Fatalf("QR %.4f should be cheapest (chol %.4f, lu %.4f)", qr, ch, lu)
+	}
+}
+
+func TestMemorySpace(t *testing.T) {
+	if MemorySpace(64) != 4.0/64 {
+		t.Fatalf("memory overhead = %v", MemorySpace(64))
+	}
+}
+
+// TestAnalyticMatchesMeasured cross-validates the model against the real
+// engine's deterministic flop counts: the prediction must land within a
+// factor of two of the measured relative overhead (the model keeps only
+// leading-order terms).
+func TestAnalyticMatchesMeasured(t *testing.T) {
+	const n, nb, gpus = 512, 64, 2
+	measure := func(opts core.Options) float64 {
+		sys := hetsim.New(hetsim.DefaultConfig(gpus))
+		a := matrix.RandomDiagDominant(n, matrix.NewRNG(1))
+		_, _, res, err := core.LU(sys, a, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.Flops)
+	}
+	base := measure(core.Options{NB: nb, Mode: core.NoChecksum, Scheme: core.NoCheck})
+	prot := measure(core.Options{NB: nb, Mode: core.Full, Scheme: core.NewScheme, Kernel: checksum.OptKernel})
+	measured := (prot - base) / base
+	predicted := Analytic(LU, n, nb, 0).Total()
+	if measured <= 0 {
+		t.Fatalf("measured overhead %v not positive", measured)
+	}
+	ratio := predicted / measured
+	if ratio < 0.5 || ratio > 2 {
+		t.Fatalf("model off by more than 2x: predicted %.4f, measured %.4f", predicted, measured)
+	}
+}
+
+func TestStringer(t *testing.T) {
+	if Cholesky.String() == "" || LU.String() == "" || QR.String() == "" {
+		t.Fatal("empty decomp names")
+	}
+}

@@ -1,0 +1,158 @@
+package probmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOutcomesSumToOne(t *testing.T) {
+	m := PaperModel()
+	for _, a := range AllApproaches() {
+		for _, op := range AllOps() {
+			probs := m.Outcomes(a, op)
+			sum := 0.0
+			for _, p := range probs.P {
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-12 {
+				t.Errorf("%v/%v outcome probabilities sum to %v", a, op, sum)
+			}
+			for o, p := range probs.P {
+				if p < 0 || p > 1 {
+					t.Errorf("%v/%v P[%v] = %v out of range", a, op, Outcome(o), p)
+				}
+			}
+		}
+	}
+}
+
+func TestFaultFreeDominates(t *testing.T) {
+	m := PaperModel()
+	for _, op := range AllOps() {
+		c := m.Cases(op)
+		if c.FaultFreeProb < 0.5 {
+			t.Errorf("%v fault-free probability %v implausibly low for the paper's rates", op, c.FaultFreeProb)
+		}
+	}
+}
+
+func TestNewSchemeNeverWorseCoverage(t *testing.T) {
+	// The paper's claim: full checksum + new scheme gives the widest
+	// coverage — its complete-restart probability is minimal for every op.
+	m := PaperModel()
+	for _, op := range AllOps() {
+		pNew := m.Outcomes(FullNew, op).P[CompleteRestart]
+		for _, a := range []Approach{SingleSidePrior, SingleSidePost, FullPost} {
+			if pOther := m.Outcomes(a, op).P[CompleteRestart]; pNew > pOther+1e-15 {
+				t.Errorf("%v: new scheme complete-restart %v exceeds %v's %v", op, pNew, a, pOther)
+			}
+		}
+	}
+}
+
+func TestNewSchemeLowestExpectedRecovery(t *testing.T) {
+	m := PaperModel()
+	rc := DefaultCosts()
+	for _, op := range AllOps() {
+		costNew := m.ExpectedRecovery(FullNew, op, rc)
+		for _, a := range []Approach{SingleSidePrior, SingleSidePost, FullPost} {
+			if other := m.ExpectedRecovery(a, op, rc); costNew > other*1.01+1e-18 {
+				t.Errorf("%v: new scheme expected recovery %.3g exceeds %v's %.3g",
+					op, costNew, a, other)
+			}
+		}
+	}
+}
+
+func TestSingleSideMissesPUFaults(t *testing.T) {
+	// Table VIII's headline gap: single-side checksums leave PU faults to
+	// complete restarts.
+	m := PaperModel()
+	pSingle := m.Outcomes(SingleSidePost, PU).P[CompleteRestart]
+	pFull := m.Outcomes(FullPost, PU).P[CompleteRestart]
+	if pSingle <= pFull {
+		t.Fatalf("single-side PU complete-restart %v should exceed full's %v", pSingle, pFull)
+	}
+}
+
+func TestFlopsOrdering(t *testing.T) {
+	m := PaperModel()
+	if m.flops(TMU) <= m.flops(PU) || m.flops(TMU) <= m.flops(PD) {
+		t.Fatal("TMU must dominate the iteration flops")
+	}
+}
+
+func TestBroadcastOnlyPanels(t *testing.T) {
+	m := PaperModel()
+	if m.broadcastElems(TMU) != 0 {
+		t.Fatal("TMU broadcasts nothing")
+	}
+	if m.broadcastElems(PD) == 0 || m.broadcastElems(PU) == 0 {
+		t.Fatal("panel ops must broadcast")
+	}
+}
+
+// Property: higher error rates never increase the fault-free probability.
+func TestRateMonotonicity(t *testing.T) {
+	f := func(mult uint8) bool {
+		base := PaperModel()
+		scaled := base
+		factor := 1 + float64(mult%50)
+		scaled.Rates.OffChip *= factor
+		scaled.Rates.Compute *= factor
+		scaled.Rates.OnChip *= factor
+		scaled.Rates.PCIe *= factor
+		for _, op := range AllOps() {
+			if scaled.Cases(op).FaultFreeProb > base.Cases(op).FaultFreeProb+1e-15 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	for _, a := range AllApproaches() {
+		if a.String() == "" {
+			t.Fatal("approach string empty")
+		}
+	}
+	for _, o := range []Outcome{FaultFree, ABFTFixable, LocalRestart, CompleteRestart} {
+		if o.String() == "" {
+			t.Fatal("outcome string empty")
+		}
+	}
+	for _, op := range AllOps() {
+		if op.String() == "" {
+			t.Fatal("op string empty")
+		}
+	}
+}
+
+func TestSweepRatesMonotoneAndOrdered(t *testing.T) {
+	m := PaperModel()
+	rc := DefaultCosts()
+	pts := m.SweepRates([]float64{0.1, 1, 10, 100}, rc)
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, a := range AllApproaches() {
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Cost[a] < pts[i-1].Cost[a] {
+				t.Errorf("%v: recovery cost must grow with error rates", a)
+			}
+		}
+	}
+	// The new scheme keeps the lowest expected cost at every rate point.
+	for _, pt := range pts {
+		for _, a := range []Approach{SingleSidePrior, SingleSidePost, FullPost} {
+			if pt.Cost[FullNew] > pt.Cost[a]*1.01 {
+				t.Errorf("mult %v: full+new %.3g above %v %.3g", pt.Multiplier, pt.Cost[FullNew], a, pt.Cost[a])
+			}
+		}
+	}
+}

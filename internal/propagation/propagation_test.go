@@ -1,0 +1,132 @@
+package propagation
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ftla/internal/matrix"
+)
+
+func TestAnalyticMatchesPaper(t *testing.T) {
+	cases := []struct {
+		op   Op
+		part Part
+		want Dim
+	}{
+		{PD, Update, D2},
+		{PU, Reference, D2},
+		{PU, Update, D1},
+		{TMU, Reference, D1},
+		{TMU, Update, D0},
+	}
+	for _, c := range cases {
+		if got := AnalyticMUD(c.op, c.part); got != c.want {
+			t.Errorf("AnalyticMUD(%v, %v) = %v, want %v", c.op, c.part, got, c.want)
+		}
+	}
+}
+
+func TestEmpiricalMatchesAnalytic(t *testing.T) {
+	for _, row := range TableIV(48, 8, 1) {
+		if row.Empirical > row.Analytic {
+			t.Errorf("%v/%v: empirical %v exceeds analytic bound %v",
+				row.Op, row.Part, row.Empirical, row.Analytic)
+		}
+		// The analytic value is a worst case, but for these operations the
+		// measured pattern should reach it (the corrupted element is
+		// chosen early enough to propagate maximally).
+		if row.Empirical != row.Analytic {
+			t.Errorf("%v/%v: empirical %v != analytic %v (corrupted %d elements)",
+				row.Op, row.Part, row.Empirical, row.Analytic, row.Corrupted)
+		}
+	}
+}
+
+func TestEmpiricalTMUUpdateExactlyOneElement(t *testing.T) {
+	dim, cnt := Empirical(TMU, Update, 32, 8, 7)
+	if dim != D0 || cnt != 1 {
+		t.Fatalf("TMU update corruption = %v with %d elements, want 0D/1", dim, cnt)
+	}
+}
+
+func TestEmpiricalTMURefOneRow(t *testing.T) {
+	dim, cnt := Empirical(TMU, Reference, 32, 8, 9)
+	if dim != D1 {
+		t.Fatalf("TMU ref corruption = %v, want 1D", dim)
+	}
+	if cnt < 2 {
+		t.Fatalf("1D propagation should corrupt a full line, got %d", cnt)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	a := matrix.NewDense(4, 4)
+	b := matrix.NewDense(4, 4)
+	if d, c := classify(a, b, 1e-12); d != D0 || c != 0 {
+		t.Fatal("identical matrices must classify 0D/0")
+	}
+	b.Set(1, 1, 5)
+	if d, c := classify(a, b, 1e-12); d != D0 || c != 1 {
+		t.Fatalf("single diff = %v/%d", d, c)
+	}
+	b.Set(1, 3, 5)
+	if d, _ := classify(a, b, 1e-12); d != D1 {
+		t.Fatalf("row diff = %v, want 1D", d)
+	}
+	b.Set(3, 0, 5)
+	if d, _ := classify(a, b, 1e-12); d != D2 {
+		t.Fatalf("scattered diff = %v, want 2D", d)
+	}
+}
+
+func TestTableVShape(t *testing.T) {
+	rows := TableV()
+	if len(rows) != 6 {
+		t.Fatalf("TableV rows = %d, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if r.Computation != D0 {
+			t.Errorf("%v/%v: computation errors appear as 0D in the output", r.Op, r.Part)
+		}
+		if r.TolerableBy == "" {
+			t.Error("missing tolerability note")
+		}
+	}
+}
+
+// Property: empirical propagation is deterministic for a fixed seed and
+// never exceeds the analytic worst case, across sizes.
+func TestEmpiricalBoundedQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 16 + int(seed%32)
+		nb := 4 + int(seed%4)
+		for _, op := range []Op{PU, TMU} {
+			for _, part := range []Part{Reference, Update} {
+				d1, _ := Empirical(op, part, n, nb, seed)
+				d2, _ := Empirical(op, part, n, nb, seed)
+				if d1 != d2 {
+					return false
+				}
+				if d1 > AnalyticMUD(op, part) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if D0.String() != "0D" || D1.String() != "1D" || D2.String() != "2D" {
+		t.Fatal("Dim strings wrong")
+	}
+	if PD.String() != "PD" || PU.String() != "PU" || TMU.String() != "TMU" {
+		t.Fatal("Op strings wrong")
+	}
+	if Reference.String() != "ref" || Update.String() != "update" {
+		t.Fatal("Part strings wrong")
+	}
+}

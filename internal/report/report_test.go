@@ -1,0 +1,68 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Title", "name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("long-name-entry", 1234567.0)
+	out := tb.String()
+	if !strings.Contains(out, "Title") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "long-name-entry") {
+		t.Fatal("missing rows")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// title + header + separator + 2 rows
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d, want 5:\n%s", len(lines), out)
+	}
+	// All table lines must have equal width (aligned columns).
+	w := len(lines[1])
+	for _, l := range lines[2:] {
+		if len(l) != w {
+			t.Fatalf("misaligned line %q", l)
+		}
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	if got := formatFloat(0); got != "0" {
+		t.Fatalf("formatFloat(0) = %q", got)
+	}
+	if got := formatFloat(0.12345); got != "0.1235" && got != "0.1234" {
+		t.Fatalf("formatFloat(0.12345) = %q", got)
+	}
+	if !strings.Contains(formatFloat(1e-12), "e") {
+		t.Fatal("tiny values should use scientific notation")
+	}
+}
+
+func TestFigureSeries(t *testing.T) {
+	f := NewFigure("Fig. X", "gpus", "overhead %")
+	f.Add("ours", 1, 10)
+	f.Add("ours", 2, 11)
+	f.Add("post", 1, 14)
+	f.Add("post", 2, 15)
+	if len(f.Series) != 2 {
+		t.Fatalf("series = %d", len(f.Series))
+	}
+	out := f.String()
+	if !strings.Contains(out, "ours") || !strings.Contains(out, "post") {
+		t.Fatal("missing series columns")
+	}
+	if !strings.Contains(out, "overhead %") {
+		t.Fatal("missing y label")
+	}
+}
+
+func TestFigureEmpty(t *testing.T) {
+	f := NewFigure("empty", "x", "y")
+	if out := f.String(); !strings.Contains(out, "empty") {
+		t.Fatal("empty figure should still render its header")
+	}
+}
