@@ -1,0 +1,353 @@
+// Command ftserve exposes the internal/service decomposition scheduler
+// over HTTP/JSON: clients submit factorization/solve jobs, poll for
+// results, and scrape aggregate serving statistics. It also ships a
+// load-generator mode that drives the scheduler in-process with mixed
+// traffic (repeated operators for cache hits, injected soft errors for
+// retries) and prints the resulting stats.
+//
+// Serve:
+//
+//	ftserve -addr :8080 -workers 4 -queue 256
+//	curl -s -X POST localhost:8080/v1/jobs -d '{"decomp":"cholesky","n":256,"seed":7,"rhs_seed":1}'
+//	curl -s localhost:8080/v1/jobs/1
+//	curl -s localhost:8080/v1/stats
+//
+// Load generator:
+//
+//	ftserve -load 200 -n 128 -gpus 2
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ftla"
+	"ftla/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "HTTP listen address")
+		workers = flag.Int("workers", 0, "concurrent jobs (0 = auto)")
+		queue   = flag.Int("queue", 256, "admission queue depth")
+		cache   = flag.Int("cache", 128, "factorization cache entries")
+		retries = flag.Int("max-attempts", 3, "factorization attempts per job (1 = no retry)")
+		load    = flag.Int("load", 0, "run the in-process load generator with this many jobs, then exit")
+		loadN   = flag.Int("n", 128, "load generator: matrix order")
+		loadG   = flag.Int("gpus", 2, "load generator: simulated GPUs")
+		loadNB  = flag.Int("nb", 32, "load generator: block size")
+	)
+	flag.Parse()
+
+	sched := service.New(service.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cache,
+		Retry:        service.RetryPolicy{MaxAttempts: *retries},
+	})
+
+	if *load > 0 {
+		runLoad(sched, *load, *loadN, *loadG, *loadNB)
+		sched.Close()
+		return
+	}
+
+	srv := &server{sched: sched, jobs: make(map[uint64]*service.JobHandle)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/jobs", srv.jobsRoot)
+	mux.HandleFunc("/v1/jobs/", srv.jobByPath)
+	mux.HandleFunc("/v1/stats", srv.stats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	log.Printf("ftserve listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// server adapts the scheduler to HTTP and remembers submitted handles so
+// clients can poll by id.
+type server struct {
+	sched *service.Scheduler
+	mu    sync.Mutex
+	jobs  map[uint64]*service.JobHandle
+}
+
+// jobRequest is the POST /v1/jobs body. The operator comes either inline
+// ("matrix") or generated ("n"+"seed"); the right-hand side likewise
+// ("b" or "rhs_seed" — omit both for factorize-only jobs).
+type jobRequest struct {
+	Decomp     string      `json:"decomp"` // cholesky | lu | qr
+	N          int         `json:"n"`
+	Seed       uint64      `json:"seed"`
+	Matrix     [][]float64 `json:"matrix"`
+	B          []float64   `json:"b"`
+	RHSSeed    *uint64     `json:"rhs_seed"`
+	GPUs       int         `json:"gpus"`
+	NB         int         `json:"nb"`
+	Protection string      `json:"protection"` // full (default) | single | none
+	Priority   string      `json:"priority"`   // batch (default) | normal | interactive
+	TimeoutMS  int         `json:"timeout_ms"`
+	NoCache    bool        `json:"no_cache"`
+}
+
+func (r *jobRequest) toSpec() (service.JobSpec, error) {
+	spec := service.JobSpec{NoCache: r.NoCache}
+	switch strings.ToLower(r.Decomp) {
+	case "", "cholesky":
+		spec.Decomp = service.Cholesky
+	case "lu":
+		spec.Decomp = service.LU
+	case "qr":
+		spec.Decomp = service.QR
+	default:
+		return spec, fmt.Errorf("unknown decomp %q", r.Decomp)
+	}
+	switch {
+	case r.Matrix != nil:
+		spec.A = ftla.FromRows(r.Matrix)
+	case r.N > 0:
+		spec.A = generate(spec.Decomp, r.N, r.Seed)
+	default:
+		return spec, fmt.Errorf("need \"matrix\" or \"n\"")
+	}
+	switch {
+	case r.B != nil:
+		spec.B = r.B
+	case r.RHSSeed != nil:
+		b := ftla.Random(spec.A.Rows, 1, *r.RHSSeed)
+		spec.B = make([]float64, spec.A.Rows)
+		for i := range spec.B {
+			spec.B[i] = b.At(i, 0)
+		}
+	}
+	spec.Config = ftla.Config{GPUs: r.GPUs, NB: r.NB}
+	switch strings.ToLower(r.Protection) {
+	case "", "full":
+	case "single":
+		spec.Config.Protection, spec.Config.Scheme = ftla.SingleSide, ftla.NewScheme
+	case "none":
+		spec.Config = ftla.Unprotected(r.GPUs)
+		spec.Config.NB = r.NB
+	default:
+		return spec, fmt.Errorf("unknown protection %q", r.Protection)
+	}
+	switch strings.ToLower(r.Priority) {
+	case "", "batch":
+		spec.Priority = service.Batch
+	case "normal":
+		spec.Priority = service.Normal
+	case "interactive":
+		spec.Priority = service.Interactive
+	default:
+		return spec, fmt.Errorf("unknown priority %q", r.Priority)
+	}
+	return spec, nil
+}
+
+func generate(d service.Decomp, n int, seed uint64) *ftla.Matrix {
+	switch d {
+	case service.Cholesky:
+		return ftla.RandomSPD(n, seed)
+	case service.LU:
+		return ftla.RandomDiagDominant(n, seed)
+	default:
+		return ftla.Random(n, n, seed)
+	}
+}
+
+// jobStatus is the poll response.
+type jobStatus struct {
+	ID       uint64    `json:"id"`
+	State    string    `json:"state"` // pending | done | failed
+	Outcome  string    `json:"outcome,omitempty"`
+	Residual float64   `json:"residual,omitempty"`
+	Attempts int       `json:"attempts,omitempty"`
+	CacheHit bool      `json:"cache_hit,omitempty"`
+	WaitMS   float64   `json:"wait_ms,omitempty"`
+	RunMS    float64   `json:"run_ms,omitempty"`
+	X        []float64 `json:"x,omitempty"`
+	Error    string    `json:"error,omitempty"`
+}
+
+func (s *server) jobsRoot(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.submit(w, r)
+	case http.MethodGet:
+		id, err := strconv.ParseUint(r.URL.Query().Get("id"), 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "missing or bad id")
+			return
+		}
+		s.poll(w, id)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "POST or GET")
+	}
+}
+
+func (s *server) jobByPath(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(strings.TrimPrefix(r.URL.Path, "/v1/jobs/"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "bad job id")
+		return
+	}
+	s.poll(w, id)
+}
+
+func (s *server) submit(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	spec, err := req.toSpec()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if req.TimeoutMS > 0 {
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+	}
+	h, err := s.sched.Submit(ctx, spec)
+	if err != nil {
+		if cancel != nil {
+			cancel()
+		}
+		code := http.StatusBadRequest
+		if err == service.ErrQueueFull {
+			code = http.StatusTooManyRequests // backpressure to the client
+		} else if err == service.ErrClosed {
+			code = http.StatusServiceUnavailable
+		}
+		httpError(w, code, err.Error())
+		return
+	}
+	if cancel != nil {
+		go func() { <-h.Done(); cancel() }()
+	}
+	s.mu.Lock()
+	s.jobs[h.ID] = h
+	s.mu.Unlock()
+	w.WriteHeader(http.StatusAccepted)
+	writeJSON(w, jobStatus{ID: h.ID, State: "pending"})
+}
+
+func (s *server) poll(w http.ResponseWriter, id uint64) {
+	s.mu.Lock()
+	h, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	res, err, terminal := h.Poll()
+	st := jobStatus{ID: id, State: "pending"}
+	switch {
+	case !terminal:
+	case err != nil:
+		st.State, st.Error = "failed", err.Error()
+	default:
+		st.State = "done"
+		st.Outcome = res.Outcome.String()
+		st.Residual = res.Residual
+		st.Attempts = res.Attempts
+		st.CacheHit = res.CacheHit
+		st.WaitMS = float64(res.Wait) / float64(time.Millisecond)
+		st.RunMS = float64(res.Run) / float64(time.Millisecond)
+		st.X = res.X
+	}
+	writeJSON(w, st)
+}
+
+func (s *server) stats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.sched.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.WriteHeader(code)
+	writeJSON(w, map[string]string{"error": msg})
+}
+
+// runLoad drives the scheduler with jobs mixed to exercise every serving
+// path: three decompositions, three priorities, repeated operators (cache
+// hits), and a slice of jobs carrying an injector that forces a complete
+// restart (retry path).
+func runLoad(sched *service.Scheduler, jobs, n, gpus, nb int) {
+	start := time.Now()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var failed int
+	for i := 0; i < jobs; i++ {
+		d := service.Decomp(i % 3)
+		spec := service.JobSpec{
+			Decomp:   d,
+			A:        generate(d, n, uint64(i%5)), // 5 distinct operators per decomp → cache traffic
+			Priority: service.Priority(i % 3),
+			Config:   ftla.Config{GPUs: gpus, NB: nb},
+		}
+		if i%2 == 0 {
+			spec.B = make([]float64, n)
+			spec.B[0] = 1
+		}
+		if i%10 == 9 {
+			// Unrepairable double fault under single-side protection: the
+			// first attempt lands in detected-corrupt and the service
+			// restarts it (see internal/service tests for the anatomy).
+			inj := ftla.NewInjector(uint64(i))
+			for _, row := range []int{1, 2} {
+				inj.Schedule(ftla.FaultSpec{
+					Kind: ftla.FaultDRAM, Op: ftla.OpPD, Part: ftla.RefPart,
+					Iteration: 0, Row: row, Col: 0,
+				})
+			}
+			spec.Decomp = service.LU
+			spec.A = generate(service.LU, n, uint64(i%5))
+			spec.Config.Protection, spec.Config.Scheme = ftla.SingleSide, ftla.NewScheme
+			spec.Config.Injector = inj
+			spec.NoCache = true
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h, err := sched.Submit(context.Background(), spec)
+			if err != nil {
+				mu.Lock()
+				failed++
+				mu.Unlock()
+				return
+			}
+			if _, err := h.Wait(context.Background()); err != nil {
+				mu.Lock()
+				failed++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	st := sched.Stats()
+	fmt.Printf("load: %d jobs in %v (%d rejected-or-failed)\n", jobs, time.Since(start).Round(time.Millisecond), failed)
+	out, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stats:", err)
+		return
+	}
+	fmt.Println(string(out))
+}

@@ -176,7 +176,7 @@ func Unprotected(gpus int) Config {
 	return Config{GPUs: gpus, Protection: NoProtection, Scheme: core.NoCheck, explicit: true}
 }
 
-func (c Config) normalize() (Config, core.Options, *hetsim.System) {
+func (c Config) normalize() (Config, core.Options) {
 	if c.GPUs <= 0 {
 		c.GPUs = 1
 	}
@@ -195,11 +195,26 @@ func (c Config) normalize() (Config, core.Options, *hetsim.System) {
 		Injector:              c.Injector,
 		PeriodicTrailingCheck: c.PeriodicTrailingCheck,
 	}
-	var sys *hetsim.System
+	return c, opts
+}
+
+// SystemConfig returns the hetsim.Config the Config selects — the platform
+// that Cholesky/LU/QR would construct. It is a comparable value, which lets
+// callers that pool simulated systems (internal/service) key pooled
+// instances by platform.
+func (c Config) SystemConfig() hetsim.Config {
+	c, _ = c.normalize()
 	if c.System != nil {
-		sys = hetsim.New(*c.System)
-	} else {
-		sys = hetsim.New(hetsim.DefaultConfig(c.GPUs))
+		return *c.System
 	}
-	return c, opts, sys
+	return hetsim.DefaultConfig(c.GPUs)
+}
+
+// NewSystem builds the simulated platform cfg selects. Most callers never
+// need it — Cholesky/LU/QR build a fresh system per call — but callers that
+// amortize system construction across many runs (see CholeskyOn and
+// internal/service) construct once here and reuse, calling System.Reset
+// between runs.
+func NewSystem(cfg Config) *hetsim.System {
+	return hetsim.New(cfg.SystemConfig())
 }

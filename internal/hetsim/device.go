@@ -74,6 +74,12 @@ func (d *Device) SimTime() float64 {
 	return d.simSecs
 }
 
+func (d *Device) resetSim() {
+	d.mu.Lock()
+	d.simSecs = 0
+	d.mu.Unlock()
+}
+
 func (d *Device) addSim(flops float64) {
 	if d.gflops <= 0 {
 		return

@@ -311,3 +311,93 @@ func TestUtilization(t *testing.T) {
 		t.Fatal("PCIe time missing")
 	}
 }
+
+func TestEventsStampedWithSimTime(t *testing.T) {
+	s := newSys(t, 1)
+	s.EnableTrace(true)
+	g := s.GPU(0)
+	g.Run("k1", 1e9, func(int) {})
+	g.Run("k2", 2e9, func(int) {})
+	src := s.CPU().Alloc(8, 8)
+	dst := g.Alloc(8, 8)
+	s.Transfer(src, dst)
+	evts := s.Events()
+	if len(evts) != 3 {
+		t.Fatalf("events = %d, want 3", len(evts))
+	}
+	if evts[0].At <= 0 || evts[1].At <= evts[0].At {
+		t.Fatalf("kernel timestamps not increasing: %g, %g", evts[0].At, evts[1].At)
+	}
+	if want := g.SimTime(); evts[1].At != want {
+		t.Fatalf("last kernel stamped %g, want device clock %g", evts[1].At, want)
+	}
+	if evts[2].At != s.PCIeSimTime() {
+		t.Fatalf("pcie event stamped %g, want PCIe clock %g", evts[2].At, s.PCIeSimTime())
+	}
+}
+
+func TestEventsReturnsCopy(t *testing.T) {
+	s := newSys(t, 1)
+	s.EnableTrace(true)
+	s.GPU(0).Run("k", 1e9, func(int) {})
+	evts := s.Events()
+	evts[0].Op = "mutated"
+	if s.Events()[0].Op != "k" {
+		t.Fatal("Events must return a copy, not the live slice")
+	}
+}
+
+func TestBroadcastSelfCopyCostsNoPCIe(t *testing.T) {
+	s := newSys(t, 2)
+	src := s.GPU(0).Alloc(4, 4)
+	src.UnsafeData().Set(2, 3, 7)
+	self := s.GPU(0).Alloc(4, 4)
+	s.Broadcast(src, []*Buffer{self})
+	if self.UnsafeData().At(2, 3) != 7 {
+		t.Fatal("self-copy leg did not copy the panel")
+	}
+	if s.BytesTransferred() != 0 || s.PCIeSimTime() != 0 {
+		t.Fatalf("self-copy leg charged PCIe: %d bytes, %g s",
+			s.BytesTransferred(), s.PCIeSimTime())
+	}
+	remote := s.GPU(1).Alloc(4, 4)
+	s.Broadcast(src, []*Buffer{self, remote})
+	if s.BytesTransferred() != 8*4*4 || s.PCIeSimTime() <= 0 {
+		t.Fatalf("remote leg must pay PCIe: %d bytes, %g s",
+			s.BytesTransferred(), s.PCIeSimTime())
+	}
+}
+
+func TestResetClearsSimState(t *testing.T) {
+	s := newSys(t, 2)
+	s.EnableTrace(true)
+	s.SetTransferHook(func(from, to *Device, payload *matrix.Dense) {})
+	s.GPU(0).Run("k", 1e9, func(int) {})
+	src := s.CPU().Alloc(4, 4)
+	dst := s.GPU(1).Alloc(4, 4)
+	s.Transfer(src, dst)
+	if s.SimMakespan() <= 0 || s.BytesTransferred() == 0 || len(s.Events()) == 0 {
+		t.Fatal("precondition: system should have accumulated state")
+	}
+	s.Reset()
+	if s.SimMakespan() != 0 {
+		t.Fatalf("makespan %g after Reset, want 0", s.SimMakespan())
+	}
+	if s.BytesTransferred() != 0 || s.PCIeSimTime() != 0 {
+		t.Fatal("PCIe counters survive Reset")
+	}
+	if len(s.Events()) != 0 {
+		t.Fatal("events survive Reset")
+	}
+	s.mu.Lock()
+	hook, traceOn := s.hook, s.traceEnabled
+	s.mu.Unlock()
+	if hook != nil || traceOn {
+		t.Fatal("hook/trace flag survive Reset")
+	}
+	for _, d := range append([]*Device{s.CPU()}, s.GPUs()...) {
+		if d.SimTime() != 0 {
+			t.Fatalf("%s clock %g after Reset, want 0", d.Name(), d.SimTime())
+		}
+	}
+}

@@ -50,6 +50,12 @@ type Event struct {
 	Device string
 	Flops  float64
 	Bytes  int
+	// At is the simulated-clock timestamp of the event's completion: the
+	// executing device's accumulated busy time for kernels, the accumulated
+	// PCIe time for transfers. Traces from jobs run on different systems (or
+	// separated by Reset) are orderable on this axis, unlike append order,
+	// which interleaves arbitrarily under concurrent devices.
+	At float64
 }
 
 // System is the simulated heterogeneous node.
@@ -129,11 +135,32 @@ func (s *System) Events() []Event {
 }
 
 func (s *System) trace(op string, d *Device, flops float64) {
+	at := d.SimTime() // before s.mu: trace never holds both locks
 	s.mu.Lock()
 	if s.traceEnabled {
-		s.events = append(s.events, Event{Op: op, Device: d.Name(), Flops: flops})
+		s.events = append(s.events, Event{Op: op, Device: d.Name(), Flops: flops, At: at})
 	}
 	s.mu.Unlock()
+}
+
+// Reset returns the system to its freshly constructed state: simulated
+// clocks and PCIe byte counters zeroed, the recorded trace dropped and
+// tracing disabled, and the transfer hook cleared. Device buffers are not
+// tracked and thus not touched — callers own their allocations. Reset lets
+// a pool reuse one System across jobs without construction cost while each
+// job still observes clean clocks and an injector-free fabric.
+func (s *System) Reset() {
+	s.mu.Lock()
+	s.pcieSimSecs = 0
+	s.transferred = 0
+	s.events = nil
+	s.traceEnabled = false
+	s.hook = nil
+	s.mu.Unlock()
+	s.cpu.resetSim()
+	for _, g := range s.gpus {
+		g.resetSim()
+	}
 }
 
 // PCIeSimTime returns accumulated simulated PCIe seconds.
@@ -172,7 +199,7 @@ func (s *System) Transfer(src, dst *Buffer) {
 		s.pcieSimSecs += s.cfg.PCIeLatencyUS/1e6 + float64(bytes)/(s.cfg.PCIeGBps*1e9)
 	}
 	if s.traceEnabled {
-		s.events = append(s.events, Event{Op: "pcie", Device: src.dev.Name() + "->" + dst.dev.Name(), Bytes: bytes})
+		s.events = append(s.events, Event{Op: "pcie", Device: src.dev.Name() + "->" + dst.dev.Name(), Bytes: bytes, At: s.pcieSimSecs})
 	}
 	hook := s.hook
 	s.mu.Unlock()

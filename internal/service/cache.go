@@ -1,0 +1,117 @@
+package service
+
+import (
+	"container/list"
+	"math"
+	"sync"
+
+	"ftla/internal/matrix"
+)
+
+// fingerprint identifies an operator for cache lookup: the decomposition
+// kind plus an FNV-1a hash of the matrix order and exact element bits. The
+// factor a decomposition produces is a function of the input values alone
+// (protection mode, scheme, and platform only change how the same factor is
+// computed and checked), so the key deliberately excludes the ftla.Config.
+type fingerprint struct {
+	decomp Decomp
+	n      int
+	hash   uint64
+}
+
+func fingerprintOf(d Decomp, a *matrix.Dense) fingerprint {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> uint(s)) & 0xff
+			h *= prime64
+		}
+	}
+	mix(uint64(a.Rows))
+	mix(uint64(a.Cols))
+	for i := 0; i < a.Rows; i++ {
+		row := a.Data[i*a.Stride : i*a.Stride+a.Cols]
+		for _, v := range row {
+			mix(math.Float64bits(v))
+		}
+	}
+	return fingerprint{decomp: d, n: a.Rows, hash: h}
+}
+
+// factorCache is a bounded LRU of completed factorizations — the
+// factor-once/solve-many fast path. Only survivable outcomes are admitted
+// (the scheduler never caches a factor that needs a complete restart), so a
+// hit can serve Solve requests without rerunning the decomposition.
+type factorCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used; values are *cacheEntry
+	entries map[fingerprint]*list.Element
+
+	hits, misses uint64
+}
+
+type cacheEntry struct {
+	key fingerprint
+	f   *Factorization
+}
+
+func newFactorCache(capacity int) *factorCache {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &factorCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[fingerprint]*list.Element),
+	}
+}
+
+// get returns the cached factorization for key, promoting it to most
+// recently used.
+func (c *factorCache) get(key fingerprint) (*Factorization, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).f, true
+}
+
+// put inserts (or refreshes) a factorization, evicting the least recently
+// used entry when over capacity.
+func (c *factorCache) put(key fingerprint, f *Factorization) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).f = f
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, f: f})
+	if c.order.Len() > c.cap {
+		lru := c.order.Back()
+		c.order.Remove(lru)
+		delete(c.entries, lru.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *factorCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+func (c *factorCache) counters() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

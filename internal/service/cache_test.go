@@ -1,0 +1,98 @@
+package service
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"ftla/internal/matrix"
+)
+
+func fp(t *testing.T, d Decomp, seed uint64) fingerprint {
+	t.Helper()
+	return fingerprintOf(d, matrix.Random(8, 8, matrix.NewRNG(seed)))
+}
+
+func TestFingerprintDiscriminates(t *testing.T) {
+	a := matrix.Random(8, 8, matrix.NewRNG(1))
+	if fingerprintOf(Cholesky, a) != fingerprintOf(Cholesky, a.Clone()) {
+		t.Fatal("identical matrices must fingerprint equal")
+	}
+	if fingerprintOf(Cholesky, a) == fingerprintOf(LU, a) {
+		t.Fatal("decomposition kind must separate keys")
+	}
+	b := a.Clone()
+	b.Set(3, 4, math.Nextafter(b.At(3, 4), 2)) // even a last-bit change is a different operator
+	if fingerprintOf(Cholesky, a) == fingerprintOf(Cholesky, b) {
+		t.Fatal("element change must change the fingerprint")
+	}
+	// A strided view must hash its visible window, not the backing array.
+	v := a.View(0, 0, 4, 4)
+	tight := matrix.NewDense(4, 4)
+	tight.CopyFrom(v)
+	if fingerprintOf(Cholesky, v) != fingerprintOf(Cholesky, tight) {
+		t.Fatal("view and tight copy of the same window must fingerprint equal")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newFactorCache(2)
+	f := &Factorization{Decomp: Cholesky}
+	k1, k2, k3 := fp(t, Cholesky, 1), fp(t, Cholesky, 2), fp(t, Cholesky, 3)
+	c.put(k1, f)
+	c.put(k2, f)
+	if _, ok := c.get(k1); !ok { // touch k1: k2 becomes LRU
+		t.Fatal("k1 missing")
+	}
+	c.put(k3, f) // evicts k2
+	if _, ok := c.get(k2); ok {
+		t.Fatal("k2 should have been evicted")
+	}
+	for _, k := range []fingerprint{k1, k3} {
+		if _, ok := c.get(k); !ok {
+			t.Fatalf("%v evicted, want retained", k)
+		}
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+	hits, misses := c.counters()
+	if hits != 3 || misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 3/1", hits, misses)
+	}
+}
+
+func TestCachePutRefreshesExisting(t *testing.T) {
+	c := newFactorCache(2)
+	k := fp(t, LU, 7)
+	f1, f2 := &Factorization{Decomp: LU}, &Factorization{Decomp: LU, Residual: 1}
+	c.put(k, f1)
+	c.put(k, f2)
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1 after refresh", c.len())
+	}
+	if got, _ := c.get(k); got != f2 {
+		t.Fatal("refresh did not replace the entry")
+	}
+}
+
+func TestRetryBackoffCapped(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 10, BaseBackoff: 5 * time.Millisecond, MaxBackoff: 40 * time.Millisecond}.normalize()
+	want := []time.Duration{5, 10, 20, 40, 40, 40}
+	for i, w := range want {
+		if got := p.Backoff(i + 1); got != w*time.Millisecond {
+			t.Fatalf("Backoff(%d) = %v, want %v", i+1, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestRetryPolicyDefaults(t *testing.T) {
+	p := RetryPolicy{}.normalize()
+	d := DefaultRetryPolicy()
+	if p != d {
+		t.Fatalf("zero policy normalized to %+v, want %+v", p, d)
+	}
+	if p.MaxAttempts < 2 {
+		t.Fatal("default policy must actually retry")
+	}
+}

@@ -1,0 +1,250 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"ftla"
+	"ftla/internal/core"
+)
+
+// Decomp selects the factorization a job runs.
+type Decomp int
+
+// Supported decompositions.
+const (
+	Cholesky Decomp = iota
+	LU
+	QR
+)
+
+func (d Decomp) String() string {
+	switch d {
+	case Cholesky:
+		return "cholesky"
+	case LU:
+		return "lu"
+	default:
+		return "qr"
+	}
+}
+
+// Priority is a job's admission class. Higher classes are dispatched first;
+// within a class jobs run in submission order.
+type Priority int
+
+// Priority classes, lowest to highest urgency.
+const (
+	Batch Priority = iota
+	Normal
+	Interactive
+	numPriorities
+)
+
+func (p Priority) String() string {
+	switch p {
+	case Batch:
+		return "batch"
+	case Normal:
+		return "normal"
+	default:
+		return "interactive"
+	}
+}
+
+// JobSpec describes one factorization (and optional solve) request.
+type JobSpec struct {
+	// Decomp selects the factorization; A is its input. Cholesky requires a
+	// symmetric positive definite A; all inputs must be square with order a
+	// multiple of Config.NB.
+	Decomp Decomp
+	A      *ftla.Matrix
+	// B, when non-nil, is a right-hand side to solve against the factor.
+	B []float64
+	// Config is the ftla configuration for the run (protection, scheme,
+	// platform, injector). On corruption-triggered retries the service
+	// reruns with Config.Injector stripped — a complete restart assumes the
+	// transient fault does not recur deterministically.
+	Config ftla.Config
+	// Priority is the admission class (default Batch, the lowest).
+	Priority Priority
+	// ResidualTol is the residual threshold deciding whether the final
+	// factor verifies (the paper's outcome classification input); <= 0
+	// means 1e-9.
+	ResidualTol float64
+	// NoCache bypasses the factorization cache for this job (both lookup
+	// and fill) — for injection experiments whose factor must not be served
+	// to, or taken from, other traffic.
+	NoCache bool
+}
+
+func (s *JobSpec) validate() error {
+	if s.A == nil {
+		return fmt.Errorf("service: job has no input matrix")
+	}
+	if s.A.Rows != s.A.Cols {
+		return fmt.Errorf("service: input must be square, got %dx%d", s.A.Rows, s.A.Cols)
+	}
+	if s.Decomp < Cholesky || s.Decomp > QR {
+		return fmt.Errorf("service: unknown decomposition %d", int(s.Decomp))
+	}
+	if s.B != nil && len(s.B) != s.A.Rows {
+		return fmt.Errorf("service: rhs length %d != order %d", len(s.B), s.A.Rows)
+	}
+	if s.Priority < Batch {
+		return fmt.Errorf("service: negative priority")
+	}
+	return nil
+}
+
+func (s *JobSpec) tol() float64 {
+	if s.ResidualTol > 0 {
+		return s.ResidualTol
+	}
+	return 1e-9
+}
+
+// Factorization is a completed, residual-verified factorization — the unit
+// the cache stores and Solve reuses. Exactly one of the three result fields
+// is set, per Decomp.
+type Factorization struct {
+	Decomp Decomp
+	Chol   *ftla.CholeskyResult
+	LU     *ftla.LUResult
+	QR     *ftla.QRResult
+	// Residual is ‖A − factors‖_F/‖A‖_F measured against the job's input.
+	Residual float64
+	// Outcome classifies the producing run (§X.B); cached entries are
+	// always in a survivable bucket (never DetectedCorrupt/CorruptedResult).
+	Outcome ftla.Outcome
+}
+
+// Report returns the producing run's statistics.
+func (f *Factorization) Report() *ftla.Report {
+	switch f.Decomp {
+	case Cholesky:
+		return f.Chol.Report
+	case LU:
+		return f.LU.Report
+	default:
+		return f.QR.Report
+	}
+}
+
+// Solve solves A·x = b against the stored factor.
+func (f *Factorization) Solve(b []float64) ([]float64, error) {
+	switch f.Decomp {
+	case Cholesky:
+		return f.Chol.Solve(b)
+	case LU:
+		return f.LU.Solve(b)
+	default:
+		return f.QR.Solve(b)
+	}
+}
+
+// JobResult is the terminal state of a successful job.
+type JobResult struct {
+	// Outcome classifies the winning attempt (§X.B). Retried-away
+	// corruption does not surface here — it surfaces in Attempts and in
+	// Stats.Retries.
+	Outcome ftla.Outcome
+	// Factors is the factorization that served the job (fresh or cached).
+	Factors *Factorization
+	// X is the solution of A·x = B when the spec carried a right-hand side.
+	X []float64
+	// Residual is the factor's residual against the input matrix.
+	Residual float64
+	// Attempts counts factorization runs, 1 for a clean first pass; 0 for a
+	// pure cache hit.
+	Attempts int
+	// CacheHit reports that the factorization was served from the cache
+	// without running a decomposition.
+	CacheHit bool
+	// Wait is queue time (submit → dispatch); Run is service time
+	// (dispatch → completion, including retries and backoff).
+	Wait, Run time.Duration
+}
+
+// CorruptError is the graceful-degradation terminal state: every allowed
+// attempt ended in a result that needs a complete restart. It carries the
+// last attempt's report so the caller can see what the ABFT layer observed.
+type CorruptError struct {
+	Outcome  ftla.Outcome
+	Report   *ftla.Report
+	Attempts int
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("service: factorization %s after %d attempt(s)", e.Outcome, e.Attempts)
+}
+
+// Sentinel submission errors.
+var (
+	// ErrQueueFull rejects a Submit when the bounded queue is at capacity —
+	// the backpressure signal; callers shed or retry later.
+	ErrQueueFull = fmt.Errorf("service: queue full")
+	// ErrClosed rejects a Submit after Close.
+	ErrClosed = fmt.Errorf("service: scheduler closed")
+)
+
+// JobHandle tracks one submitted job.
+type JobHandle struct {
+	// ID is the scheduler-assigned job id, unique per scheduler.
+	ID uint64
+
+	spec     JobSpec
+	ctx      context.Context
+	enqueued time.Time
+
+	done chan struct{}
+	mu   sync.Mutex
+	res  *JobResult
+	err  error
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (h *JobHandle) Done() <-chan struct{} { return h.done }
+
+// Poll returns the result if the job is finished (terminal == true).
+func (h *JobHandle) Poll() (res *JobResult, err error, terminal bool) {
+	select {
+	case <-h.done:
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		return h.res, h.err, true
+	default:
+		return nil, nil, false
+	}
+}
+
+// Wait blocks until the job finishes or ctx expires. A ctx expiry abandons
+// the wait, not the job.
+func (h *JobHandle) Wait(ctx context.Context) (*JobResult, error) {
+	select {
+	case <-h.done:
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		return h.res, h.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (h *JobHandle) finish(res *JobResult, err error) {
+	h.mu.Lock()
+	h.res, h.err = res, err
+	h.mu.Unlock()
+	close(h.done)
+}
+
+// needsRestart reports whether an outcome is in the paper's complete-restart
+// bucket: the run's result cannot be trusted. DetectedCorrupt is the ABFT
+// layer itself demanding the restart; CorruptedResult is the service's final
+// residual check catching what detection missed (only reachable when the
+// job ran a weakened protection config).
+func needsRestart(o ftla.Outcome) bool {
+	return o == core.DetectedCorrupt || o == core.CorruptedResult
+}

@@ -1,0 +1,104 @@
+package service
+
+import (
+	"sync"
+
+	"ftla/internal/hetsim"
+)
+
+// systemPool reuses hetsim.System instances across jobs, keyed by platform
+// configuration (jobs may request different GPU counts or speeds). A
+// released system has its device-utilization harvested into the pool's
+// aggregate, is Reset to a like-new state, and becomes available to the
+// next job on the same platform; the per-job cost of simulator construction
+// is paid only on pool misses.
+type systemPool struct {
+	mu   sync.Mutex
+	idle map[hetsim.Config][]*hetsim.System
+	// maxIdlePer bounds retained idle systems per platform so a burst of
+	// heterogeneous configs cannot pin memory forever.
+	maxIdlePer int
+
+	created, reused uint64
+	devSecs         map[string]float64 // aggregated busy seconds by device name
+}
+
+func newSystemPool(maxIdlePer int) *systemPool {
+	if maxIdlePer <= 0 {
+		maxIdlePer = 4
+	}
+	return &systemPool{
+		idle:       make(map[hetsim.Config][]*hetsim.System),
+		maxIdlePer: maxIdlePer,
+		devSecs:    make(map[string]float64),
+	}
+}
+
+// acquire returns a clean system for the platform, reusing an idle one when
+// available.
+func (p *systemPool) acquire(cfg hetsim.Config) *hetsim.System {
+	p.mu.Lock()
+	if q := p.idle[cfg]; len(q) > 0 {
+		sys := q[len(q)-1]
+		p.idle[cfg] = q[:len(q)-1]
+		p.reused++
+		p.mu.Unlock()
+		return sys
+	}
+	p.created++
+	p.mu.Unlock()
+	return hetsim.New(cfg)
+}
+
+// release harvests the system's device utilization into the pool aggregate,
+// resets it, and shelves it for reuse (or drops it if the shelf is full).
+func (p *systemPool) release(sys *hetsim.System) {
+	stats := sys.Utilization()
+	sys.Reset()
+	cfg := sys.Config()
+	p.mu.Lock()
+	for _, st := range stats {
+		p.devSecs[st.Name] += st.SimSecs
+	}
+	if q := p.idle[cfg]; len(q) < p.maxIdlePer {
+		p.idle[cfg] = append(q, sys)
+	}
+	p.mu.Unlock()
+}
+
+// utilization snapshots the aggregated per-device busy seconds (including
+// the PCIe pseudo-device), with shares of the total — the fleet-wide
+// equivalent of hetsim.System.Utilization.
+func (p *systemPool) utilization() []hetsim.DeviceStat {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	names := make([]string, 0, len(p.devSecs))
+	for name := range p.devSecs {
+		names = append(names, name)
+	}
+	// Stable order: CPU, GPUs by name, PCIe last (lexical order happens to
+	// give CPU < GPUn < PCIe, which reads naturally).
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	out := make([]hetsim.DeviceStat, 0, len(names))
+	total := 0.0
+	for _, name := range names {
+		out = append(out, hetsim.DeviceStat{Name: name, SimSecs: p.devSecs[name]})
+		total += p.devSecs[name]
+	}
+	if total > 0 {
+		for i := range out {
+			out[i].Share = out[i].SimSecs / total
+		}
+	}
+	return out
+}
+
+func (p *systemPool) counters() (created, reused uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.created, p.reused
+}

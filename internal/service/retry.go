@@ -1,0 +1,64 @@
+package service
+
+import "time"
+
+// RetryPolicy governs the service's reaction to the complete-restart bucket
+// of the paper's outcome taxonomy (§X.B). The protected factorizations
+// repair what they can online (Corrected, LocalRestarted — both count as
+// success here, with the recovery recorded in the report); what they cannot
+// repair they detect and surrender to the application. This policy is that
+// application-level answer: rerun the whole factorization, on the model
+// that soft errors are transients that will not strike the rerun.
+type RetryPolicy struct {
+	// MaxAttempts caps total factorization runs per job, first attempt
+	// included (default 3; minimum 1).
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; each further retry
+	// doubles it, capped at MaxBackoff (defaults 5ms / 250ms). A zero-ish
+	// simulated workload retries almost immediately; real deployments size
+	// these to their fault environment.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+}
+
+// DefaultRetryPolicy is the policy Scheduler uses when Config.Retry is the
+// zero value.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseBackoff: 5 * time.Millisecond, MaxBackoff: 250 * time.Millisecond}
+}
+
+func (p RetryPolicy) normalize() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 5 * time.Millisecond
+	}
+	if p.MaxBackoff < p.BaseBackoff {
+		p.MaxBackoff = 250 * time.Millisecond
+		if p.MaxBackoff < p.BaseBackoff {
+			p.MaxBackoff = p.BaseBackoff
+		}
+	}
+	return p
+}
+
+// Backoff returns the capped exponential delay before retry number
+// retryIdx (1-based: the delay between attempt 1 and attempt 2 is
+// Backoff(1)).
+func (p RetryPolicy) Backoff(retryIdx int) time.Duration {
+	if retryIdx < 1 {
+		retryIdx = 1
+	}
+	d := p.BaseBackoff
+	for i := 1; i < retryIdx; i++ {
+		d *= 2
+		if d >= p.MaxBackoff {
+			return p.MaxBackoff
+		}
+	}
+	if d > p.MaxBackoff {
+		return p.MaxBackoff
+	}
+	return d
+}

@@ -1,0 +1,332 @@
+// Package service is the serving layer over the ftla decompositions: a
+// concurrent job scheduler that multiplexes factorization/solve requests
+// onto a bounded worker pool running on reusable simulated systems, with
+// production semantics the library itself does not provide —
+//
+//   - admission control: a bounded queue with three priority classes;
+//     submissions beyond capacity fail fast with ErrQueueFull
+//     (backpressure) instead of growing without bound,
+//   - per-job deadlines and cancellation via context.Context,
+//   - a retry policy acting on the paper's outcome taxonomy (§X.B): runs
+//     whose ABFT layer repaired everything online (fault-free, corrected,
+//     locally restarted) succeed with the recovery recorded in the report;
+//     runs in the complete-restart bucket (detected-but-corrupt, or a
+//     silent corruption caught by the service's own residual check) are
+//     automatically rerun on a fresh injector-free system with capped
+//     exponential backoff; persistent corruption degrades gracefully to a
+//     CorruptError carrying the last report,
+//   - a factorization cache (LRU over matrix fingerprints) serving the
+//     factor-once/solve-many pattern without refactorization,
+//   - aggregate statistics: outcome histogram, retry/cache/pool counters,
+//     queue and latency gauges, and fleet-wide device utilization.
+package service
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	"ftla"
+	"ftla/internal/hetsim"
+)
+
+// Config sizes a Scheduler. The zero value selects sensible defaults.
+type Config struct {
+	// Workers is the number of concurrent jobs (default GOMAXPROCS/2,
+	// minimum 1 — each job already fans out across simulated devices).
+	Workers int
+	// QueueDepth bounds admitted-but-undispatched jobs (default 64);
+	// submissions beyond it are rejected with ErrQueueFull.
+	QueueDepth int
+	// MaxIdleSystems bounds pooled idle systems per platform config
+	// (default 4).
+	MaxIdleSystems int
+	// CacheEntries bounds the factorization cache (default 64 entries).
+	CacheEntries int
+	// Retry is the corruption retry policy (zero value: DefaultRetryPolicy).
+	Retry RetryPolicy
+}
+
+func (c Config) normalize() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0) / 2
+		if c.Workers < 1 {
+			c.Workers = 1
+		}
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	c.Retry = c.Retry.normalize()
+	return c
+}
+
+// Scheduler runs factorization jobs on a bounded worker pool.
+type Scheduler struct {
+	cfg   Config
+	pool  *systemPool
+	cache *factorCache
+	sink  *statsSink
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queues  [numPriorities][]*JobHandle
+	queued  int
+	running int
+	closed  bool
+	nextID  uint64
+	wg      sync.WaitGroup
+
+	// beforeRun, when set (tests only), runs on the worker after a job is
+	// claimed and before it executes — a seam for making dispatch timing
+	// deterministic.
+	beforeRun func(h *JobHandle)
+}
+
+// New starts a scheduler with cfg.Workers workers. The caller must Close it.
+func New(cfg Config) *Scheduler {
+	cfg = cfg.normalize()
+	s := &Scheduler{
+		cfg:   cfg,
+		pool:  newSystemPool(cfg.MaxIdleSystems),
+		cache: newFactorCache(cfg.CacheEntries),
+		sink:  newStatsSink(),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Submit admits a job. It never blocks: a full queue rejects immediately
+// with ErrQueueFull, the backpressure contract. ctx covers the job's whole
+// lifetime — a job whose context expires while queued or between retry
+// attempts finishes with the context's error. A nil ctx means Background.
+func (s *Scheduler) Submit(ctx context.Context, spec JobSpec) (*JobHandle, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pri := spec.Priority
+	if pri >= numPriorities {
+		pri = numPriorities - 1
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if s.queued >= s.cfg.QueueDepth {
+		s.mu.Unlock()
+		s.sink.add(&s.sink.rejected, 1)
+		return nil, ErrQueueFull
+	}
+	s.nextID++
+	h := &JobHandle{
+		ID:       s.nextID,
+		spec:     spec,
+		ctx:      ctx,
+		enqueued: time.Now(),
+		done:     make(chan struct{}),
+	}
+	s.queues[pri] = append(s.queues[pri], h)
+	s.queued++
+	s.cond.Signal()
+	s.mu.Unlock()
+	s.sink.add(&s.sink.submitted, 1)
+	return h, nil
+}
+
+// Close stops admission, drains every queued job, waits for running jobs to
+// finish, and returns.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Stats snapshots the scheduler's aggregate counters and gauges.
+func (s *Scheduler) Stats() Stats {
+	st := s.sink.snapshot()
+	st.CacheHits, st.CacheMisses = s.cache.counters()
+	st.CacheEntries = s.cache.len()
+	st.SystemsCreated, st.SystemsReused = s.pool.counters()
+	st.Devices = s.pool.utilization()
+	s.mu.Lock()
+	st.QueueDepth = s.queued
+	st.Running = s.running
+	s.mu.Unlock()
+	return st
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for s.queued == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if s.queued == 0 {
+			s.mu.Unlock()
+			return
+		}
+		var h *JobHandle
+		for pri := numPriorities - 1; pri >= 0; pri-- {
+			if q := s.queues[pri]; len(q) > 0 {
+				h = q[0]
+				s.queues[pri] = q[1:]
+				break
+			}
+		}
+		s.queued--
+		s.running++
+		s.mu.Unlock()
+		if s.beforeRun != nil {
+			s.beforeRun(h)
+		}
+		s.run(h)
+		s.mu.Lock()
+		s.running--
+		s.mu.Unlock()
+	}
+}
+
+// run drives one job to a terminal state: cache fast path, then the
+// attempt/retry loop of the RetryPolicy.
+func (s *Scheduler) run(h *JobHandle) {
+	spec := h.spec
+	wait := time.Since(h.enqueued)
+	start := time.Now()
+
+	fail := func(err error) {
+		s.sink.add(&s.sink.failed, 1)
+		h.finish(nil, err)
+	}
+	cancel := func(err error) {
+		s.sink.add(&s.sink.canceled, 1)
+		h.finish(nil, err)
+	}
+	succeed := func(f *Factorization, attempts int, cacheHit bool) {
+		res := &JobResult{
+			Outcome:  f.Outcome,
+			Factors:  f,
+			Residual: f.Residual,
+			Attempts: attempts,
+			CacheHit: cacheHit,
+			Wait:     wait,
+		}
+		if spec.B != nil {
+			x, err := f.Solve(spec.B)
+			if err != nil {
+				fail(err)
+				return
+			}
+			res.X = x
+		}
+		res.Run = time.Since(start)
+		s.sink.jobDone(f.Outcome, wait, res.Run)
+		h.finish(res, nil)
+	}
+
+	if err := h.ctx.Err(); err != nil {
+		cancel(err)
+		return
+	}
+
+	var key fingerprint
+	if !spec.NoCache {
+		key = fingerprintOf(spec.Decomp, spec.A)
+		if f, ok := s.cache.get(key); ok {
+			succeed(f, 0, true)
+			return
+		}
+	}
+
+	sysCfg := spec.Config.SystemConfig()
+	for attempt := 1; ; attempt++ {
+		if err := h.ctx.Err(); err != nil {
+			cancel(err)
+			return
+		}
+		cfg := spec.Config
+		if attempt > 1 {
+			// Complete restart: fresh pooled (Reset) system, no injector —
+			// the transient that corrupted the previous attempt is gone.
+			cfg.Injector = nil
+		}
+		sys := s.pool.acquire(sysCfg)
+		f, err := runDecomposition(sys, spec, cfg)
+		s.pool.release(sys)
+		if err != nil {
+			// Construction-time errors (bad dimensions, invalid options) are
+			// deterministic; retrying cannot help.
+			fail(err)
+			return
+		}
+		if !needsRestart(f.Outcome) {
+			if !spec.NoCache {
+				s.cache.put(key, f)
+			}
+			succeed(f, attempt, false)
+			return
+		}
+		if attempt >= s.cfg.Retry.MaxAttempts {
+			fail(&CorruptError{Outcome: f.Outcome, Report: f.Report(), Attempts: attempt})
+			return
+		}
+		s.sink.add(&s.sink.retries, 1)
+		timer := time.NewTimer(s.cfg.Retry.Backoff(attempt))
+		select {
+		case <-h.ctx.Done():
+			timer.Stop()
+			cancel(h.ctx.Err())
+			return
+		case <-timer.C:
+		}
+	}
+}
+
+// runDecomposition executes one attempt on the given system and classifies
+// its outcome from the report plus the service's own residual check.
+func runDecomposition(sys *hetsim.System, spec JobSpec, cfg ftla.Config) (*Factorization, error) {
+	tol := spec.tol()
+	switch spec.Decomp {
+	case Cholesky:
+		r, err := ftla.CholeskyOn(sys, spec.A, cfg)
+		if err != nil {
+			return nil, err
+		}
+		resid := r.Residual(spec.A)
+		return &Factorization{
+			Decomp: Cholesky, Chol: r, Residual: resid,
+			Outcome: r.Report.OutcomeOf(resid <= tol),
+		}, nil
+	case LU:
+		r, err := ftla.LUOn(sys, spec.A, cfg)
+		if err != nil {
+			return nil, err
+		}
+		resid := r.Residual(spec.A)
+		return &Factorization{
+			Decomp: LU, LU: r, Residual: resid,
+			Outcome: r.Report.OutcomeOf(resid <= tol),
+		}, nil
+	default:
+		r, err := ftla.QROn(sys, spec.A, cfg)
+		if err != nil {
+			return nil, err
+		}
+		resid := r.Residual(spec.A)
+		return &Factorization{
+			Decomp: QR, QR: r, Residual: resid,
+			Outcome: r.Report.OutcomeOf(resid <= tol),
+		}, nil
+	}
+}

@@ -1,0 +1,118 @@
+package service
+
+import (
+	"sync"
+	"time"
+
+	"ftla"
+	"ftla/internal/hetsim"
+)
+
+// Stats is a point-in-time snapshot of the scheduler's aggregate behavior:
+// admission and completion counters, the outcome histogram over winning
+// attempts (§X.B buckets), retry volume, cache effectiveness, system-pool
+// reuse, latency aggregates, and fleet-wide device utilization.
+type Stats struct {
+	// Admission.
+	Submitted uint64 // accepted into the queue
+	Rejected  uint64 // refused with ErrQueueFull (backpressure)
+	// Terminal states.
+	Completed uint64 // finished with a JobResult
+	Failed    uint64 // finished with a non-cancellation error (incl. CorruptError)
+	Canceled  uint64 // context canceled/expired before or during service
+	// Retries counts corruption-triggered complete restarts across all jobs
+	// (attempts beyond each job's first).
+	Retries uint64
+	// Outcomes histograms the winning attempt of completed jobs by the
+	// paper's outcome classes ("fault-free", "abft-fixed", ...). Cache hits
+	// count under the cached factor's outcome.
+	Outcomes map[string]uint64
+
+	// Cache.
+	CacheHits    uint64
+	CacheMisses  uint64
+	CacheEntries int
+
+	// System pool.
+	SystemsCreated uint64
+	SystemsReused  uint64
+
+	// Gauges.
+	QueueDepth int // jobs admitted, not yet dispatched
+	Running    int // jobs currently on a worker
+
+	// Latency aggregates over completed jobs.
+	AvgWait, MaxWait time.Duration // submit → dispatch
+	AvgRun, MaxRun   time.Duration // dispatch → terminal (incl. retries/backoff)
+
+	// Devices aggregates simulated busy time per device name across every
+	// pooled system released so far (jobs still running are not included).
+	Devices []hetsim.DeviceStat
+}
+
+// statsSink accumulates the mutable counters behind Stats.
+type statsSink struct {
+	mu                sync.Mutex
+	submitted         uint64
+	rejected          uint64
+	completed         uint64
+	failed            uint64
+	canceled          uint64
+	retries           uint64
+	outcomes          map[string]uint64
+	waitSum, runSum   time.Duration
+	waitMax, runMax   time.Duration
+	completedDuration uint64 // completions contributing to latency sums
+}
+
+func newStatsSink() *statsSink {
+	return &statsSink{outcomes: make(map[string]uint64)}
+}
+
+func (s *statsSink) jobDone(outcome ftla.Outcome, wait, run time.Duration) {
+	s.mu.Lock()
+	s.completed++
+	s.outcomes[outcome.String()]++
+	s.completedDuration++
+	s.waitSum += wait
+	s.runSum += run
+	if wait > s.waitMax {
+		s.waitMax = wait
+	}
+	if run > s.runMax {
+		s.runMax = run
+	}
+	s.mu.Unlock()
+}
+
+func (s *statsSink) add(field *uint64, n uint64) {
+	s.mu.Lock()
+	*field += n
+	s.mu.Unlock()
+}
+
+// snapshot folds the sink into a Stats value; the scheduler adds gauges and
+// the cache/pool counters.
+func (s *statsSink) snapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Submitted: s.submitted,
+		Rejected:  s.rejected,
+		Completed: s.completed,
+		Failed:    s.failed,
+		Canceled:  s.canceled,
+		Retries:   s.retries,
+		Outcomes:  make(map[string]uint64, len(s.outcomes)),
+		MaxWait:   s.waitMax,
+		MaxRun:    s.runMax,
+	}
+	for k, v := range s.outcomes {
+		st.Outcomes[k] = v
+	}
+	if s.completedDuration > 0 {
+		st.AvgWait = s.waitSum / time.Duration(s.completedDuration)
+		st.AvgRun = s.runSum / time.Duration(s.completedDuration)
+	}
+	return st
+}

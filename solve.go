@@ -5,6 +5,7 @@ import (
 
 	"ftla/internal/blas"
 	"ftla/internal/core"
+	"ftla/internal/hetsim"
 	"ftla/internal/lapack"
 	"ftla/internal/matrix"
 )
@@ -21,7 +22,16 @@ type CholeskyResult struct {
 // Cholesky computes the protected Cholesky factorization of the symmetric
 // positive definite matrix a.
 func Cholesky(a *Matrix, cfg Config) (*CholeskyResult, error) {
-	_, opts, sys := cfg.normalize()
+	return CholeskyOn(NewSystem(cfg), a, cfg)
+}
+
+// CholeskyOn is Cholesky running on a caller-provided simulated system
+// instead of constructing a fresh one — the amortization hook for serving
+// layers that pool systems across jobs (cfg.System/cfg.GPUs are ignored;
+// the caller picked the platform). The caller is responsible for handing in
+// a clean system (see hetsim.System.Reset).
+func CholeskyOn(sys *hetsim.System, a *Matrix, cfg Config) (*CholeskyResult, error) {
+	_, opts := cfg.normalize()
 	out, res, err := core.Cholesky(sys, a, opts)
 	if err != nil {
 		return nil, err
@@ -59,7 +69,12 @@ type LUResult struct {
 
 // LU computes the protected LU factorization with partial pivoting of a.
 func LU(a *Matrix, cfg Config) (*LUResult, error) {
-	_, opts, sys := cfg.normalize()
+	return LUOn(NewSystem(cfg), a, cfg)
+}
+
+// LUOn is LU running on a caller-provided simulated system; see CholeskyOn.
+func LUOn(sys *hetsim.System, a *Matrix, cfg Config) (*LUResult, error) {
+	_, opts := cfg.normalize()
 	out, piv, res, err := core.LU(sys, a, opts)
 	if err != nil {
 		return nil, err
@@ -114,7 +129,12 @@ type QRResult struct {
 
 // QR computes the protected Householder QR factorization of a.
 func QR(a *Matrix, cfg Config) (*QRResult, error) {
-	_, opts, sys := cfg.normalize()
+	return QROn(NewSystem(cfg), a, cfg)
+}
+
+// QROn is QR running on a caller-provided simulated system; see CholeskyOn.
+func QROn(sys *hetsim.System, a *Matrix, cfg Config) (*QRResult, error) {
+	_, opts := cfg.normalize()
 	out, tau, res, err := core.QR(sys, a, opts)
 	if err != nil {
 		return nil, err
