@@ -18,6 +18,8 @@ import (
 	"ftla/internal/core"
 	"ftla/internal/hetsim"
 	"ftla/internal/matrix"
+	"ftla/internal/obs"
+	"ftla/internal/overhead"
 	"ftla/internal/probmodel"
 	"ftla/internal/propagation"
 )
@@ -112,6 +114,30 @@ func runOnce(b *testing.B, decomp string, n, nb, gpus int, opts core.Options) fl
 		return float64(res.Flops)
 	}
 }
+
+// --- §IX phase attribution: measured breakdown from obs snapshot diffs ------
+
+// benchPhaseBreakdown reports where a protected factorization's wall time
+// goes (encode / factorize / verify / recover) using the same
+// overhead.FromSnapshots mechanism as cmd/ftserve -load, so bench output,
+// load-generator output, and /metrics scrapes all agree (OBSERVABILITY.md).
+func benchPhaseBreakdown(b *testing.B, decomp string) {
+	const n, nb, gpus = 256, 32, 2
+	var m overhead.Measured
+	for i := 0; i < b.N; i++ {
+		before := obs.Default().Snapshot()
+		runOnce(b, decomp, n, nb, gpus, core.Options{NB: nb, Mode: core.Full, Scheme: core.NewScheme, Kernel: checksum.OptKernel})
+		m = overhead.FromSnapshots(before, obs.Default().Snapshot())
+	}
+	b.ReportMetric(1e3*m.Encode, "encode-ms")
+	b.ReportMetric(1e3*m.Verify, "verify-ms")
+	b.ReportMetric(1e3*m.Recover, "recover-ms")
+	b.ReportMetric(100*m.Overhead(), "abft-%")
+}
+
+func BenchmarkPhaseBreakdownCholesky(b *testing.B) { benchPhaseBreakdown(b, "cholesky") }
+func BenchmarkPhaseBreakdownLU(b *testing.B)       { benchPhaseBreakdown(b, "lu") }
+func BenchmarkPhaseBreakdownQR(b *testing.B)       { benchPhaseBreakdown(b, "qr") }
 
 // --- Table VIII: protection-strength campaign -------------------------------
 

@@ -1,6 +1,6 @@
 package blas
 
-import "sync/atomic"
+import "ftla/internal/obs"
 
 // flopCount is a process-wide tally of floating-point operations executed
 // by the BLAS kernels (and, via their internal use of these kernels, the
@@ -8,7 +8,12 @@ import "sync/atomic"
 // noise-free work metric: on the simulated platform, wall-clock overhead
 // percentages are hostage to scheduler jitter, while flop ratios are
 // exactly reproducible.
-var flopCount atomic.Uint64
+//
+// The tally lives in the obs default registry (ftla_blas_flops_total), so
+// the same number that ResetFlops-based experiments difference is what a
+// /metrics scrape reports — one source of truth, two consumers.
+var flopCount = obs.Default().Counter(obs.MetricBlasFlops,
+	"Floating-point operations executed by the BLAS kernels (and callers self-reporting via AddFlops).")
 
 // AddFlops adds n floating-point operations to the global tally. Other
 // packages performing substantial arithmetic outside the BLAS kernels
@@ -16,7 +21,9 @@ var flopCount atomic.Uint64
 func AddFlops(n uint64) { flopCount.Add(n) }
 
 // Flops returns the flops executed since the last ResetFlops.
-func Flops() uint64 { return flopCount.Load() }
+func Flops() uint64 { return flopCount.Value() }
 
-// ResetFlops zeroes the tally and returns the previous value.
+// ResetFlops zeroes the tally and returns the previous value. Note this
+// resets the registry counter too; scrape consumers that need monotonic
+// counters should prefer obs.Snapshot diffing over ResetFlops.
 func ResetFlops() uint64 { return flopCount.Swap(0) }

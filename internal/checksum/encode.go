@@ -18,6 +18,18 @@ import (
 
 	"ftla/internal/blas"
 	"ftla/internal/matrix"
+	"ftla/internal/obs"
+)
+
+// Process-wide checksum metrics (obs default registry). Encode counts
+// include the recomputations VerifyCol/VerifyRow perform internally, so
+// the encode rate on /metrics reflects total checksum-kernel pressure,
+// not just maintenance encodes.
+var (
+	encodeOps = obs.Default().CounterVec(obs.MetricChecksumEncodes,
+		"Checksum encode operations, labeled by kernel (gemm or opt).", "kernel")
+	mismatchCount = obs.Default().Counter(obs.MetricChecksumMismatches,
+		"Checksum verification mismatches detected (each is one suspect strip/line pair).")
 )
 
 // Kernel selects the checksum-encoding implementation.
@@ -38,6 +50,8 @@ const (
 	OptKernel
 )
 
+// String returns the kernel's short name ("gemm" or "opt"), as used in
+// metric labels and benchmark output.
 func (k Kernel) String() string {
 	if k == GEMMKernel {
 		return "gemm"
@@ -72,6 +86,7 @@ func EncodeCol(k Kernel, workers int, a *matrix.Dense, nb int, out *matrix.Dense
 	if out.Rows != wr || out.Cols != wc {
 		panic("checksum: EncodeCol output has wrong shape")
 	}
+	encodeOps.With(k.String()).Inc()
 	if k == OptKernel {
 		// The GEMM path self-reports through blas; the fused kernel does
 		// 3 flops per element (two adds, one multiply).
@@ -120,6 +135,7 @@ func EncodeRow(k Kernel, workers int, a *matrix.Dense, nb int, out *matrix.Dense
 	if out.Rows != wr || out.Cols != wc {
 		panic("checksum: EncodeRow output has wrong shape")
 	}
+	encodeOps.With(k.String()).Inc()
 	if k == OptKernel {
 		blas.AddFlops(3 * uint64(a.Rows) * uint64(a.Cols))
 	}

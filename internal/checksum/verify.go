@@ -48,6 +48,7 @@ func VerifyCol(workers int, a *matrix.Dense, nb int, chk *matrix.Dense, tol floa
 			}
 		}
 	}
+	mismatchCount.Add(uint64(len(out)))
 	return out
 }
 
@@ -68,6 +69,7 @@ func VerifyRow(workers int, a *matrix.Dense, nb int, chk *matrix.Dense, tol floa
 			}
 		}
 	}
+	mismatchCount.Add(uint64(len(out)))
 	return out
 }
 

@@ -10,6 +10,7 @@ import (
 	"ftla/internal/hetsim"
 	"ftla/internal/lapack"
 	"ftla/internal/matrix"
+	"ftla/internal/obs"
 )
 
 // Cholesky computes the protected blocked lower Cholesky factorization of
@@ -41,7 +42,7 @@ func Cholesky(sys *hetsim.System, a *matrix.Dense, opts Options) (*matrix.Dense,
 		N: n, NB: opts.NB, GPUs: sys.NumGPUs(),
 		Mode: opts.Mode, Scheme: opts.Scheme, Kernel: opts.Kernel,
 	}
-	es := newEngine(sys, opts, res)
+	es := newEngine("cholesky", sys, opts, res)
 	start := time.Now()
 	p := newProtected(es, a)
 	pl := planFor(opts.Scheme)
@@ -332,8 +333,7 @@ func (p *protected) cholPD(es *engineSys, k int, pm, snapshot, snapChk *matrix.D
 // from the stored values while the left-hand side is the maintained (and
 // previously verified) checksum of the input.
 func (p *protected) cholProductCheck(pm, snapChk *matrix.Dense) bool {
-	t0 := time.Now()
-	defer func() { p.es.res.VerifyT += time.Since(t0) }()
+	defer p.es.span(obs.PhaseVerify, "chol-product-check", &p.es.res.VerifyT)()
 	nb := p.nb
 	// Materialize L̂ (lower triangle of the stored block).
 	l := matrix.NewDense(nb, nb)
@@ -464,8 +464,7 @@ func (p *protected) cholHeuristicAfterTMU(k int, stages []stagePair) {
 // fixes (r, r) algebraically from the known corruption magnitude, and
 // re-encodes the polluted checksum lines from the repaired data.
 func (p *protected) repairCholCross(g, k, r int, clean, d1 float64) {
-	t0 := time.Now()
-	defer func() { p.es.res.RecoverT += time.Since(t0) }()
+	defer p.es.span(obs.PhaseRecover, "repair-chol-cross", &p.es.res.RecoverT)()
 	nb := p.nb
 	gdev := p.es.sys.GPU(g)
 	lb0 := p.trailStart(g, k+1)

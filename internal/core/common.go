@@ -8,7 +8,13 @@ import (
 	"ftla/internal/fault"
 	"ftla/internal/hetsim"
 	"ftla/internal/matrix"
+	"ftla/internal/obs"
 )
+
+// factorizations counts completed driver runs in the obs default registry,
+// labeled by decomposition (cholesky, lu, qr).
+var factorizations = obs.Default().CounterVec(obs.MetricFactorizations,
+	"Completed factorization runs, labeled by decomposition.", "decomp")
 
 // withCommContext installs the PCIe fault hook scoped to one broadcast:
 // transfers executed inside body may be struck by Communication faults
@@ -79,16 +85,15 @@ type correctedElem struct {
 // the trailing-matrix rows/columns those elements contaminated during TMU
 // (§VII.B heuristic recovery).
 func (p *protected) verifyRepairColReport(workers int, data, chk *matrix.Dense, rowRepair func(col int) bool) (repairOutcome, []correctedElem) {
-	t0 := time.Now()
+	stop := p.es.span(obs.PhaseVerify, "verify-col", &p.es.res.VerifyT)
 	ms := checksum.VerifyCol(workers, data, p.nb, chk, p.tol)
-	p.es.res.VerifyT += time.Since(t0)
+	stop()
 	if len(ms) == 0 {
 		return repairClean, nil
 	}
 	p.es.res.Detected = true
 	p.es.res.Counter.DetectedErrors += len(ms)
-	t1 := time.Now()
-	defer func() { p.es.res.RecoverT += time.Since(t1) }()
+	defer p.es.span(obs.PhaseRecover, "repair-col", &p.es.res.RecoverT)()
 	var fixed []correctedElem
 	stuck := map[int]bool{}
 	for _, m := range ms {
@@ -110,9 +115,9 @@ func (p *protected) verifyRepairColReport(workers int, data, chk *matrix.Dense, 
 		}
 		p.es.res.Counter.ReconstructedLins++
 	}
-	t2 := time.Now()
+	stop = p.es.span(obs.PhaseVerify, "verify-col", &p.es.res.VerifyT)
 	ms = checksum.VerifyCol(workers, data, p.nb, chk, p.tol)
-	p.es.res.VerifyT += time.Since(t2)
+	stop()
 	if len(ms) != 0 && rowRepair != nil {
 		// A multi-element column corruption can alias as a localizable
 		// single error (δ₂/δ₁ lands near an integer by chance); the
@@ -129,9 +134,9 @@ func (p *protected) verifyRepairColReport(workers int, data, chk *matrix.Dense, 
 			}
 		}
 		if ok {
-			t3 := time.Now()
+			stop = p.es.span(obs.PhaseVerify, "verify-col", &p.es.res.VerifyT)
 			ms = checksum.VerifyCol(workers, data, p.nb, chk, p.tol)
-			p.es.res.VerifyT += time.Since(t3)
+			stop()
 		}
 	}
 	if len(ms) != 0 {
@@ -140,19 +145,50 @@ func (p *protected) verifyRepairColReport(workers int, data, chk *matrix.Dense, 
 	return repairCorrected, fixed
 }
 
-// newEngine bundles the run state and snapshots the flop counter so the
-// result can report the run's own work.
-func newEngine(sys *hetsim.System, opts Options, res *Result) *engineSys {
-	return &engineSys{sys: sys, opts: opts, res: res, inj: opts.Injector, startFlops: blas.Flops()}
+// newEngine bundles the run state for the named decomposition and
+// snapshots the flop counter so the result can report the run's own work.
+func newEngine(decomp string, sys *hetsim.System, opts Options, res *Result) *engineSys {
+	return &engineSys{decomp: decomp, sys: sys, opts: opts, res: res, inj: opts.Injector, startFlops: blas.Flops()}
+}
+
+// span opens a phase region and returns its closer; `defer es.span(...)()`
+// is the usual shape, or keep the closer and call it once inline. The
+// closer adds the elapsed wall time to acc (one of the Result phase
+// accumulators), feeds the same duration to the ftla_phase_seconds
+// histogram of the obs default registry, and — when an obs.Trace is
+// attached to the run's system — emits a wall-clock span named name under
+// the phase category. One helper keeps Result, /metrics, and /trace in
+// agreement about what each phase cost.
+func (es *engineSys) span(phase, name string, acc *time.Duration) func() {
+	t0 := time.Now()
+	return func() {
+		d := time.Since(t0)
+		*acc += d
+		obs.ObservePhase(phase, d)
+		if es.sys != nil {
+			es.sys.Tracer().WallSpan(name, phase, t0, d)
+		}
+	}
 }
 
 // finishResult stamps the timing/traffic/work fields once a driver
-// completes.
+// completes, attributes the non-ABFT remainder of the wall time to the
+// factorize phase (wall minus encode/verify/recover, clamped at zero),
+// counts the run in ftla_factorizations_total, and emits the whole-run
+// span when a tracer is attached.
 func (es *engineSys) finishResult(start time.Time) {
-	es.res.Wall = time.Since(start)
-	es.res.SimMakespan = es.sys.SimMakespan()
-	es.res.PCIeBytes = es.sys.BytesTransferred()
-	es.res.Flops = blas.Flops() - es.startFlops
+	res := es.res
+	res.Wall = time.Since(start)
+	res.SimMakespan = es.sys.SimMakespan()
+	res.PCIeBytes = es.sys.BytesTransferred()
+	res.Flops = blas.Flops() - es.startFlops
+	factor := res.Wall - res.EncodeT - res.VerifyT - res.RecoverT
+	if factor < 0 {
+		factor = 0
+	}
+	obs.ObservePhase(obs.PhaseFactorize, factor)
+	factorizations.With(es.decomp).Inc()
+	es.sys.Tracer().WallSpan(es.decomp, obs.PhaseFactorize, start, res.Wall)
 }
 
 // blasGemm aliases the sequential GEMM for recovery-path helpers.

@@ -10,6 +10,7 @@ import (
 	"ftla/internal/hetsim"
 	"ftla/internal/lapack"
 	"ftla/internal/matrix"
+	"ftla/internal/obs"
 )
 
 // LU computes the protected blocked LU factorization with partial pivoting
@@ -39,7 +40,7 @@ func LU(sys *hetsim.System, a *matrix.Dense, opts Options) (*matrix.Dense, []int
 		N: n, NB: opts.NB, GPUs: sys.NumGPUs(),
 		Mode: opts.Mode, Scheme: opts.Scheme, Kernel: opts.Kernel,
 	}
-	es := newEngine(sys, opts, res)
+	es := newEngine("lu", sys, opts, res)
 	start := time.Now()
 	p := newProtected(es, a)
 	pl := planFor(opts.Scheme)
@@ -376,8 +377,7 @@ func (p *protected) luPD(es *engineSys, k int, pm, cm, snapshot *matrix.Dense, l
 // luProductCheck verifies per-strip c(P·A) == (wᵀL̂)·Û for the factored
 // panel.
 func (p *protected) luProductCheck(pm, snapshot *matrix.Dense, lpiv []int) bool {
-	t0 := time.Now()
-	defer func() { p.es.res.VerifyT += time.Since(t0) }()
+	defer p.es.span(obs.PhaseVerify, "lu-product-check", &p.es.res.VerifyT)()
 	nb := p.nb
 	m := pm.Rows
 	// c(P·A): permute the clean snapshot, re-encode.
@@ -606,9 +606,9 @@ func (p *protected) luHeuristicAfterTMU(k int, stages []stagePair) {
 		cols := p.nloc[g]*nb - lb0*nb
 		data := p.local[g].View(o, lb0*nb, nb, cols).Access(gdev)
 		rchk := p.rowChk[g].View(o, 2*lb0, nb, 2*(p.nloc[g]-lb0)).Access(gdev)
-		t0 := time.Now()
+		stop := p.es.span(obs.PhaseVerify, "verify-row", &p.es.res.VerifyT)
 		ms := checksum.VerifyRow(gdev.Workers(), data, nb, rchk, p.tol)
-		p.es.res.VerifyT += time.Since(t0)
+		stop()
 		p.es.res.Counter.TMUAfter += cols / nb
 		if len(ms) == 0 {
 			continue
@@ -631,8 +631,7 @@ func (p *protected) luHeuristicAfterTMU(k int, stages []stagePair) {
 // luRepairTrailingRow rebuilds trailing row r across GPU g's trailing
 // columns from the maintained column checksums.
 func (p *protected) luRepairTrailingRow(g, k, r int) {
-	t0 := time.Now()
-	defer func() { p.es.res.RecoverT += time.Since(t0) }()
+	defer p.es.span(obs.PhaseRecover, "lu-repair-trailing-row", &p.es.res.RecoverT)()
 	nb := p.nb
 	gdev := p.es.sys.GPU(g)
 	lb0 := p.trailStart(g, k+1)
@@ -654,8 +653,7 @@ func (p *protected) luRepairTrailingRow(g, k, r int) {
 // column (view-relative localCol, counted from the first trailing local
 // column) from the maintained row checksums.
 func (p *protected) luRepairTrailingColumn(g, k, localCol int) {
-	t0 := time.Now()
-	defer func() { p.es.res.RecoverT += time.Since(t0) }()
+	defer p.es.span(obs.PhaseRecover, "lu-repair-trailing-col", &p.es.res.RecoverT)()
 	nb := p.nb
 	o := k * nb
 	gdev := p.es.sys.GPU(g)

@@ -237,6 +237,7 @@ func (r *Result) OutcomeOf(residualOK bool) Outcome {
 
 // engineSys bundles the pieces every decomposition driver needs.
 type engineSys struct {
+	decomp     string // decomposition name: cholesky, lu, qr
 	sys        *hetsim.System
 	opts       Options
 	res        *Result

@@ -1,11 +1,10 @@
 package core
 
 import (
-	"time"
-
 	"ftla/internal/checksum"
 	"ftla/internal/hetsim"
 	"ftla/internal/matrix"
+	"ftla/internal/obs"
 )
 
 // protected is the distributed, checksum-encoded matrix state. The n×n
@@ -85,7 +84,7 @@ func newProtected(es *engineSys, a *matrix.Dense) *protected {
 		}
 	}
 	if es.opts.Mode != NoChecksum {
-		t0 := time.Now()
+		stop := es.span(obs.PhaseEncode, "encode-initial", &es.res.EncodeT)
 		for g := 0; g < G; g++ {
 			gdev := es.sys.GPU(g)
 			lc := p.nloc[g] * nb
@@ -103,7 +102,7 @@ func newProtected(es *engineSys, a *matrix.Dense) *protected {
 				})
 			}
 		}
-		es.res.EncodeT += time.Since(t0)
+		stop()
 	}
 	return p
 }
@@ -225,16 +224,15 @@ const (
 // The pass re-verifies after repair, charges verify/recovery time, and
 // updates the counters.
 func (p *protected) verifyRepairCol(workers int, data *matrix.Dense, chk *matrix.Dense, rowRepair func(col int) bool) repairOutcome {
-	t0 := time.Now()
+	stop := p.es.span(obs.PhaseVerify, "verify-col", &p.es.res.VerifyT)
 	ms := checksum.VerifyCol(workers, data, p.nb, chk, p.tol)
-	p.es.res.VerifyT += time.Since(t0)
+	stop()
 	if len(ms) == 0 {
 		return repairClean
 	}
 	p.es.res.Detected = true
 	p.es.res.Counter.DetectedErrors += len(ms)
-	t1 := time.Now()
-	defer func() { p.es.res.RecoverT += time.Since(t1) }()
+	defer p.es.span(obs.PhaseRecover, "repair-col", &p.es.res.RecoverT)()
 
 	stuckCols := map[int]bool{}
 	for _, m := range ms {
@@ -258,9 +256,9 @@ func (p *protected) verifyRepairCol(workers int, data *matrix.Dense, chk *matrix
 	// Re-verify: corrections must reconcile; surviving columns (e.g. a
 	// multi-element corruption that aliased as a localizable single error)
 	// escalate to the column repair before the pass gives up.
-	t2 := time.Now()
+	stop = p.es.span(obs.PhaseVerify, "verify-col", &p.es.res.VerifyT)
 	ms = checksum.VerifyCol(workers, data, p.nb, chk, p.tol)
-	p.es.res.VerifyT += time.Since(t2)
+	stop()
 	if len(ms) != 0 && rowRepair != nil {
 		ok := true
 		seen := map[int]bool{}
@@ -273,9 +271,9 @@ func (p *protected) verifyRepairCol(workers int, data *matrix.Dense, chk *matrix
 			}
 		}
 		if ok {
-			t3 := time.Now()
+			stop = p.es.span(obs.PhaseVerify, "verify-col", &p.es.res.VerifyT)
 			ms = checksum.VerifyCol(workers, data, p.nb, chk, p.tol)
-			p.es.res.VerifyT += time.Since(t3)
+			stop()
 		}
 	}
 	if len(ms) != 0 {
@@ -288,16 +286,15 @@ func (p *protected) verifyRepairCol(workers int, data *matrix.Dense, chk *matrix
 // mismatches are corrected element-wise; a row whose mismatches do not
 // localize is handed to colRepair (reconstruction from column checksums).
 func (p *protected) verifyRepairRow(workers int, data *matrix.Dense, chk *matrix.Dense, colRepair func(row int) bool) repairOutcome {
-	t0 := time.Now()
+	stop := p.es.span(obs.PhaseVerify, "verify-row", &p.es.res.VerifyT)
 	ms := checksum.VerifyRow(workers, data, p.nb, chk, p.tol)
-	p.es.res.VerifyT += time.Since(t0)
+	stop()
 	if len(ms) == 0 {
 		return repairClean
 	}
 	p.es.res.Detected = true
 	p.es.res.Counter.DetectedErrors += len(ms)
-	t1 := time.Now()
-	defer func() { p.es.res.RecoverT += time.Since(t1) }()
+	defer p.es.span(obs.PhaseRecover, "repair-row", &p.es.res.RecoverT)()
 
 	stuckRows := map[int]bool{}
 	for _, m := range ms {
@@ -318,9 +315,9 @@ func (p *protected) verifyRepairRow(workers int, data *matrix.Dense, chk *matrix
 		}
 		p.es.res.Counter.ReconstructedLins++
 	}
-	t2 := time.Now()
+	stop = p.es.span(obs.PhaseVerify, "verify-row", &p.es.res.VerifyT)
 	ms = checksum.VerifyRow(workers, data, p.nb, chk, p.tol)
-	p.es.res.VerifyT += time.Since(t2)
+	stop()
 	if len(ms) != 0 {
 		return repairFailed
 	}
@@ -390,8 +387,7 @@ func (p *protected) reconcileOrthogonal(g, rlo, rhi, lbLo, lbHi int) {
 	if p.es.opts.Mode != Full {
 		return
 	}
-	t0 := time.Now()
-	defer func() { p.es.res.RecoverT += time.Since(t0) }()
+	defer p.es.span(obs.PhaseRecover, "reconcile-orthogonal", &p.es.res.RecoverT)()
 	gdev := p.es.sys.GPU(g)
 	nb := p.nb
 	if lbHi > p.nloc[g] {
@@ -598,8 +594,7 @@ func (p *protected) reencodeColChkCol(g, localCol int) {
 // and the row's row checksums re-encoded from the repaired data. Returns
 // false if the strip cannot be reconciled.
 func (p *protected) repairContaminatedRow(g, r, bjLo int) bool {
-	t0 := time.Now()
-	defer func() { p.es.res.RecoverT += time.Since(t0) }()
+	defer p.es.span(obs.PhaseRecover, "repair-contaminated-row", &p.es.res.RecoverT)()
 	gdev := p.es.sys.GPU(g)
 	nb := p.nb
 	lbLo := p.trailStart(g, bjLo)

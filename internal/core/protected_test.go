@@ -24,7 +24,7 @@ func newTestProtected(t *testing.T, n, nb, gpus int, mode Mode) (*protected, *ma
 	if err := opts.Validate(n); err != nil {
 		t.Fatal(err)
 	}
-	es := newEngine(sys, opts, &Result{})
+	es := newEngine("test", sys, opts, &Result{})
 	return newProtected(es, a), a
 }
 

@@ -10,6 +10,7 @@ import (
 	"ftla/internal/hetsim"
 	"ftla/internal/lapack"
 	"ftla/internal/matrix"
+	"ftla/internal/obs"
 )
 
 // QR computes the protected blocked Householder QR factorization of a on
@@ -39,7 +40,7 @@ func QR(sys *hetsim.System, a *matrix.Dense, opts Options) (*matrix.Dense, []flo
 		N: n, NB: opts.NB, GPUs: sys.NumGPUs(),
 		Mode: opts.Mode, Scheme: opts.Scheme, Kernel: opts.Kernel,
 	}
-	es := newEngine(sys, opts, res)
+	es := newEngine("qr", sys, opts, res)
 	start := time.Now()
 	p := newProtected(es, a)
 	pl := planFor(opts.Scheme)
@@ -128,11 +129,11 @@ func QR(sys *hetsim.System, a *matrix.Dense, opts Options) (*matrix.Dense, []flo
 			// by recomputing T from V (§IV.B).
 			res.Detected = true
 			res.Counter.DetectedErrors++
-			t0 := time.Now()
+			stop := es.span(obs.PhaseRecover, "recompute-t", &res.RecoverT)
 			cpu.Run("larft", float64(m*nb*nb), func(int) {
 				tmat = lapack.Larft(pm, ltau)
 			})
-			res.RecoverT += time.Since(t0)
+			stop()
 			if !p.qrOrthoProbe(pm, tmat) {
 				res.Unrecoverable = true
 			}
@@ -213,11 +214,11 @@ func QR(sys *hetsim.System, a *matrix.Dense, opts Options) (*matrix.Dense, []flo
 				if !p.qrOrthoProbe(sd, td) {
 					res.Detected = true
 					res.Counter.DetectedErrors++
-					t0 := time.Now()
+					stop := es.span(obs.PhaseRecover, "recompute-t", &res.RecoverT)
 					gdev.Run("larft", float64(m*nb*nb), func(int) {
 						td.CopyFrom(lapack.Larft(sd, ltau))
 					})
-					res.RecoverT += time.Since(t0)
+					stop()
 				}
 			}
 		}
@@ -291,9 +292,9 @@ func (p *protected) qrPD(es *engineSys, k int, pm, cm, snapshot, snapChk *matrix
 		es.injectComp(k, fault.PD, regs)
 		ok := true
 		if pl.afterPDCPU && es.opts.Mode != NoChecksum {
-			t0 := time.Now()
+			stop := es.span(obs.PhaseVerify, "verify-col", &es.res.VerifyT)
 			ms := checksum.VerifyCol(cpu.Workers(), pm, nb, cm, p.tol*float64(nb))
-			es.res.VerifyT += time.Since(t0)
+			stop()
 			es.res.Counter.PDAfter += m / nb
 			if len(ms) != 0 {
 				ok = false
@@ -387,8 +388,7 @@ func (p *protected) qrPanelChecked(pm, cm *matrix.Dense, ltau []float64) {
 // preservation generically at O(m·nb) cost — the cheap CTF validation of
 // §IV.B.
 func (p *protected) qrOrthoProbe(panel, tmat *matrix.Dense) bool {
-	t0 := time.Now()
-	defer func() { p.es.res.VerifyT += time.Since(t0) }()
+	defer p.es.span(obs.PhaseVerify, "qr-ortho-probe", &p.es.res.VerifyT)()
 	m, nb := panel.Rows, tmat.Rows
 	x := make([]float64, m)
 	for i := range x {
@@ -566,8 +566,7 @@ func (p *protected) qrHeuristicAfterTMU(k int, stages []stagePair, cvStage, tSta
 
 // qrRollbackRedo implements the Woodbury local restart for GPU g's TMU.
 func (p *protected) qrRollbackRedo(g, k int, corrupt *matrix.Dense, st stagePair, cv, tm *hetsim.Buffer) {
-	t0 := time.Now()
-	defer func() { p.es.res.RecoverT += time.Since(t0) }()
+	defer p.es.span(obs.PhaseRecover, "qr-rollback-redo", &p.es.res.RecoverT)()
 	gdev := p.es.sys.GPU(g)
 	nb := p.nb
 	o := k * nb

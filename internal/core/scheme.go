@@ -1,11 +1,10 @@
 package core
 
 import (
-	"time"
-
 	"ftla/internal/checksum"
 	"ftla/internal/hetsim"
 	"ftla/internal/matrix"
+	"ftla/internal/obs"
 )
 
 // plan expands a Scheme into concrete verification points. The paper's
@@ -71,9 +70,8 @@ func planFor(s Scheme) plan {
 // encodeColInto recomputes the column checksums of data into chk using the
 // configured kernel and charges encode time.
 func (p *protected) encodeColInto(workers int, data, chk *matrix.Dense) {
-	t0 := time.Now()
+	defer p.es.span(obs.PhaseEncode, "encode-col", &p.es.res.EncodeT)()
 	checksum.EncodeCol(p.es.opts.Kernel, workers, data, p.nb, chk)
-	p.es.res.EncodeT += time.Since(t0)
 }
 
 // stagePair is a per-GPU staging area for a broadcast panel and its column

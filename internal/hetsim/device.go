@@ -29,6 +29,7 @@ const (
 	GPU
 )
 
+// String returns "CPU" or "GPU".
 func (k Kind) String() string {
 	if k == CPU {
 		return "CPU"
@@ -80,13 +81,17 @@ func (d *Device) resetSim() {
 	d.mu.Unlock()
 }
 
-func (d *Device) addSim(flops float64) {
+// addSim advances the device clock by the kernel's simulated duration and
+// returns that duration (zero when the device has no nominal speed).
+func (d *Device) addSim(flops float64) float64 {
 	if d.gflops <= 0 {
-		return
+		return 0
 	}
+	secs := flops / (d.gflops * 1e9)
 	d.mu.Lock()
-	d.simSecs += flops / (d.gflops * 1e9)
+	d.simSecs += secs
 	d.mu.Unlock()
+	return secs
 }
 
 // Buffer is a matrix resident in one device's memory.
@@ -159,8 +164,7 @@ func (d *Device) Gemm(transA, transB bool, alpha float64, a, b *Buffer, beta flo
 	}
 	blas.GemmP(d.workers, transA, transB, alpha, am, bm, beta, cm)
 	flops := 2 * float64(cm.Rows) * float64(cm.Cols) * float64(k)
-	d.addSim(flops)
-	d.sys.trace("gemm", d, flops)
+	d.sys.trace("gemm", d, flops, d.addSim(flops))
 }
 
 // Trsm solves a triangular system with multiple right-hand sides on the
@@ -169,8 +173,7 @@ func (d *Device) Trsm(side blas.Side, lower, trans, unit bool, alpha float64, a,
 	am, bm := a.Access(d), b.Access(d)
 	blas.TrsmP(d.workers, side, lower, trans, unit, alpha, am, bm)
 	flops := float64(am.Rows) * float64(am.Rows) * float64(bm.Rows*bm.Cols) / float64(am.Rows)
-	d.addSim(flops)
-	d.sys.trace("trsm", d, flops)
+	d.sys.trace("trsm", d, flops, d.addSim(flops))
 }
 
 // Syrk performs a symmetric rank-k update on the device (see blas.Syrk).
@@ -182,8 +185,7 @@ func (d *Device) Syrk(lower, trans bool, alpha float64, a *Buffer, beta float64,
 		k = am.Rows
 	}
 	flops := float64(cm.Rows) * float64(cm.Cols) * float64(k)
-	d.addSim(flops)
-	d.sys.trace("syrk", d, flops)
+	d.sys.trace("syrk", d, flops, d.addSim(flops))
 }
 
 // Run executes an arbitrary kernel body on the device, charging the given
@@ -192,6 +194,5 @@ func (d *Device) Syrk(lower, trans bool, alpha float64, a *Buffer, beta float64,
 // (POTF2/GETF2/GEQR2) and checksum kernels.
 func (d *Device) Run(name string, flops float64, body func(workers int)) {
 	body(d.workers)
-	d.addSim(flops)
-	d.sys.trace(name, d, flops)
+	d.sys.trace(name, d, flops, d.addSim(flops))
 }

@@ -6,6 +6,7 @@ import (
 
 	"ftla/internal/blas"
 	"ftla/internal/matrix"
+	"ftla/internal/obs"
 )
 
 func newSys(t *testing.T, gpus int) *System {
@@ -390,14 +391,98 @@ func TestResetClearsSimState(t *testing.T) {
 		t.Fatal("events survive Reset")
 	}
 	s.mu.Lock()
-	hook, traceOn := s.hook, s.traceEnabled
+	hook, traceOn, tracer := s.hook, s.traceEnabled, s.tracer
 	s.mu.Unlock()
-	if hook != nil || traceOn {
-		t.Fatal("hook/trace flag survive Reset")
+	if hook != nil || tracer != nil {
+		t.Fatal("per-run attachments (hook/tracer) survive Reset")
+	}
+	if !traceOn {
+		t.Fatal("EnableTrace is configuration and must survive Reset")
 	}
 	for _, d := range append([]*Device{s.CPU()}, s.GPUs()...) {
 		if d.SimTime() != 0 {
 			t.Fatalf("%s clock %g after Reset, want 0", d.Name(), d.SimTime())
 		}
+	}
+}
+
+// Regression for the PR-1 bug where Reset silently disabled tracing: a
+// pooled system whose user had called EnableTrace(true) recorded nothing
+// after the pool Reset it between jobs.
+func TestEnableTraceSurvivesReset(t *testing.T) {
+	s := newSys(t, 1)
+	if was := s.EnableTrace(true); was {
+		t.Fatal("trace must start disabled")
+	}
+	if was := s.EnableTrace(true); !was {
+		t.Fatal("EnableTrace must return the prior setting")
+	}
+	s.GPU(0).Run("before", 1, func(int) {})
+	s.Reset()
+	if len(s.Events()) != 0 {
+		t.Fatal("Reset must drop recorded events")
+	}
+	s.GPU(0).Run("after", 1, func(int) {})
+	evts := s.Events()
+	if len(evts) != 1 || evts[0].Op != "after" {
+		t.Fatalf("recording must continue after Reset without re-enabling; events=%v", evts)
+	}
+}
+
+func TestTracerReceivesSimSpans(t *testing.T) {
+	s := newSys(t, 1)
+	tr := obs.NewTrace()
+	s.SetTracer(tr)
+	if s.Tracer() != tr {
+		t.Fatal("Tracer accessor")
+	}
+	g := s.GPU(0)
+	g.Run("potf2", 2e9, func(int) {})
+	src := s.CPU().Alloc(8, 8)
+	dst := g.Alloc(8, 8)
+	s.Transfer(src, dst)
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2 (kernel + pcie)", len(spans))
+	}
+	k, p := spans[0], spans[1]
+	if k.Name != "potf2" || k.Cat != "kernel" || k.Proc != obs.ProcSim || k.Track != "GPU0" {
+		t.Fatalf("kernel span: %+v", k)
+	}
+	if k.DurUS <= 0 || k.Args["flops"] != 2e9 {
+		t.Fatalf("kernel span duration/args: %+v", k)
+	}
+	if p.Name != "CPU->GPU0" || p.Cat != obs.PhasePCIe || p.Track != "PCIe" || p.Args["bytes"] != 8*8*8 {
+		t.Fatalf("pcie span: %+v", p)
+	}
+	// The span timeline must agree with the simulated clocks.
+	if end := (k.StartUS + k.DurUS) / 1e6; end != g.SimTime() {
+		t.Fatalf("kernel span ends at %g, device clock %g", end, g.SimTime())
+	}
+	s.Reset()
+	if s.Tracer() != nil {
+		t.Fatal("Reset must detach the tracer")
+	}
+	g.Run("k", 1e9, func(int) {})
+	if tr.Len() != 2 {
+		t.Fatal("detached tracer must stop receiving spans")
+	}
+}
+
+func TestTransferFeedsDefaultRegistry(t *testing.T) {
+	before := obs.Default().Snapshot()
+	s := newSys(t, 1)
+	src := s.CPU().Alloc(4, 4)
+	dst := s.GPU(0).Alloc(4, 4)
+	s.Transfer(src, dst)
+	d := obs.Default().Snapshot().Diff(before)
+	if got := d.CounterValue(obs.MetricPCIeBytes); got != 8*4*4 {
+		t.Fatalf("pcie bytes delta = %d, want %d", got, 8*4*4)
+	}
+	if got := d.CounterValue(obs.MetricPCIeTransfers); got != 1 {
+		t.Fatalf("pcie transfers delta = %d, want 1", got)
+	}
+	if got := d.PhaseSeconds(obs.PhasePCIe); got <= 0 {
+		t.Fatalf("pcie phase seconds delta = %g, want > 0", got)
 	}
 }

@@ -5,6 +5,15 @@ import (
 	"sync"
 
 	"ftla/internal/matrix"
+	"ftla/internal/obs"
+)
+
+// PCIe traffic metrics, shared across every System in the process (the
+// obs default registry is the aggregate view; per-system figures come
+// from BytesTransferred/PCIeSimTime).
+var (
+	pcieBytes     = obs.Default().Counter(obs.MetricPCIeBytes, "Total simulated PCIe traffic in bytes.")
+	pcieTransfers = obs.Default().Counter(obs.MetricPCIeTransfers, "Simulated PCIe transfers executed.")
 )
 
 // Config describes the simulated node. The zero value is not valid; use
@@ -70,6 +79,7 @@ type System struct {
 	events       []Event
 	traceEnabled bool
 	hook         TransferHook
+	tracer       *obs.Trace
 }
 
 // New builds a simulated node from cfg.
@@ -115,14 +125,37 @@ func (s *System) SetTransferHook(h TransferHook) {
 }
 
 // EnableTrace turns on event recording (off by default: the event slice
-// grows with every kernel).
-func (s *System) EnableTrace(on bool) {
+// grows with every kernel) and returns the previous setting. The flag is
+// configuration, not accumulated state: it survives Reset, which drops
+// the recorded events but leaves recording itself as the caller set it
+// (see Reset).
+func (s *System) EnableTrace(on bool) (was bool) {
 	s.mu.Lock()
+	was = s.traceEnabled
 	s.traceEnabled = on
 	if !on {
 		s.events = nil
 	}
 	s.mu.Unlock()
+	return was
+}
+
+// SetTracer attaches (or, with nil, detaches) an obs.Trace that receives
+// a simulated-clock span for every kernel execution and PCIe transfer —
+// the span-based successor of the Event slice, exportable as a Chrome
+// trace. The tracer is a per-run attachment like the transfer hook:
+// Reset detaches it.
+func (s *System) SetTracer(t *obs.Trace) {
+	s.mu.Lock()
+	s.tracer = t
+	s.mu.Unlock()
+}
+
+// Tracer returns the attached tracer, nil when tracing is off.
+func (s *System) Tracer() *obs.Trace {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tracer
 }
 
 // Events returns a copy of the recorded trace.
@@ -134,28 +167,41 @@ func (s *System) Events() []Event {
 	return out
 }
 
-func (s *System) trace(op string, d *Device, flops float64) {
+func (s *System) trace(op string, d *Device, flops, durSecs float64) {
 	at := d.SimTime() // before s.mu: trace never holds both locks
 	s.mu.Lock()
+	tr := s.tracer
 	if s.traceEnabled {
 		s.events = append(s.events, Event{Op: op, Device: d.Name(), Flops: flops, At: at})
 	}
 	s.mu.Unlock()
+	if tr != nil {
+		var args map[string]float64
+		if flops > 0 {
+			args = map[string]float64{"flops": flops}
+		}
+		tr.SimSpan(op, "kernel", d.Name(), at, durSecs, args)
+	}
 }
 
-// Reset returns the system to its freshly constructed state: simulated
-// clocks and PCIe byte counters zeroed, the recorded trace dropped and
-// tracing disabled, and the transfer hook cleared. Device buffers are not
-// tracked and thus not touched — callers own their allocations. Reset lets
-// a pool reuse one System across jobs without construction cost while each
-// job still observes clean clocks and an injector-free fabric.
+// Reset returns the system to a like-new state for the next run:
+// simulated clocks and PCIe byte counters zeroed, the recorded events
+// dropped, and the per-run attachments — the transfer hook and the obs
+// tracer — cleared. The EnableTrace flag deliberately survives: it is
+// configuration ("record my kernels"), not accumulated state, and a Reset
+// that silently disabled it forced every pooled-system user to re-enable
+// tracing after each job (the bug this contract fixes; see
+// TestEnableTraceSurvivesReset). Device buffers are not tracked and thus
+// not touched — callers own their allocations. Reset lets a pool reuse
+// one System across jobs without construction cost while each job still
+// observes clean clocks and an injector-free, tracer-free fabric.
 func (s *System) Reset() {
 	s.mu.Lock()
 	s.pcieSimSecs = 0
 	s.transferred = 0
 	s.events = nil
-	s.traceEnabled = false
 	s.hook = nil
+	s.tracer = nil
 	s.mu.Unlock()
 	s.cpu.resetSim()
 	for _, g := range s.gpus {
@@ -195,14 +241,24 @@ func (s *System) Transfer(src, dst *Buffer) {
 	bytes := 8 * sm.Rows * sm.Cols
 	s.mu.Lock()
 	s.transferred += int64(bytes)
+	var dt float64
 	if s.cfg.PCIeGBps > 0 {
-		s.pcieSimSecs += s.cfg.PCIeLatencyUS/1e6 + float64(bytes)/(s.cfg.PCIeGBps*1e9)
+		dt = s.cfg.PCIeLatencyUS/1e6 + float64(bytes)/(s.cfg.PCIeGBps*1e9)
+		s.pcieSimSecs += dt
 	}
+	at := s.pcieSimSecs
 	if s.traceEnabled {
-		s.events = append(s.events, Event{Op: "pcie", Device: src.dev.Name() + "->" + dst.dev.Name(), Bytes: bytes, At: s.pcieSimSecs})
+		s.events = append(s.events, Event{Op: "pcie", Device: src.dev.Name() + "->" + dst.dev.Name(), Bytes: bytes, At: at})
 	}
-	hook := s.hook
+	hook, tr := s.hook, s.tracer
 	s.mu.Unlock()
+	pcieBytes.Add(uint64(bytes))
+	pcieTransfers.Inc()
+	obs.ObservePhaseSeconds(obs.PhasePCIe, dt)
+	if tr != nil {
+		tr.SimSpan(src.dev.Name()+"->"+dst.dev.Name(), obs.PhasePCIe, "PCIe",
+			at, dt, map[string]float64{"bytes": float64(bytes)})
+	}
 	if hook != nil {
 		hook(src.dev, dst.dev, dm)
 	}

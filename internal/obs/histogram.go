@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync/atomic"
+)
+
+// Histogram observes float64 values into fixed buckets, tracking the
+// per-bucket counts, the total count, and the running sum. Observe is
+// lock-free: a binary search over the (immutable) bounds plus three
+// atomic updates.
+type Histogram struct {
+	bounds []float64 // sorted upper bounds; +Inf is implicit
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // math.Float64bits of the running sum
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// normBuckets validates and normalizes bucket bounds: nil selects
+// DefBuckets, bounds must be strictly increasing and finite.
+func normBuckets(bounds []float64) []float64 {
+	if bounds == nil {
+		return DefBuckets()
+	}
+	out := append([]float64(nil), bounds...)
+	if !sort.Float64sAreSorted(out) {
+		panic("obs: histogram buckets must be sorted ascending")
+	}
+	for i, b := range out {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic("obs: histogram buckets must be finite (+Inf is implicit)")
+		}
+		if i > 0 && out[i-1] == b {
+			panic("obs: duplicate histogram bucket bound")
+		}
+	}
+	return out
+}
+
+// DefBuckets returns the default latency-shaped bucket bounds, in
+// seconds: 100µs to ~100s, exponential with factor ~3.16 (two buckets per
+// decade).
+func DefBuckets() []float64 {
+	return ExpBuckets(1e-4, math.Sqrt(10), 13)
+}
+
+// ExpBuckets returns n exponential bucket upper bounds starting at start
+// and multiplying by factor: start, start·factor, start·factor², …
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Binary search for the first bound >= v; the extra slot is +Inf.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// snapshot captures the histogram state. Counts are read bucket by bucket
+// without a global lock, so a snapshot taken during concurrent Observe
+// calls is approximate in the usual scrape sense (each individual value
+// is exact, the set may straddle an observation).
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Buckets: h.bounds, // immutable after construction, safe to share
+		Counts:  make([]uint64, len(h.counts)),
+		Count:   h.Count(),
+		Sum:     h.Sum(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is the point-in-time state of one histogram.
+type HistogramSnapshot struct {
+	// Buckets holds the upper bounds; the implicit +Inf bucket is not
+	// listed.
+	Buckets []float64 `json:"buckets"`
+	// Counts holds per-bucket (non-cumulative) observation counts;
+	// len(Counts) == len(Buckets)+1, the last entry being the +Inf bucket.
+	Counts []uint64 `json:"counts"`
+	// Sum is the sum of all observed values.
+	Sum float64 `json:"sum"`
+	// Count is the number of observations.
+	Count uint64 `json:"count"`
+}
+
+// Mean returns Sum/Count, or zero for an empty histogram.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// diff subtracts base from s bucket-wise, clamping at zero; a base with
+// different bucketing (or the zero value) is treated as empty.
+func (s HistogramSnapshot) diff(base HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{Buckets: s.Buckets, Counts: append([]uint64(nil), s.Counts...)}
+	if len(base.Counts) == len(s.Counts) {
+		for i, b := range base.Counts {
+			if out.Counts[i] >= b {
+				out.Counts[i] -= b
+			} else {
+				out.Counts[i] = 0
+			}
+		}
+		if s.Count >= base.Count {
+			out.Count = s.Count - base.Count
+		}
+		if d := s.Sum - base.Sum; d > 0 {
+			out.Sum = d
+		}
+		return out
+	}
+	out.Count, out.Sum = s.Count, s.Sum
+	return out
+}
+
+// writePrometheus expands the histogram into the text-format _bucket
+// (cumulative, le-labeled), _sum, and _count series.
+func (h *Histogram) writePrometheus(w io.Writer, name, label, value string) error {
+	s := h.snapshot()
+	// The le label joins any family label: name_bucket{label="v",le="b"}.
+	bucketKey := func(le string) string {
+		if label == "" {
+			return name + `_bucket{le="` + le + `"}`
+		}
+		return name + `_bucket{` + label + `="` + escapeLabelValue(value) + `",le="` + le + `"}`
+	}
+	cum := uint64(0)
+	for i, b := range s.Buckets {
+		cum += s.Counts[i]
+		le := strconv.FormatFloat(b, 'g', -1, 64)
+		if _, err := fmt.Fprintf(w, "%s %d\n", bucketKey(le), cum); err != nil {
+			return err
+		}
+	}
+	cum += s.Counts[len(s.Counts)-1]
+	if _, err := fmt.Fprintf(w, "%s %d\n", bucketKey("+Inf"), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, sel(label, value), formatFloat(s.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, sel(label, value), s.Count)
+	return err
+}
+
+// sel renders the {label="value"} selector, or "" for unlabeled series.
+func sel(label, value string) string {
+	if label == "" {
+		return ""
+	}
+	return `{` + label + `="` + escapeLabelValue(value) + `"}`
+}
+
+// formatFloat renders a float in the shortest round-trip form.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	h := newHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 1.0001, 50, 99.999, 100, 101, 1e9} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	// Upper bounds are inclusive (Prometheus le semantics): 1 lands in the
+	// first bucket, 100 in the third, everything above in +Inf.
+	want := []uint64{2, 1, 3, 2}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 8 {
+		t.Fatalf("count = %d, want 8", s.Count)
+	}
+	if got := s.Sum; math.Abs(got-(0.5+1+1.0001+50+99.999+100+101+1e9)) > 1e-6 {
+		t.Fatalf("sum = %g", got)
+	}
+	if m := s.Mean(); m <= 0 {
+		t.Fatalf("mean = %g", m)
+	}
+}
+
+func TestHistogramEdgeValues(t *testing.T) {
+	h := newHistogram([]float64{0, 1})
+	h.Observe(-5) // below every bound → first bucket (le="0")
+	h.Observe(0)
+	h.Observe(math.Inf(1)) // +Inf → overflow bucket
+	s := h.snapshot()
+	if s.Counts[0] != 2 || s.Counts[2] != 1 {
+		t.Fatalf("counts = %v", s.Counts)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v", b)
+		}
+	}
+	if n := len(DefBuckets()); n != 13 {
+		t.Fatalf("DefBuckets size = %d", n)
+	}
+	if !sortedStrict(DefBuckets()) || !sortedStrict(PhaseBuckets()) {
+		t.Fatal("default bucket sets must be strictly increasing")
+	}
+}
+
+func sortedStrict(b []float64) bool {
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBadBucketsPanic(t *testing.T) {
+	for _, bad := range [][]float64{{2, 1}, {1, 1}, {1, math.Inf(1)}, {math.NaN()}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("buckets %v must panic", bad)
+				}
+			}()
+			normBuckets(bad)
+		}()
+	}
+}
+
+func TestEmptyHistogramSnapshot(t *testing.T) {
+	h := newHistogram(DefBuckets())
+	s := h.snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.Mean() != 0 {
+		t.Fatalf("empty histogram snapshot: %+v", s)
+	}
+	// Diffing against a zero-value base must be the identity.
+	h.Observe(1)
+	d := h.snapshot().diff(HistogramSnapshot{})
+	if d.Count != 1 || d.Sum != 1 {
+		t.Fatalf("diff vs zero base: %+v", d)
+	}
+}

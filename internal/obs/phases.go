@@ -1,0 +1,73 @@
+package obs
+
+import "time"
+
+// Canonical metric names shared by the instrumented packages and their
+// consumers (the server's /metrics, internal/overhead, bench_test.go).
+const (
+	// MetricPhaseSeconds is the phase-attribution histogram family
+	// (label "phase", values Phases, unit seconds; the pcie phase is on
+	// the simulated clock).
+	MetricPhaseSeconds = "ftla_phase_seconds"
+	// MetricBlasFlops is the process-wide flop tally maintained by
+	// internal/blas.
+	MetricBlasFlops = "ftla_blas_flops_total"
+	// MetricPCIeBytes is the total simulated PCIe traffic in bytes.
+	MetricPCIeBytes = "ftla_pcie_bytes_total"
+	// MetricPCIeTransfers counts simulated PCIe transfers.
+	MetricPCIeTransfers = "ftla_pcie_transfers_total"
+	// MetricChecksumEncodes counts checksum-encoding kernel invocations
+	// (label "kernel": gemm or opt).
+	MetricChecksumEncodes = "ftla_checksum_encodes_total"
+	// MetricChecksumMismatches counts checksum verification mismatches
+	// (detected error locations, pre-recovery).
+	MetricChecksumMismatches = "ftla_checksum_mismatches_total"
+	// MetricFactorizations counts completed factorization runs (label
+	// "decomp": cholesky, lu, qr).
+	MetricFactorizations = "ftla_factorizations_total"
+)
+
+// phaseHist holds the per-phase histograms of the default registry,
+// pre-resolved so the hot path is map-free.
+var phaseHist = func() map[string]*Histogram {
+	vec := Default().HistogramVec(MetricPhaseSeconds,
+		"ABFT phase attribution: seconds spent per phase (encode/factorize/verify/recover wall-clock, pcie simulated).",
+		"phase", PhaseBuckets())
+	m := make(map[string]*Histogram, 5)
+	for _, p := range Phases() {
+		m[p] = vec.With(p)
+	}
+	return m
+}()
+
+// PhaseBuckets returns the bucket bounds of the phase histogram: 10µs to
+// ~30s, two buckets per decade — phase segments are short (one
+// verification, one encode pass), so the range starts well below the
+// latency default.
+func PhaseBuckets() []float64 {
+	return ExpBuckets(1e-5, 3.1622776601683795, 13)
+}
+
+// ObservePhase records d of work attributed to phase in the default
+// registry. Unknown phases are dropped rather than minted, keeping the
+// label set closed.
+func ObservePhase(phase string, d time.Duration) {
+	if h, ok := phaseHist[phase]; ok {
+		h.Observe(d.Seconds())
+	}
+}
+
+// ObservePhaseSeconds is ObservePhase for already-converted simulated
+// seconds (the pcie phase advances on the simulated clock, which never
+// materializes as a time.Duration).
+func ObservePhaseSeconds(phase string, secs float64) {
+	if h, ok := phaseHist[phase]; ok {
+		h.Observe(secs)
+	}
+}
+
+// PhaseSeconds returns the summed seconds attributed to phase in the
+// snapshot (typically a Diff), zero when the phase never fired.
+func (s Snapshot) PhaseSeconds(phase string) float64 {
+	return s.Histograms[Key(MetricPhaseSeconds, "phase", phase)].Sum
+}

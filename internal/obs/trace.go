@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The ABFT attribution phases. Every phase-attributed metric and span in
+// this repository uses exactly these values for the "phase" label /
+// span category, so the server's /metrics, a job's Chrome trace, and the
+// overhead study all slice along the same axis (the paper's §IX overhead
+// anatomy: checksum encoding, verification, recovery, PCIe protection,
+// and the factorization work itself).
+const (
+	// PhaseEncode is initial checksum encoding (wall clock).
+	PhaseEncode = "encode"
+	// PhaseFactorize is the factorization work proper — data kernels plus
+	// in-line checksum maintenance (wall clock; derived as total minus the
+	// other wall phases).
+	PhaseFactorize = "factorize"
+	// PhaseVerify is checksum verification (wall clock).
+	PhaseVerify = "verify"
+	// PhaseRecover is error recovery — correction, reconstruction, local
+	// restart, rebroadcast (wall clock).
+	PhaseRecover = "recover"
+	// PhasePCIe is simulated PCIe transfer time (simulated clock; see the
+	// two-clocks note in the package documentation).
+	PhasePCIe = "pcie"
+)
+
+// Phases returns the attribution phases in presentation order.
+func Phases() []string {
+	return []string{PhaseEncode, PhaseFactorize, PhaseVerify, PhaseRecover, PhasePCIe}
+}
+
+// Span processes: wall-clock spans and simulated-clock spans live on
+// separate trace processes so the two timelines are never conflated.
+const (
+	// ProcWall is the trace process for host wall-clock spans.
+	ProcWall = "wall"
+	// ProcSim is the trace process for simulated-clock spans.
+	ProcSim = "sim"
+)
+
+// Span is one completed trace interval.
+type Span struct {
+	// Name labels the span ("verify", "gemm", "CPU->GPU1", …).
+	Name string `json:"name"`
+	// Cat is the span category — a phase constant, or "kernel" for
+	// device kernels.
+	Cat string `json:"cat"`
+	// Proc is the span's timeline: ProcWall or ProcSim.
+	Proc string `json:"proc"`
+	// Track is the lane within the process (a device name, "host", …).
+	Track string `json:"track"`
+	// StartUS and DurUS are the start offset and duration in microseconds
+	// on the span's timeline (wall spans: offset from the trace epoch).
+	StartUS float64 `json:"start_us"`
+	DurUS   float64 `json:"dur_us"`
+	// Args carries numeric span attributes (bytes, flops).
+	Args map[string]float64 `json:"args,omitempty"`
+}
+
+// Trace collects spans for one region of interest (typically one job).
+// All methods are nil-safe: instrumented code may call them on a nil
+// *Trace, which records nothing — tracing off is the zero-cost default.
+type Trace struct {
+	epoch time.Time
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewTrace returns an empty trace whose wall-clock epoch is now.
+func NewTrace() *Trace {
+	return &Trace{epoch: time.Now()}
+}
+
+// Add records one completed span.
+func (t *Trace) Add(s Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+}
+
+// WallSpan records a completed wall-clock span on the "host" track:
+// started at start, lasting d, placed relative to the trace epoch.
+func (t *Trace) WallSpan(name, cat string, start time.Time, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.Add(Span{
+		Name:    name,
+		Cat:     cat,
+		Proc:    ProcWall,
+		Track:   "host",
+		StartUS: float64(start.Sub(t.epoch)) / float64(time.Microsecond),
+		DurUS:   float64(d) / float64(time.Microsecond),
+	})
+}
+
+// SimSpan records a completed simulated-clock span: endSecs is the
+// simulated completion time, durSecs the simulated duration, track the
+// device lane. args may be nil.
+func (t *Trace) SimSpan(name, cat, track string, endSecs, durSecs float64, args map[string]float64) {
+	if t == nil {
+		return
+	}
+	start := (endSecs - durSecs) * 1e6
+	if start < 0 {
+		start = 0
+	}
+	t.Add(Span{
+		Name:    name,
+		Cat:     cat,
+		Proc:    ProcSim,
+		Track:   track,
+		StartUS: start,
+		DurUS:   durSecs * 1e6,
+		Args:    args,
+	})
+}
+
+// Len returns the number of recorded spans.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Spans returns a copy of the recorded spans.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// chromeEvent is one entry of the Chrome trace-event JSON array. Complete
+// spans use ph "X"; process/thread naming metadata uses ph "M".
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the trace-event JSON object form (the variant Perfetto
+// and chrome://tracing both load).
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome writes the trace in Chrome trace-event JSON format
+// (the "JSON object format" with a traceEvents array of "X" complete
+// events plus "M" process/thread metadata), loadable in chrome://tracing
+// and Perfetto (ui.perfetto.dev). Wall-clock and simulated-clock spans
+// appear as two processes named "wall" and "sim"; tracks map to threads.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	spans := t.Spans()
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].StartUS < spans[j].StartUS })
+
+	pids := map[string]int{}
+	tids := map[[2]string]int{}
+	var events []chromeEvent
+	for _, s := range spans {
+		pid, ok := pids[s.Proc]
+		if !ok {
+			pid = len(pids) + 1
+			pids[s.Proc] = pid
+			events = append(events, chromeEvent{
+				Name: "process_name", Ph: "M", PID: pid,
+				Args: map[string]any{"name": s.Proc},
+			})
+		}
+		tk := [2]string{s.Proc, s.Track}
+		tid, ok := tids[tk]
+		if !ok {
+			tid = len(tids) + 1
+			tids[tk] = tid
+			events = append(events, chromeEvent{
+				Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+				Args: map[string]any{"name": s.Track},
+			})
+		}
+		dur := s.DurUS
+		ev := chromeEvent{
+			Name: s.Name, Cat: s.Cat, Ph: "X",
+			TS: s.StartUS, Dur: &dur, PID: pid, TID: tid,
+		}
+		if len(s.Args) > 0 {
+			ev.Args = make(map[string]any, len(s.Args))
+			for k, v := range s.Args {
+				ev.Args[k] = v
+			}
+		}
+		events = append(events, ev)
+	}
+	if events == nil {
+		events = []chromeEvent{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTraceIsNoOp(t *testing.T) {
+	var tr *Trace
+	tr.Add(Span{Name: "x"})
+	tr.WallSpan("v", PhaseVerify, time.Now(), time.Millisecond)
+	tr.SimSpan("gemm", "kernel", "GPU0", 1, 0.5, nil)
+	if tr.Len() != 0 || tr.Spans() != nil {
+		t.Fatal("nil trace must record nothing")
+	}
+	var b bytes.Buffer
+	if err := tr.WriteChrome(&b); err != nil {
+		t.Fatalf("nil trace must still export: %v", err)
+	}
+}
+
+func TestWallAndSimSpans(t *testing.T) {
+	tr := NewTrace()
+	start := time.Now()
+	tr.WallSpan("verify", PhaseVerify, start, 2*time.Millisecond)
+	tr.SimSpan("gemm", "kernel", "GPU0", 1.5, 0.5, map[string]float64{"flops": 1e9})
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("len = %d", len(spans))
+	}
+	w, s := spans[0], spans[1]
+	if w.Proc != ProcWall || w.Track != "host" || w.DurUS != 2000 {
+		t.Fatalf("wall span: %+v", w)
+	}
+	if s.Proc != ProcSim || s.StartUS != 1e6 || s.DurUS != 0.5e6 || s.Args["flops"] != 1e9 {
+		t.Fatalf("sim span: %+v", s)
+	}
+	// A sim span whose duration exceeds its end clamps its start at zero.
+	tr.SimSpan("first", "kernel", "GPU0", 0.1, 0.5, nil)
+	if got := tr.Spans()[2].StartUS; got != 0 {
+		t.Fatalf("clamped start = %g", got)
+	}
+}
+
+// chromeSchema mirrors the trace-event JSON schema the export promises:
+// a traceEvents array of events each carrying name/ph/ts/pid/tid, where
+// ph is "X" (complete, with dur) or "M" (metadata).
+type chromeSchema struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Cat  string         `json:"cat"`
+		Ph   string         `json:"ph"`
+		TS   *float64       `json:"ts"`
+		Dur  *float64       `json:"dur"`
+		PID  *int           `json:"pid"`
+		TID  *int           `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func TestChromeTraceSchema(t *testing.T) {
+	tr := NewTrace()
+	tr.WallSpan("encode", PhaseEncode, time.Now(), time.Millisecond)
+	tr.WallSpan("verify", PhaseVerify, time.Now(), time.Millisecond)
+	tr.SimSpan("gemm", "kernel", "GPU0", 2, 1, map[string]float64{"flops": 42})
+	tr.SimSpan("CPU->GPU0", PhasePCIe, "PCIe", 0.5, 0.25, map[string]float64{"bytes": 512})
+	var b bytes.Buffer
+	if err := tr.WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	var got chromeSchema
+	if err := json.Unmarshal(b.Bytes(), &got); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, b.String())
+	}
+	if got.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", got.DisplayTimeUnit)
+	}
+	var complete, meta int
+	pids := map[int]bool{}
+	for _, ev := range got.TraceEvents {
+		if ev.Name == "" || ev.PID == nil || ev.TID == nil && ev.Ph != "M" {
+			t.Fatalf("event missing required fields: %+v", ev)
+		}
+		switch ev.Ph {
+		case "X":
+			complete++
+			if ev.TS == nil || *ev.TS < 0 || ev.Dur == nil || *ev.Dur < 0 {
+				t.Fatalf("complete event needs non-negative ts and dur: %+v", ev)
+			}
+			pids[*ev.PID] = true
+		case "M":
+			meta++
+			if ev.Name != "process_name" && ev.Name != "thread_name" {
+				t.Fatalf("unexpected metadata event %q", ev.Name)
+			}
+			if name, ok := ev.Args["name"].(string); !ok || name == "" {
+				t.Fatalf("metadata event without a name arg: %+v", ev)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if complete != 4 {
+		t.Fatalf("complete events = %d, want 4", complete)
+	}
+	// Two processes (wall + sim), each announced once, plus one thread
+	// name per distinct track: host, GPU0, PCIe.
+	if meta != 2+3 {
+		t.Fatalf("metadata events = %d, want 5", meta)
+	}
+	if len(pids) != 2 {
+		t.Fatalf("distinct pids = %d, want 2 (wall and sim)", len(pids))
+	}
+	// Complete events must be sorted by ts for readable loading.
+	var last float64 = -1
+	for _, ev := range got.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		if *ev.TS < last {
+			t.Fatal("complete events not sorted by ts")
+		}
+		last = *ev.TS
+	}
+}
+
+func TestEmptyTraceExportsValidJSON(t *testing.T) {
+	var b bytes.Buffer
+	if err := NewTrace().WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(b.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got["traceEvents"].([]any); !ok {
+		t.Fatalf("traceEvents must be an array even when empty: %s", b.String())
+	}
+}
+
+func TestTraceConcurrentAdds(t *testing.T) {
+	tr := NewTrace()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr.SimSpan("k", "kernel", "GPU0", float64(i), 0.5, nil)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != 8*200 {
+		t.Fatalf("spans = %d, want %d", tr.Len(), 8*200)
+	}
+	var b bytes.Buffer
+	if err := tr.WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+}

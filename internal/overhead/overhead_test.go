@@ -1,12 +1,14 @@
 package overhead
 
 import (
+	"math"
 	"testing"
 
 	"ftla/internal/checksum"
 	"ftla/internal/core"
 	"ftla/internal/hetsim"
 	"ftla/internal/matrix"
+	"ftla/internal/obs"
 )
 
 func TestStructure(t *testing.T) {
@@ -85,5 +87,58 @@ func TestAnalyticMatchesMeasured(t *testing.T) {
 func TestStringer(t *testing.T) {
 	if Cholesky.String() == "" || LU.String() == "" || QR.String() == "" {
 		t.Fatal("empty decomp names")
+	}
+}
+
+func TestFromSnapshots(t *testing.T) {
+	before := obs.Default().Snapshot()
+	obs.ObservePhaseSeconds(obs.PhaseEncode, 0.5)
+	obs.ObservePhaseSeconds(obs.PhaseFactorize, 2.0)
+	obs.ObservePhaseSeconds(obs.PhaseVerify, 0.25)
+	obs.ObservePhaseSeconds(obs.PhaseRecover, 0.25)
+	obs.ObservePhaseSeconds(obs.PhasePCIe, 1.5)
+	m := FromSnapshots(before, obs.Default().Snapshot())
+
+	approx := func(got, want float64) bool { return math.Abs(got-want) < 1e-9 }
+	if !approx(m.Encode, 0.5) || !approx(m.Factorize, 2) || !approx(m.Verify, 0.25) ||
+		!approx(m.Recover, 0.25) || !approx(m.PCIe, 1.5) {
+		t.Fatalf("measured breakdown = %+v", m)
+	}
+	if !approx(m.ABFTSeconds(), 1.0) {
+		t.Fatalf("ABFTSeconds = %v, want 1.0", m.ABFTSeconds())
+	}
+	if !approx(m.Overhead(), 0.5) {
+		t.Fatalf("Overhead = %v, want 0.5", m.Overhead())
+	}
+	// The diff is region-scoped: a fresh pair of snapshots sees nothing.
+	clean := obs.Default().Snapshot()
+	if got := FromSnapshots(clean, obs.Default().Snapshot()); got != (Measured{}) {
+		t.Fatalf("empty region measured %+v", got)
+	}
+	if (Measured{Verify: 1}).Overhead() != 0 {
+		t.Fatal("Overhead must be 0 when no factorize time was recorded")
+	}
+}
+
+// TestMeasuredAgainstAnalytic runs a real protected LU and checks the
+// measured ABFT overhead is positive and within an order of magnitude of
+// the §IX.A prediction — a smoke link between model and observation, not a
+// tight bound (wall-clock attribution on a shared host is noisy).
+func TestMeasuredAgainstAnalytic(t *testing.T) {
+	const n, nb = 256, 32
+	before := obs.Default().Snapshot()
+	sys := hetsim.New(hetsim.DefaultConfig(2))
+	a := matrix.RandomDiagDominant(n, matrix.NewRNG(3))
+	if _, _, _, err := core.LU(sys, a, core.Options{NB: nb, Mode: core.Full, Scheme: core.NewScheme, Kernel: checksum.OptKernel}); err != nil {
+		t.Fatal(err)
+	}
+	m := FromSnapshots(before, obs.Default().Snapshot())
+	if m.Encode <= 0 || m.Verify <= 0 || m.Factorize <= 0 {
+		t.Fatalf("expected positive encode/verify/factorize, got %+v", m)
+	}
+	pred := Analytic(LU, n, nb, 0).Total()
+	got := m.Overhead()
+	if got <= 0 || got > 40*pred {
+		t.Fatalf("measured overhead %v implausible vs analytic %v", got, pred)
 	}
 }

@@ -52,7 +52,7 @@ type factorCache struct {
 	order   *list.List // front = most recently used; values are *cacheEntry
 	entries map[fingerprint]*list.Element
 
-	hits, misses uint64
+	met *metrics // hit/miss counters and the entries gauge live in the scheduler registry
 }
 
 type cacheEntry struct {
@@ -60,7 +60,7 @@ type cacheEntry struct {
 	f   *Factorization
 }
 
-func newFactorCache(capacity int) *factorCache {
+func newFactorCache(capacity int, met *metrics) *factorCache {
 	if capacity <= 0 {
 		capacity = 64
 	}
@@ -68,6 +68,7 @@ func newFactorCache(capacity int) *factorCache {
 		cap:     capacity,
 		order:   list.New(),
 		entries: make(map[fingerprint]*list.Element),
+		met:     met,
 	}
 }
 
@@ -78,10 +79,10 @@ func (c *factorCache) get(key fingerprint) (*Factorization, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.entries[key]
 	if !ok {
-		c.misses++
+		c.met.cacheMisses.Inc()
 		return nil, false
 	}
-	c.hits++
+	c.met.cacheHits.Inc()
 	c.order.MoveToFront(el)
 	return el.Value.(*cacheEntry).f, true
 }
@@ -102,16 +103,11 @@ func (c *factorCache) put(key fingerprint, f *Factorization) {
 		c.order.Remove(lru)
 		delete(c.entries, lru.Value.(*cacheEntry).key)
 	}
+	c.met.cacheEntries.Set(int64(c.order.Len()))
 }
 
 func (c *factorCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
-}
-
-func (c *factorCache) counters() (hits, misses uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
 }

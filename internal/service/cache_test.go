@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ftla/internal/matrix"
+	"ftla/internal/obs"
 )
 
 func fp(t *testing.T, d Decomp, seed uint64) fingerprint {
@@ -36,7 +37,7 @@ func TestFingerprintDiscriminates(t *testing.T) {
 }
 
 func TestCacheLRUEviction(t *testing.T) {
-	c := newFactorCache(2)
+	c := newFactorCache(2, newMetrics(obs.NewRegistry()))
 	f := &Factorization{Decomp: Cholesky}
 	k1, k2, k3 := fp(t, Cholesky, 1), fp(t, Cholesky, 2), fp(t, Cholesky, 3)
 	c.put(k1, f)
@@ -56,14 +57,17 @@ func TestCacheLRUEviction(t *testing.T) {
 	if c.len() != 2 {
 		t.Fatalf("len = %d, want 2", c.len())
 	}
-	hits, misses := c.counters()
+	hits, misses := c.met.cacheHits.Value(), c.met.cacheMisses.Value()
 	if hits != 3 || misses != 1 {
 		t.Fatalf("hits/misses = %d/%d, want 3/1", hits, misses)
+	}
+	if got := c.met.cacheEntries.Value(); got != 2 {
+		t.Fatalf("entries gauge = %d, want 2", got)
 	}
 }
 
 func TestCachePutRefreshesExisting(t *testing.T) {
-	c := newFactorCache(2)
+	c := newFactorCache(2, newMetrics(obs.NewRegistry()))
 	k := fp(t, LU, 7)
 	f1, f2 := &Factorization{Decomp: LU}, &Factorization{Decomp: LU, Residual: 1}
 	c.put(k, f1)

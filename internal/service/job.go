@@ -8,6 +8,7 @@ import (
 
 	"ftla"
 	"ftla/internal/core"
+	"ftla/internal/obs"
 )
 
 // Decomp selects the factorization a job runs.
@@ -20,6 +21,8 @@ const (
 	QR
 )
 
+// String returns the lowercase wire name used in job requests ("cholesky",
+// "lu", "qr").
 func (d Decomp) String() string {
 	switch d {
 	case Cholesky:
@@ -43,6 +46,8 @@ const (
 	numPriorities
 )
 
+// String returns the lowercase wire name used in job requests ("batch",
+// "normal", "interactive").
 func (p Priority) String() string {
 	switch p {
 	case Batch:
@@ -78,6 +83,11 @@ type JobSpec struct {
 	// and fill) — for injection experiments whose factor must not be served
 	// to, or taken from, other traffic.
 	NoCache bool
+	// Trace requests a per-job obs.Trace: every attempt's simulated kernel
+	// and PCIe spans plus the wall-clock ABFT phase spans accumulate into
+	// JobResult.Trace, exportable as a Chrome trace (WriteChrome). Off by
+	// default — the span slice grows with every kernel.
+	Trace bool
 }
 
 func (s *JobSpec) validate() error {
@@ -166,6 +176,11 @@ type JobResult struct {
 	// Wait is queue time (submit → dispatch); Run is service time
 	// (dispatch → completion, including retries and backoff).
 	Wait, Run time.Duration
+	// Trace holds the job's observability trace when the spec set Trace:
+	// spans from every attempt (retried attempts included), on both the
+	// wall and simulated clocks. Nil when tracing was not requested; empty
+	// (Len 0) for pure cache hits, where no decomposition ran.
+	Trace *obs.Trace
 }
 
 // CorruptError is the graceful-degradation terminal state: every allowed
@@ -177,6 +192,7 @@ type CorruptError struct {
 	Attempts int
 }
 
+// Error summarizes the terminal outcome and how many attempts were spent.
 func (e *CorruptError) Error() string {
 	return fmt.Sprintf("service: factorization %s after %d attempt(s)", e.Outcome, e.Attempts)
 }

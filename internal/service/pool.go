@@ -19,17 +19,18 @@ type systemPool struct {
 	// heterogeneous configs cannot pin memory forever.
 	maxIdlePer int
 
-	created, reused uint64
-	devSecs         map[string]float64 // aggregated busy seconds by device name
+	met     *metrics           // created/reused land in the scheduler registry
+	devSecs map[string]float64 // aggregated busy seconds by device name
 }
 
-func newSystemPool(maxIdlePer int) *systemPool {
+func newSystemPool(maxIdlePer int, met *metrics) *systemPool {
 	if maxIdlePer <= 0 {
 		maxIdlePer = 4
 	}
 	return &systemPool{
 		idle:       make(map[hetsim.Config][]*hetsim.System),
 		maxIdlePer: maxIdlePer,
+		met:        met,
 		devSecs:    make(map[string]float64),
 	}
 }
@@ -41,12 +42,12 @@ func (p *systemPool) acquire(cfg hetsim.Config) *hetsim.System {
 	if q := p.idle[cfg]; len(q) > 0 {
 		sys := q[len(q)-1]
 		p.idle[cfg] = q[:len(q)-1]
-		p.reused++
 		p.mu.Unlock()
+		p.met.sysReused.Inc()
 		return sys
 	}
-	p.created++
 	p.mu.Unlock()
+	p.met.sysCreated.Inc()
 	return hetsim.New(cfg)
 }
 
@@ -95,10 +96,4 @@ func (p *systemPool) utilization() []hetsim.DeviceStat {
 		}
 	}
 	return out
-}
-
-func (p *systemPool) counters() (created, reused uint64) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.created, p.reused
 }

@@ -29,6 +29,7 @@ import (
 
 	"ftla"
 	"ftla/internal/hetsim"
+	"ftla/internal/obs"
 )
 
 // Config sizes a Scheduler. The zero value selects sensible defaults.
@@ -46,6 +47,13 @@ type Config struct {
 	CacheEntries int
 	// Retry is the corruption retry policy (zero value: DefaultRetryPolicy).
 	Retry RetryPolicy
+	// Registry receives the scheduler's metrics (job counters, the outcome
+	// series, queue gauges, latency histograms; see the Metric* constants).
+	// nil selects a fresh private registry, so concurrent schedulers (one
+	// per test, say) never share counters. Library-level instrumentation
+	// (flops, phase attribution, PCIe traffic) always lands in obs.Default,
+	// which is process-wide by design.
+	Registry *obs.Registry
 }
 
 func (c Config) normalize() Config {
@@ -59,6 +67,9 @@ func (c Config) normalize() Config {
 		c.QueueDepth = 64
 	}
 	c.Retry = c.Retry.normalize()
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
 	return c
 }
 
@@ -67,7 +78,7 @@ type Scheduler struct {
 	cfg   Config
 	pool  *systemPool
 	cache *factorCache
-	sink  *statsSink
+	met   *metrics
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -87,11 +98,12 @@ type Scheduler struct {
 // New starts a scheduler with cfg.Workers workers. The caller must Close it.
 func New(cfg Config) *Scheduler {
 	cfg = cfg.normalize()
+	met := newMetrics(cfg.Registry)
 	s := &Scheduler{
 		cfg:   cfg,
-		pool:  newSystemPool(cfg.MaxIdleSystems),
-		cache: newFactorCache(cfg.CacheEntries),
-		sink:  newStatsSink(),
+		pool:  newSystemPool(cfg.MaxIdleSystems, met),
+		cache: newFactorCache(cfg.CacheEntries, met),
+		met:   met,
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.wg.Add(cfg.Workers)
@@ -123,7 +135,7 @@ func (s *Scheduler) Submit(ctx context.Context, spec JobSpec) (*JobHandle, error
 	}
 	if s.queued >= s.cfg.QueueDepth {
 		s.mu.Unlock()
-		s.sink.add(&s.sink.rejected, 1)
+		s.met.rejected.Inc()
 		return nil, ErrQueueFull
 	}
 	s.nextID++
@@ -136,9 +148,10 @@ func (s *Scheduler) Submit(ctx context.Context, spec JobSpec) (*JobHandle, error
 	}
 	s.queues[pri] = append(s.queues[pri], h)
 	s.queued++
+	s.met.queueDepth.Set(int64(s.queued))
 	s.cond.Signal()
 	s.mu.Unlock()
-	s.sink.add(&s.sink.submitted, 1)
+	s.met.submitted.Inc()
 	return h, nil
 }
 
@@ -154,10 +167,7 @@ func (s *Scheduler) Close() {
 
 // Stats snapshots the scheduler's aggregate counters and gauges.
 func (s *Scheduler) Stats() Stats {
-	st := s.sink.snapshot()
-	st.CacheHits, st.CacheMisses = s.cache.counters()
-	st.CacheEntries = s.cache.len()
-	st.SystemsCreated, st.SystemsReused = s.pool.counters()
+	st := s.met.snapshot()
 	st.Devices = s.pool.utilization()
 	s.mu.Lock()
 	st.QueueDepth = s.queued
@@ -165,6 +175,11 @@ func (s *Scheduler) Stats() Stats {
 	s.mu.Unlock()
 	return st
 }
+
+// Registry returns the registry holding the scheduler's metrics — the one
+// from Config.Registry, or the private registry normalize minted. Servers
+// expose it next to obs.Default for scraping.
+func (s *Scheduler) Registry() *obs.Registry { return s.cfg.Registry }
 
 func (s *Scheduler) worker() {
 	defer s.wg.Done()
@@ -187,6 +202,8 @@ func (s *Scheduler) worker() {
 		}
 		s.queued--
 		s.running++
+		s.met.queueDepth.Set(int64(s.queued))
+		s.met.running.Set(int64(s.running))
 		s.mu.Unlock()
 		if s.beforeRun != nil {
 			s.beforeRun(h)
@@ -194,6 +211,7 @@ func (s *Scheduler) worker() {
 		s.run(h)
 		s.mu.Lock()
 		s.running--
+		s.met.running.Set(int64(s.running))
 		s.mu.Unlock()
 	}
 }
@@ -205,12 +223,17 @@ func (s *Scheduler) run(h *JobHandle) {
 	wait := time.Since(h.enqueued)
 	start := time.Now()
 
+	var tr *obs.Trace
+	if spec.Trace {
+		tr = obs.NewTrace()
+	}
+
 	fail := func(err error) {
-		s.sink.add(&s.sink.failed, 1)
+		s.met.failed.Inc()
 		h.finish(nil, err)
 	}
 	cancel := func(err error) {
-		s.sink.add(&s.sink.canceled, 1)
+		s.met.canceled.Inc()
 		h.finish(nil, err)
 	}
 	succeed := func(f *Factorization, attempts int, cacheHit bool) {
@@ -221,6 +244,7 @@ func (s *Scheduler) run(h *JobHandle) {
 			Attempts: attempts,
 			CacheHit: cacheHit,
 			Wait:     wait,
+			Trace:    tr,
 		}
 		if spec.B != nil {
 			x, err := f.Solve(spec.B)
@@ -231,7 +255,7 @@ func (s *Scheduler) run(h *JobHandle) {
 			res.X = x
 		}
 		res.Run = time.Since(start)
-		s.sink.jobDone(f.Outcome, wait, res.Run)
+		s.met.jobDone(f.Outcome, wait, res.Run)
 		h.finish(res, nil)
 	}
 
@@ -262,6 +286,12 @@ func (s *Scheduler) run(h *JobHandle) {
 			cfg.Injector = nil
 		}
 		sys := s.pool.acquire(sysCfg)
+		if tr != nil {
+			// Per-attempt spans accumulate into the job's one trace; the
+			// pool's release → Reset detaches it with the other per-run
+			// attachments.
+			sys.SetTracer(tr)
+		}
 		f, err := runDecomposition(sys, spec, cfg)
 		s.pool.release(sys)
 		if err != nil {
@@ -281,7 +311,7 @@ func (s *Scheduler) run(h *JobHandle) {
 			fail(&CorruptError{Outcome: f.Outcome, Report: f.Report(), Attempts: attempt})
 			return
 		}
-		s.sink.add(&s.sink.retries, 1)
+		s.met.retries.Inc()
 		timer := time.NewTimer(s.cfg.Retry.Backoff(attempt))
 		select {
 		case <-h.ctx.Done():

@@ -1,7 +1,9 @@
 package service
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"sync"
 	"testing"
@@ -10,6 +12,7 @@ import (
 	"ftla"
 	"ftla/internal/blas"
 	"ftla/internal/core"
+	"ftla/internal/obs"
 )
 
 // corruptingInjector schedules two DRAM faults in the same column of the
@@ -391,5 +394,107 @@ func TestCorruptingInjectorFires(t *testing.T) {
 	h.Wait(context.Background())
 	if got := len(inj.Events()); got != 2 {
 		t.Fatalf("injector fired %d faults, want 2: %v", got, inj.Events())
+	}
+}
+
+// The observability contract: a traced job carries a Chrome-exportable
+// trace with spans from both clocks, and the scheduler's registry reflects
+// the same run under the documented metric names.
+func TestJobTraceAndRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(Config{Workers: 1, Registry: reg})
+	defer s.Close()
+	if s.Registry() != reg {
+		t.Fatal("Registry must return the configured registry")
+	}
+	spec := JobSpec{
+		Decomp: Cholesky, A: ftla.RandomSPD(64, 11),
+		Config: ftla.Config{NB: 32, Protection: ftla.FullChecksum, Scheme: ftla.NewScheme},
+		Trace:  true, NoCache: true,
+	}
+	h, err := s.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil || res.Trace.Len() == 0 {
+		t.Fatal("traced job must carry a non-empty trace")
+	}
+	var wall, sim bool
+	for _, sp := range res.Trace.Spans() {
+		switch sp.Proc {
+		case obs.ProcWall:
+			wall = true
+		case obs.ProcSim:
+			sim = true
+		}
+	}
+	if !wall || !sim {
+		t.Fatalf("trace must span both clocks: wall=%v sim=%v", wall, sim)
+	}
+	var b bytes.Buffer
+	if err := res.Trace.WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(b.Bytes()) {
+		t.Fatal("trace export is not valid JSON")
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.CounterValue(MetricJobsCompleted); got != 1 {
+		t.Fatalf("%s = %d, want 1", MetricJobsCompleted, got)
+	}
+	okey := obs.Key(MetricJobOutcomes, "outcome", "fault-free")
+	if got := snap.CounterValue(okey); got != 1 {
+		t.Fatalf("%s = %d, want 1 (counters: %v)", okey, got, snap.Counters)
+	}
+	if hs := snap.Histograms[MetricJobRunSeconds]; hs.Count != 1 || hs.Sum <= 0 {
+		t.Fatalf("run-seconds histogram: %+v", hs)
+	}
+	// An untraced job must not pay for tracing.
+	h2, err := s.Submit(context.Background(), JobSpec{
+		Decomp: Cholesky, A: ftla.RandomSPD(64, 12),
+		Config: ftla.Config{NB: 32}, NoCache: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := h2.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Trace != nil {
+		t.Fatal("untraced job must carry no trace")
+	}
+}
+
+// Two schedulers with default (nil) Registry configs must not share
+// counters — the per-scheduler isolation that keeps concurrent tests from
+// contaminating each other.
+func TestSchedulerRegistriesIsolated(t *testing.T) {
+	s1 := New(Config{Workers: 1})
+	defer s1.Close()
+	s2 := New(Config{Workers: 1})
+	defer s2.Close()
+	if s1.Registry() == s2.Registry() {
+		t.Fatal("default registries must be private per scheduler")
+	}
+	h, err := s1.Submit(context.Background(), JobSpec{
+		Decomp: Cholesky, A: ftla.RandomSPD(32, 5), Config: ftla.Config{NB: 16}, NoCache: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := s1.Stats().Completed; got != 1 {
+		t.Fatalf("s1 completed = %d, want 1", got)
+	}
+	if got := s2.Stats().Completed; got != 0 {
+		t.Fatalf("s2 completed = %d, want 0", got)
 	}
 }

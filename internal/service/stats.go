@@ -6,12 +6,60 @@ import (
 
 	"ftla"
 	"ftla/internal/hetsim"
+	"ftla/internal/obs"
+)
+
+// Scheduler metric names, as registered in the scheduler's obs.Registry
+// (see Config.Registry). Consumers addressing series programmatically
+// (snapshot diffs, scrape assertions) should use these constants rather
+// than string literals.
+const (
+	// MetricJobsSubmitted counts jobs accepted into the queue.
+	MetricJobsSubmitted = "ftla_jobs_submitted_total"
+	// MetricJobsRejected counts submissions refused with ErrQueueFull.
+	MetricJobsRejected = "ftla_jobs_rejected_total"
+	// MetricJobsCompleted counts jobs that finished with a JobResult.
+	MetricJobsCompleted = "ftla_jobs_completed_total"
+	// MetricJobsFailed counts jobs that finished with a non-cancellation
+	// error (including CorruptError).
+	MetricJobsFailed = "ftla_jobs_failed_total"
+	// MetricJobsCanceled counts jobs whose context expired before or
+	// during service.
+	MetricJobsCanceled = "ftla_jobs_canceled_total"
+	// MetricJobRetries counts corruption-triggered complete restarts
+	// (attempts beyond each job's first).
+	MetricJobRetries = "ftla_job_retries_total"
+	// MetricJobOutcomes histograms completed jobs by the winning attempt's
+	// outcome class (label "outcome": fault-free, abft-fixed, ...).
+	MetricJobOutcomes = "ftla_job_outcomes_total"
+	// MetricCacheHits / MetricCacheMisses count factorization-cache
+	// lookups; MetricCacheEntries gauges the current entry count.
+	MetricCacheHits    = "ftla_cache_hits_total"
+	MetricCacheMisses  = "ftla_cache_misses_total"
+	MetricCacheEntries = "ftla_cache_entries"
+	// MetricSystemsCreated / MetricSystemsReused count system-pool misses
+	// and hits.
+	MetricSystemsCreated = "ftla_systems_created_total"
+	MetricSystemsReused  = "ftla_systems_reused_total"
+	// MetricQueueDepth gauges admitted-but-undispatched jobs;
+	// MetricJobsRunning gauges jobs currently on a worker.
+	MetricQueueDepth  = "ftla_queue_depth"
+	MetricJobsRunning = "ftla_jobs_running"
+	// MetricJobWaitSeconds / MetricJobRunSeconds are latency histograms
+	// over completed jobs: queue time (submit → dispatch) and service time
+	// (dispatch → terminal, including retries and backoff).
+	MetricJobWaitSeconds = "ftla_job_wait_seconds"
+	MetricJobRunSeconds  = "ftla_job_run_seconds"
 )
 
 // Stats is a point-in-time snapshot of the scheduler's aggregate behavior:
 // admission and completion counters, the outcome histogram over winning
 // attempts (§X.B buckets), retry volume, cache effectiveness, system-pool
 // reuse, latency aggregates, and fleet-wide device utilization.
+//
+// Every counter and gauge here is a read of the scheduler's obs.Registry
+// (see Config.Registry): Stats is the convenience struct view, /metrics
+// the exposition view, of the same instruments.
 type Stats struct {
 	// Admission.
 	Submitted uint64 // accepted into the queue
@@ -50,69 +98,95 @@ type Stats struct {
 	Devices []hetsim.DeviceStat
 }
 
-// statsSink accumulates the mutable counters behind Stats.
-type statsSink struct {
-	mu                sync.Mutex
-	submitted         uint64
-	rejected          uint64
-	completed         uint64
-	failed            uint64
-	canceled          uint64
-	retries           uint64
-	outcomes          map[string]uint64
-	waitSum, runSum   time.Duration
-	waitMax, runMax   time.Duration
-	completedDuration uint64 // completions contributing to latency sums
+// metrics bundles the scheduler's registry instruments. Counters and
+// gauges are updated at the point the event happens (atomic hot paths);
+// only the latency maxima live behind the sink mutex, because a running
+// maximum is not expressible as a counter or histogram.
+type metrics struct {
+	reg *obs.Registry
+
+	submitted, rejected     *obs.Counter
+	completed, failed       *obs.Counter
+	canceled, retries       *obs.Counter
+	outcomes                *obs.CounterVec
+	cacheHits, cacheMisses  *obs.Counter
+	cacheEntries            *obs.Gauge
+	sysCreated, sysReused   *obs.Counter
+	queueDepth, running     *obs.Gauge
+	waitSeconds, runSeconds *obs.Histogram
+
+	mu              sync.Mutex
+	waitMax, runMax time.Duration
 }
 
-func newStatsSink() *statsSink {
-	return &statsSink{outcomes: make(map[string]uint64)}
-}
-
-func (s *statsSink) jobDone(outcome ftla.Outcome, wait, run time.Duration) {
-	s.mu.Lock()
-	s.completed++
-	s.outcomes[outcome.String()]++
-	s.completedDuration++
-	s.waitSum += wait
-	s.runSum += run
-	if wait > s.waitMax {
-		s.waitMax = wait
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		reg:       reg,
+		submitted: reg.Counter(MetricJobsSubmitted, "Jobs accepted into the queue."),
+		rejected:  reg.Counter(MetricJobsRejected, "Submissions refused with ErrQueueFull (backpressure)."),
+		completed: reg.Counter(MetricJobsCompleted, "Jobs finished with a JobResult."),
+		failed:    reg.Counter(MetricJobsFailed, "Jobs finished with a non-cancellation error."),
+		canceled:  reg.Counter(MetricJobsCanceled, "Jobs whose context expired before or during service."),
+		retries:   reg.Counter(MetricJobRetries, "Corruption-triggered complete restarts (attempts beyond the first)."),
+		outcomes: reg.CounterVec(MetricJobOutcomes,
+			"Completed jobs by winning-attempt outcome class (§X.B).", "outcome"),
+		cacheHits:    reg.Counter(MetricCacheHits, "Factorization-cache hits."),
+		cacheMisses:  reg.Counter(MetricCacheMisses, "Factorization-cache misses."),
+		cacheEntries: reg.Gauge(MetricCacheEntries, "Factorization-cache entries currently resident."),
+		sysCreated:   reg.Counter(MetricSystemsCreated, "Simulated systems constructed (pool misses)."),
+		sysReused:    reg.Counter(MetricSystemsReused, "Simulated systems reused from the pool."),
+		queueDepth:   reg.Gauge(MetricQueueDepth, "Jobs admitted but not yet dispatched."),
+		running:      reg.Gauge(MetricJobsRunning, "Jobs currently executing on a worker."),
+		waitSeconds: reg.Histogram(MetricJobWaitSeconds,
+			"Queue time of completed jobs (submit to dispatch), seconds.", nil),
+		runSeconds: reg.Histogram(MetricJobRunSeconds,
+			"Service time of completed jobs (dispatch to terminal, incl. retries), seconds.", nil),
 	}
-	if run > s.runMax {
-		s.runMax = run
+}
+
+// jobDone records one completed job: completion counter, outcome series,
+// latency histograms, and the mutex-held maxima.
+func (m *metrics) jobDone(outcome ftla.Outcome, wait, run time.Duration) {
+	m.completed.Inc()
+	m.outcomes.With(outcome.String()).Inc()
+	m.waitSeconds.Observe(wait.Seconds())
+	m.runSeconds.Observe(run.Seconds())
+	m.mu.Lock()
+	if wait > m.waitMax {
+		m.waitMax = wait
 	}
-	s.mu.Unlock()
+	if run > m.runMax {
+		m.runMax = run
+	}
+	m.mu.Unlock()
 }
 
-func (s *statsSink) add(field *uint64, n uint64) {
-	s.mu.Lock()
-	*field += n
-	s.mu.Unlock()
-}
-
-// snapshot folds the sink into a Stats value; the scheduler adds gauges and
-// the cache/pool counters.
-func (s *statsSink) snapshot() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// snapshot folds the instruments into a Stats value; the scheduler adds
+// the queue gauges (which it owns under its own mutex) and the device
+// aggregate.
+func (m *metrics) snapshot() Stats {
 	st := Stats{
-		Submitted: s.submitted,
-		Rejected:  s.rejected,
-		Completed: s.completed,
-		Failed:    s.failed,
-		Canceled:  s.canceled,
-		Retries:   s.retries,
-		Outcomes:  make(map[string]uint64, len(s.outcomes)),
-		MaxWait:   s.waitMax,
-		MaxRun:    s.runMax,
+		Submitted:      m.submitted.Value(),
+		Rejected:       m.rejected.Value(),
+		Completed:      m.completed.Value(),
+		Failed:         m.failed.Value(),
+		Canceled:       m.canceled.Value(),
+		Retries:        m.retries.Value(),
+		Outcomes:       m.outcomes.Values(),
+		CacheHits:      m.cacheHits.Value(),
+		CacheMisses:    m.cacheMisses.Value(),
+		CacheEntries:   int(m.cacheEntries.Value()),
+		SystemsCreated: m.sysCreated.Value(),
+		SystemsReused:  m.sysReused.Value(),
 	}
-	for k, v := range s.outcomes {
-		st.Outcomes[k] = v
+	if n := m.waitSeconds.Count(); n > 0 {
+		st.AvgWait = time.Duration(m.waitSeconds.Sum() / float64(n) * float64(time.Second))
 	}
-	if s.completedDuration > 0 {
-		st.AvgWait = s.waitSum / time.Duration(s.completedDuration)
-		st.AvgRun = s.runSum / time.Duration(s.completedDuration)
+	if n := m.runSeconds.Count(); n > 0 {
+		st.AvgRun = time.Duration(m.runSeconds.Sum() / float64(n) * float64(time.Second))
 	}
+	m.mu.Lock()
+	st.MaxWait, st.MaxRun = m.waitMax, m.runMax
+	m.mu.Unlock()
 	return st
 }

@@ -1,9 +1,25 @@
 #!/usr/bin/env bash
-# Tier-1 gate: everything must build, vet clean, and pass the full test
-# suite under the race detector (the serving layer is concurrency-heavy;
-# a non-race run is not a passing run).
+# Tier-1 gate: everything must build, vet clean, be gofmt'd, keep its
+# godoc contract, and pass the full test suite under the race detector
+# (the serving layer is concurrency-heavy; a non-race run is not a
+# passing run).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
 go build ./...
 go vet ./...
+
+# Formatting: gofmt -l prints offending files; any output is a failure.
+unformatted=$(gofmt -l .)
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+# Documentation lint: the observability and serving packages export their
+# metric names, trace schema, and job API as a documented contract —
+# every exported identifier there must carry a doc comment.
+go run ./scripts/doclint internal/obs internal/service
+
 go test -race ./...
