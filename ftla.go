@@ -142,6 +142,32 @@ const (
 	UpdatePart = fault.UpdatePart
 )
 
+// FailStopPlan arms a fail-stop or performance fault on one simulated
+// device: a crash (the device is gone; operations on it return
+// DeviceLostError), a hang (the triggering kernel blocks until a deadline
+// fires), or a straggler (sim-time and wall-time cost multiplied). This is
+// the failure class ABFT checksums cannot repair — the serving layer
+// (internal/service) degrades gracefully around it instead.
+type FailStopPlan = hetsim.FaultPlan
+
+// Fail-stop fault modes for FailStopPlan.Mode.
+const (
+	// FailCrash fail-stops the device.
+	FailCrash = hetsim.FaultCrash
+	// FailHang blocks the triggering operation until a deadline fires.
+	FailHang = hetsim.FaultHang
+	// FailStraggler slows the device without stopping it.
+	FailStraggler = hetsim.FaultStraggler
+)
+
+// DeviceLostError is the typed error a factorization returns when a
+// simulated device fail-stops mid-run.
+type DeviceLostError = hetsim.DeviceLostError
+
+// DeviceHungError is the typed error a factorization returns when a hung
+// device was reaped by a context deadline.
+type DeviceHungError = hetsim.DeviceHungError
+
 // Config selects the simulated platform and the protection configuration.
 // The zero value means: 1 GPU, NB=64, full checksums with the new checking
 // scheme, optimized encoding kernel.
@@ -159,6 +185,11 @@ type Config struct {
 	Kernel Kernel
 	// Injector, when set, injects the scheduled faults.
 	Injector *Injector
+	// FailStop arms fail-stop/performance fault plans on the simulated
+	// devices at the start of the run, keyed by device index (-1 = CPU,
+	// else GPU id). A firing plan aborts the run with a typed
+	// DeviceLostError/DeviceHungError.
+	FailStop map[int]FailStopPlan
 	// PeriodicTrailingCheck > 0 adds a full trailing verification every
 	// k-th iteration under NewScheme (§VII.B mitigation).
 	PeriodicTrailingCheck int
@@ -193,6 +224,7 @@ func (c Config) normalize() (Config, core.Options) {
 		Scheme:                c.Scheme,
 		Kernel:                c.Kernel,
 		Injector:              c.Injector,
+		FailStop:              c.FailStop,
 		PeriodicTrailingCheck: c.PeriodicTrailingCheck,
 	}
 	return c, opts

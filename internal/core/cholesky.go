@@ -30,13 +30,21 @@ import (
 //	GPU_owner → all   L21 panel broadcast (+ its column checksums)
 //	all GPUs          TMU: A22 −= L21·L21ᵀ (full checksums maintained via
 //	                  the transposed-column-checksum trick of Fig. 2)
-func Cholesky(sys *hetsim.System, a *matrix.Dense, opts Options) (*matrix.Dense, *Result, error) {
+func Cholesky(sys *hetsim.System, a *matrix.Dense, opts Options) (lret *matrix.Dense, rret *Result, err error) {
 	if a.Rows != a.Cols {
 		return nil, nil, fmt.Errorf("core: Cholesky requires a square matrix, got %dx%d", a.Rows, a.Cols)
 	}
 	if err := opts.Validate(a.Rows); err != nil {
 		return nil, nil, err
 	}
+	// A fail-stop fault (or bound-context expiry) aborts the ladder from
+	// any kernel or transfer; surface it as the run's typed error. The
+	// system's partial state is the caller's to Reset.
+	defer func() {
+		if e := hetsim.RecoverAbort(recover()); e != nil {
+			lret, rret, err = nil, nil, e
+		}
+	}()
 	n := a.Rows
 	res := &Result{
 		N: n, NB: opts.NB, GPUs: sys.NumGPUs(),

@@ -19,7 +19,9 @@ var factorizations = obs.Default().CounterVec(obs.MetricFactorizations,
 // withCommContext installs the PCIe fault hook scoped to one broadcast:
 // transfers executed inside body may be struck by Communication faults
 // scheduled for (it, op). Outside broadcasts the hook is disarmed, matching
-// the fault model (§V targets panel broadcasts).
+// the fault model (§V targets panel broadcasts). The disarm is deferred so
+// a fail-stop abort unwinding out of body cannot leave the hook pending on
+// a pooled system.
 func (es *engineSys) withCommContext(it int, op fault.Op, row0, col0 int, body func()) {
 	if es.inj == nil {
 		body()
@@ -31,8 +33,8 @@ func (es *engineSys) withCommContext(it int, op fault.Op, row0, col0 int, body f
 		}
 		es.inj.OnTransfer(it, op, to.ID(), payload, row0, col0)
 	})
+	defer es.sys.SetTransferHook(nil)
 	body()
-	es.sys.SetTransferHook(nil)
 }
 
 // copyWithin copies src into dst, both resident on dev (device-local
@@ -145,9 +147,18 @@ func (p *protected) verifyRepairColReport(workers int, data, chk *matrix.Dense, 
 	return repairCorrected, fixed
 }
 
-// newEngine bundles the run state for the named decomposition and
-// snapshots the flop counter so the result can report the run's own work.
+// newEngine bundles the run state for the named decomposition, snapshots
+// the flop counter so the result can report the run's own work, and arms
+// any fail-stop fault plans of the options on the system's devices.
 func newEngine(decomp string, sys *hetsim.System, opts Options, res *Result) *engineSys {
+	for id, plan := range opts.FailStop {
+		switch {
+		case id == -1:
+			sys.ArmFault(sys.CPU(), plan)
+		case id >= 0 && id < sys.NumGPUs():
+			sys.ArmFault(sys.GPU(id), plan)
+		}
+	}
 	return &engineSys{decomp: decomp, sys: sys, opts: opts, res: res, inj: opts.Injector, startFlops: blas.Flops()}
 }
 

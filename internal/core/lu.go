@@ -28,13 +28,19 @@ import (
 //	CPU → all GPUs    factored panel broadcast (+ checksums)
 //	all GPUs          PU: U12 = L11⁻¹·A12 (row checksums ride the TRSM)
 //	all GPUs          TMU: A22 −= L21·U12 with full checksum maintenance
-func LU(sys *hetsim.System, a *matrix.Dense, opts Options) (*matrix.Dense, []int, *Result, error) {
+func LU(sys *hetsim.System, a *matrix.Dense, opts Options) (lret *matrix.Dense, pret []int, rret *Result, err error) {
 	if a.Rows != a.Cols {
 		return nil, nil, nil, fmt.Errorf("core: LU requires a square matrix, got %dx%d", a.Rows, a.Cols)
 	}
 	if err := opts.Validate(a.Rows); err != nil {
 		return nil, nil, nil, err
 	}
+	// Fail-stop abort plumbing; see Cholesky.
+	defer func() {
+		if e := hetsim.RecoverAbort(recover()); e != nil {
+			lret, pret, rret, err = nil, nil, nil, e
+		}
+	}()
 	n := a.Rows
 	res := &Result{
 		N: n, NB: opts.NB, GPUs: sys.NumGPUs(),

@@ -104,6 +104,13 @@ type Options struct {
 	// mitigation for accumulating undetected on-chip 1-D propagations
 	// (§VII.B). 0 disables it.
 	PeriodicTrailingCheck int
+	// FailStop arms fail-stop/performance fault plans on the simulated
+	// devices at the start of the run, keyed by device index (-1 = CPU,
+	// else GPU id). A firing plan aborts the factorization with a typed
+	// hetsim.DeviceLostError / DeviceHungError instead of a result —
+	// ABFT checksums cannot repair a device that is gone; the serving
+	// layer's failover answers this class (see internal/service).
+	FailStop map[int]hetsim.FaultPlan
 }
 
 // Validate normalizes and sanity-checks the options for order n.

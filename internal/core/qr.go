@@ -28,13 +28,19 @@ import (
 //	CPU → all GPUs    panel + c(V) + T broadcast
 //	all GPUs          TMU: A₂ = (I − V·Tᵀ·Vᵀ)·A₂ with full checksums
 //	                  maintained from c(V) (Table III, red terms)
-func QR(sys *hetsim.System, a *matrix.Dense, opts Options) (*matrix.Dense, []float64, *Result, error) {
+func QR(sys *hetsim.System, a *matrix.Dense, opts Options) (qret *matrix.Dense, tret []float64, rret *Result, err error) {
 	if a.Rows != a.Cols {
 		return nil, nil, nil, fmt.Errorf("core: QR requires a square matrix, got %dx%d", a.Rows, a.Cols)
 	}
 	if err := opts.Validate(a.Rows); err != nil {
 		return nil, nil, nil, err
 	}
+	// Fail-stop abort plumbing; see Cholesky.
+	defer func() {
+		if e := hetsim.RecoverAbort(recover()); e != nil {
+			qret, tret, rret, err = nil, nil, nil, e
+		}
+	}()
 	n := a.Rows
 	res := &Result{
 		N: n, NB: opts.NB, GPUs: sys.NumGPUs(),

@@ -115,6 +115,35 @@ type Spec struct {
 	GPUTarget int
 }
 
+// Describe returns a compact single-line description of the scheduled
+// fault — kind, target operation/part, iteration, element addressing, and
+// flip width — the form chaos-campaign logs carry so a failure is
+// diagnosable without re-running the injection:
+//
+//	off-chip-mem@PD/ref it=0 elem=(1,0) bits=2
+//	communication@PU/update it=3 elem=(rand,rand) bits=2 gpu=1
+func (s Spec) Describe() string {
+	elem := func(v int) string {
+		if v < 0 {
+			return "rand"
+		}
+		return fmt.Sprintf("%d", v)
+	}
+	d := fmt.Sprintf("%s@%s/%s it=%d elem=(%s,%s) bits=%d",
+		s.Kind, s.Op, s.Part, s.Iteration, elem(s.Row), elem(s.Col), s.Bits)
+	if s.Kind == Communication {
+		target := s.GPUTarget
+		if target < 0 {
+			target = 0
+		}
+		d += fmt.Sprintf(" gpu=%d", target)
+	}
+	return d
+}
+
+// String is Describe, so %v formatting of a Spec is log-ready.
+func (s Spec) String() string { return s.Describe() }
+
 // Event records one fault that was actually injected.
 type Event struct {
 	Spec     Spec

@@ -49,6 +49,14 @@ type Device struct {
 	mu      sync.Mutex
 	simSecs float64 // accumulated simulated busy time
 	sys     *System
+
+	// Fail-stop fault state (see failstop.go), guarded by its own mutex so
+	// the gate never contends with the simulated clock.
+	fmu  sync.Mutex
+	plan *FaultPlan
+	ops  int     // operations gated since the plan was armed
+	lost bool    // device has crashed or hung; all further ops abort
+	slow float64 // straggler sim-time multiplier; 0 = nominal speed
 }
 
 // Kind returns the device kind.
@@ -82,12 +90,18 @@ func (d *Device) resetSim() {
 }
 
 // addSim advances the device clock by the kernel's simulated duration and
-// returns that duration (zero when the device has no nominal speed).
+// returns that duration (zero when the device has no nominal speed). A
+// triggered straggler plan multiplies the duration by its Slowdown.
 func (d *Device) addSim(flops float64) float64 {
 	if d.gflops <= 0 {
 		return 0
 	}
 	secs := flops / (d.gflops * 1e9)
+	d.fmu.Lock()
+	if d.slow > 1 {
+		secs *= d.slow
+	}
+	d.fmu.Unlock()
 	d.mu.Lock()
 	d.simSecs += secs
 	d.mu.Unlock()
@@ -157,6 +171,7 @@ func (b *Buffer) UnsafeData() *matrix.Dense { return b.m }
 
 // Gemm computes C = alpha·op(A)·op(B) + beta·C on the device.
 func (d *Device) Gemm(transA, transB bool, alpha float64, a, b *Buffer, beta float64, c *Buffer) {
+	d.gate("gemm")
 	am, bm, cm := a.Access(d), b.Access(d), c.Access(d)
 	k := am.Cols
 	if transA {
@@ -170,6 +185,7 @@ func (d *Device) Gemm(transA, transB bool, alpha float64, a, b *Buffer, beta flo
 // Trsm solves a triangular system with multiple right-hand sides on the
 // device (see blas.Trsm).
 func (d *Device) Trsm(side blas.Side, lower, trans, unit bool, alpha float64, a, b *Buffer) {
+	d.gate("trsm")
 	am, bm := a.Access(d), b.Access(d)
 	blas.TrsmP(d.workers, side, lower, trans, unit, alpha, am, bm)
 	flops := float64(am.Rows) * float64(am.Rows) * float64(bm.Rows*bm.Cols) / float64(am.Rows)
@@ -178,6 +194,7 @@ func (d *Device) Trsm(side blas.Side, lower, trans, unit bool, alpha float64, a,
 
 // Syrk performs a symmetric rank-k update on the device (see blas.Syrk).
 func (d *Device) Syrk(lower, trans bool, alpha float64, a *Buffer, beta float64, c *Buffer) {
+	d.gate("syrk")
 	am, cm := a.Access(d), c.Access(d)
 	blas.SyrkP(d.workers, lower, trans, alpha, am, beta, cm)
 	k := am.Cols
@@ -191,8 +208,12 @@ func (d *Device) Syrk(lower, trans bool, alpha float64, a *Buffer, beta float64,
 // Run executes an arbitrary kernel body on the device, charging the given
 // flop count to the simulated clock. The body receives the device's worker
 // count so it can parallelize. It is the escape hatch for panel kernels
-// (POTF2/GETF2/GEQR2) and checksum kernels.
+// (POTF2/GETF2/GEQR2) and checksum kernels. Like every kernel it passes
+// the fail-stop gate: on a crashed device, or under a done bound context,
+// it aborts with a typed panic recoverable via RecoverAbort (RunCtx is the
+// error-returning variant).
 func (d *Device) Run(name string, flops float64, body func(workers int)) {
+	d.gate(name)
 	body(d.workers)
 	d.sys.trace(name, d, flops, d.addSim(flops))
 }

@@ -1,8 +1,10 @@
 package hetsim
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"ftla/internal/matrix"
 	"ftla/internal/obs"
@@ -72,6 +74,11 @@ type System struct {
 	cfg  Config
 	cpu  *Device
 	gpus []*Device
+
+	// boundCtx is the abort context installed by Bind (nil pointer or nil
+	// context = unbound); every kernel and transfer consults it at its
+	// fail-stop gate (see failstop.go).
+	boundCtx atomic.Pointer[context.Context]
 
 	mu           sync.Mutex
 	pcieSimSecs  float64
@@ -186,15 +193,19 @@ func (s *System) trace(op string, d *Device, flops, durSecs float64) {
 
 // Reset returns the system to a like-new state for the next run:
 // simulated clocks and PCIe byte counters zeroed, the recorded events
-// dropped, and the per-run attachments — the transfer hook and the obs
-// tracer — cleared. The EnableTrace flag deliberately survives: it is
-// configuration ("record my kernels"), not accumulated state, and a Reset
-// that silently disabled it forced every pooled-system user to re-enable
-// tracing after each job (the bug this contract fixes; see
-// TestEnableTraceSurvivesReset). Device buffers are not tracked and thus
-// not touched — callers own their allocations. Reset lets a pool reuse
-// one System across jobs without construction cost while each job still
-// observes clean clocks and an injector-free, tracer-free fabric.
+// dropped, the per-run attachments — the transfer hook, the obs tracer,
+// and the bound abort context — cleared, and every armed FaultPlan
+// disarmed with crashed/hung devices revived (an aborted run must leave a
+// Reset-safe system: the next job on a pooled, then-probed system starts
+// on a clean, fully populated node — see TestResetClearsFaultPlan). The
+// EnableTrace flag deliberately survives: it is configuration ("record my
+// kernels"), not accumulated state, and a Reset that silently disabled it
+// forced every pooled-system user to re-enable tracing after each job
+// (the bug this contract fixes; see TestEnableTraceSurvivesReset). Device
+// buffers are not tracked and thus not touched — callers own their
+// allocations. Reset lets a pool reuse one System across jobs without
+// construction cost while each job still observes clean clocks and an
+// injector-free, tracer-free, fault-free fabric.
 func (s *System) Reset() {
 	s.mu.Lock()
 	s.pcieSimSecs = 0
@@ -203,9 +214,12 @@ func (s *System) Reset() {
 	s.hook = nil
 	s.tracer = nil
 	s.mu.Unlock()
+	s.boundCtx.Store(nil)
 	s.cpu.resetSim()
+	s.cpu.resetFault()
 	for _, g := range s.gpus {
 		g.resetSim()
+		g.resetFault()
 	}
 }
 
@@ -228,8 +242,19 @@ func (s *System) BytesTransferred() int64 {
 // same-device Transfer is almost always an algorithmic mistake and
 // panics). The transfer hook, if installed, runs on the received payload —
 // exactly the paper's communication-error window: after the sender's
-// memory was read, before any receiver-side verification.
+// memory was read, before any receiver-side verification. Both endpoints
+// pass the fail-stop gate first: a transfer touching a crashed device (or
+// running under a done bound context) aborts with a typed panic
+// recoverable via RecoverAbort (TransferCtx is the error-returning
+// variant).
 func (s *System) Transfer(src, dst *Buffer) {
+	src.dev.gate("pcie")
+	dst.dev.gate("pcie")
+	s.transferGated(src, dst)
+}
+
+// transferGated is Transfer after the fail-stop gates have passed.
+func (s *System) transferGated(src, dst *Buffer) {
 	if src.dev == dst.dev {
 		panic("hetsim: Transfer within a single device; use device-local copies")
 	}

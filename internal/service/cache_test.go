@@ -82,10 +82,36 @@ func TestCachePutRefreshesExisting(t *testing.T) {
 
 func TestRetryBackoffCapped(t *testing.T) {
 	p := RetryPolicy{MaxAttempts: 10, BaseBackoff: 5 * time.Millisecond, MaxBackoff: 40 * time.Millisecond}.normalize()
+	// jitter 0.5 is the midpoint of the ±50% envelope: the nominal delay.
 	want := []time.Duration{5, 10, 20, 40, 40, 40}
 	for i, w := range want {
-		if got := p.Backoff(i + 1); got != w*time.Millisecond {
-			t.Fatalf("Backoff(%d) = %v, want %v", i+1, got, w*time.Millisecond)
+		if got := p.Backoff(i+1, 0.5); got != w*time.Millisecond {
+			t.Fatalf("Backoff(%d, 0.5) = %v, want %v", i+1, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestRetryBackoffJitterEnvelope(t *testing.T) {
+	p := DefaultRetryPolicy()
+	nominal := p.BaseBackoff
+	// Full ±50% jitter: jitter 0 halves the nominal delay; jitter → 1
+	// approaches 1.5x. Out-of-range variates clamp into the envelope.
+	if got := p.Backoff(1, 0); got != nominal/2 {
+		t.Fatalf("Backoff(1, 0) = %v, want %v", got, nominal/2)
+	}
+	lo, hi := nominal/2, nominal*3/2
+	for _, j := range []float64{0, 0.25, 0.5, 0.75, 0.999, -3, 7} {
+		got := p.Backoff(1, j)
+		if got < lo || got > hi {
+			t.Fatalf("Backoff(1, %v) = %v outside envelope [%v, %v]", j, got, lo, hi)
+		}
+	}
+	// Deterministic under a seeded source: the same variate stream gives
+	// the same delays.
+	r1, r2 := matrix.NewRNG(9), matrix.NewRNG(9)
+	for i := 1; i <= 5; i++ {
+		if a, b := p.Backoff(i, r1.Float64()), p.Backoff(i, r2.Float64()); a != b {
+			t.Fatalf("retry %d: same seed gave %v vs %v", i, a, b)
 		}
 	}
 }

@@ -1,0 +1,440 @@
+package service
+
+// Chaos harness for the fail-stop layer (scripts/check.sh runs these with
+// -race -count=2 via -run 'Chaos|Storm'). The invariant under test, from
+// the serving layer's graceful-degradation contract: every job terminates
+// with either a residual-verified result or a typed error — never a
+// deadlock, a panic, a goroutine leak, or a silently wrong matrix.
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"ftla"
+	"ftla/internal/hetsim"
+	"ftla/internal/matrix"
+	"ftla/internal/obs"
+)
+
+// chaosSpec is a 4-GPU Cholesky job; fs arms fail-stop plans (nil = clean).
+func chaosSpec(seed uint64, fs map[int]ftla.FailStopPlan) JobSpec {
+	return JobSpec{
+		Decomp: Cholesky,
+		A:      ftla.RandomSPD(128, seed),
+		Config: ftla.Config{
+			GPUs: 4, NB: 32,
+			FailStop: fs,
+		},
+		NoCache: true,
+	}
+}
+
+// TestChaosGPULossFailsOverToDegradedSystem is the headline scenario: a
+// 4-GPU job loses GPU 3 mid-factorization, the pool quarantines the dead
+// system, and the retry completes on a rebuilt 3-GPU platform — with the
+// whole event visible in the metrics.
+func TestChaosGPULossFailsOverToDegradedSystem(t *testing.T) {
+	s := New(Config{Workers: 1, Retry: RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond}})
+	defer s.Close()
+
+	spec := chaosSpec(11, map[int]ftla.FailStopPlan{
+		3: {Mode: ftla.FailCrash, AfterOps: 2},
+	})
+	h, err := s.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.Wait(context.Background())
+	if err != nil {
+		t.Fatalf("job failed: %v", err)
+	}
+	if res.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (one lost to the crash, one degraded rerun)", res.Attempts)
+	}
+	if got := res.Factors.Report().GPUs; got != 3 {
+		t.Fatalf("winning attempt ran on %d GPUs, want 3 (degraded from 4)", got)
+	}
+	if res.Residual > 1e-9 {
+		t.Fatalf("failover produced a wrong factor: residual %g", res.Residual)
+	}
+	st := s.Stats()
+	if st.DeviceLost != 1 {
+		t.Fatalf("Stats.DeviceLost = %d, want 1", st.DeviceLost)
+	}
+	if st.AbortedAttempts != 1 {
+		t.Fatalf("Stats.AbortedAttempts = %d, want 1", st.AbortedAttempts)
+	}
+	if st.Retries != 1 {
+		t.Fatalf("Stats.Retries = %d, want 1", st.Retries)
+	}
+	if st.Quarantined != 1 {
+		t.Fatalf("Stats.Quarantined = %d, want 1 (the crashed system held out)", st.Quarantined)
+	}
+	if n := s.pool.quarantined(); n != 1 {
+		t.Fatalf("pool holds %d quarantined systems, want 1", n)
+	}
+}
+
+// TestChaosPersistentLossExhaustsRetries: when every attempt loses a
+// device (here: all retries still find crashing hardware because the job
+// pins MaxAttempts at 1), the job terminates with a typed *FailStopError
+// wrapping the device fault — not a hang or a silent failure.
+func TestChaosPersistentLossExhaustsRetries(t *testing.T) {
+	s := New(Config{Workers: 1, Retry: RetryPolicy{MaxAttempts: 1}})
+	defer s.Close()
+
+	spec := chaosSpec(12, map[int]ftla.FailStopPlan{
+		1: {Mode: ftla.FailCrash, AfterOps: 2},
+	})
+	h, err := s.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = h.Wait(context.Background())
+	var fse *FailStopError
+	if !errors.As(err, &fse) {
+		t.Fatalf("err = %v, want *FailStopError", err)
+	}
+	var lost *hetsim.DeviceLostError
+	if !errors.As(err, &lost) || lost.Device != "GPU1" {
+		t.Fatalf("FailStopError does not wrap the device fault: %v", err)
+	}
+	if fse.Attempts != 1 {
+		t.Fatalf("FailStopError.Attempts = %d, want 1", fse.Attempts)
+	}
+}
+
+// TestChaosUnmeetableDeadline: a job whose Deadline cannot be met — a hung
+// GPU eats the whole budget — terminates with a typed *DeadlineError that
+// errors.Is-matches context.DeadlineExceeded, and the expiry is counted.
+func TestChaosUnmeetableDeadline(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+
+	spec := chaosSpec(13, map[int]ftla.FailStopPlan{
+		0: {Mode: ftla.FailHang, AfterOps: 2},
+	})
+	spec.Deadline = 50 * time.Millisecond
+	h, err := s.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.Wait(context.Background())
+	if res != nil {
+		t.Fatal("deadline-doomed job still produced a result")
+	}
+	var de *DeadlineError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want *DeadlineError", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("DeadlineError must match context.DeadlineExceeded: %v", err)
+	}
+	if de.Deadline != spec.Deadline {
+		t.Fatalf("DeadlineError.Deadline = %v, want %v", de.Deadline, spec.Deadline)
+	}
+	if st := s.Stats(); st.DeadlineExceeded != 1 {
+		t.Fatalf("Stats.DeadlineExceeded = %d, want 1", st.DeadlineExceeded)
+	}
+}
+
+// TestChaosCanceledWhileQueued covers the first cancellation path: a job
+// whose context dies before a worker ever claims it finishes with the
+// context's error and runs nothing.
+func TestChaosCanceledWhileQueued(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+
+	gate := make(chan struct{})
+	claimed := make(chan struct{}, 4)
+	s.beforeRun = func(*JobHandle) {
+		claimed <- struct{}{}
+		<-gate
+	}
+	// First job occupies the only worker at the beforeRun gate.
+	h1, err := s.Submit(context.Background(), chaosSpec(14, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-claimed
+	// Second job waits in the queue; cancel it there.
+	ctx, cancel := context.WithCancel(context.Background())
+	h2, err := s.Submit(ctx, chaosSpec(15, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	close(gate)
+	if _, err := h2.Wait(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued-then-canceled job: err = %v, want context.Canceled", err)
+	}
+	if _, err := h1.Wait(context.Background()); err != nil {
+		t.Fatalf("gated job should still succeed: %v", err)
+	}
+	if st := s.Stats(); st.Canceled != 1 {
+		t.Fatalf("Stats.Canceled = %d, want 1", st.Canceled)
+	}
+}
+
+// TestChaosCanceledMidAttempt covers the second cancellation path: the
+// bound per-attempt context aborts kernels mid-factorization, so a hung
+// attempt is reaped the moment the caller cancels — the worker does not
+// wedge until some timeout.
+func TestChaosCanceledMidAttempt(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+
+	claimed := make(chan struct{}, 1)
+	s.beforeRun = func(*JobHandle) { claimed <- struct{}{} }
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	spec := chaosSpec(16, map[int]ftla.FailStopPlan{
+		2: {Mode: ftla.FailHang, AfterOps: 2},
+	})
+	h, err := s.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-claimed // the attempt is running (and will hang on GPU2)
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	if _, err := h.Wait(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-attempt cancel: err = %v, want context.Canceled", err)
+	}
+	if st := s.Stats(); st.Canceled != 1 {
+		t.Fatalf("Stats.Canceled = %d, want 1", st.Canceled)
+	}
+}
+
+// TestChaosDeadlineDuringBackoff covers the third cancellation path: the
+// job budget expires while the scheduler sleeps between attempts. The
+// backoff select must wake on the deadline and return the typed error, not
+// sleep through it.
+func TestChaosDeadlineDuringBackoff(t *testing.T) {
+	s := New(Config{
+		Workers: 1,
+		// Backoff far beyond the deadline: the expiry lands in the sleep.
+		Retry: RetryPolicy{MaxAttempts: 3, BaseBackoff: 10 * time.Second, MaxBackoff: 10 * time.Second},
+	})
+	defer s.Close()
+
+	// Forced-corrupt first attempt (same recipe as the retry tests): two
+	// faults in one checksum strip under single-side protection.
+	spec := corruptibleSpec(corruptingInjector(t))
+	spec.Deadline = 300 * time.Millisecond
+	start := time.Now()
+	h, err := s.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = h.Wait(context.Background())
+	var de *DeadlineError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want *DeadlineError", err)
+	}
+	if de.Attempts != 1 {
+		t.Fatalf("DeadlineError.Attempts = %d, want 1 (corrupt attempt, then expiry in backoff)", de.Attempts)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("job slept through its deadline: terminated after %v", waited)
+	}
+	if st := s.Stats(); st.DeadlineExceeded != 1 {
+		t.Fatalf("Stats.DeadlineExceeded = %d, want 1", st.DeadlineExceeded)
+	}
+}
+
+// TestChaosPoolProbationReadmission exercises the circuit breaker end to
+// end at the pool level: a quarantined system sits out poolProbeAfter
+// grants, then the next acquire re-admits it repaired (Reset revives its
+// lost device).
+func TestChaosPoolProbationReadmission(t *testing.T) {
+	p := newSystemPool(2, newMetrics(obs.NewRegistry()))
+	cfg := hetsim.DefaultConfig(2)
+
+	bad := p.acquire(cfg)
+	bad.ArmFault(bad.GPU(0), hetsim.FaultPlan{Mode: hetsim.FaultCrash})
+	err := bad.GPU(0).RunCtx(context.Background(), "probe", 1, func(int) {})
+	var lost *hetsim.DeviceLostError
+	if !errors.As(err, &lost) {
+		t.Fatalf("arming failed: %v", err)
+	}
+	p.quarantine(bad)
+	if p.quarantined() != 1 {
+		t.Fatal("system not quarantined")
+	}
+
+	// The breaker stays open for poolProbeAfter grants...
+	for i := 0; i < poolProbeAfter; i++ {
+		sys := p.acquire(cfg)
+		if sys == bad {
+			t.Fatalf("quarantined system re-admitted early (grant %d)", i+1)
+		}
+		p.release(sys)
+	}
+	// ...then the next acquire is the probation probe.
+	probe := p.acquire(cfg)
+	if probe != bad {
+		t.Fatal("probation grant did not re-admit the quarantined system")
+	}
+	if p.quarantined() != 0 {
+		t.Fatal("quarantine count not decremented on probe")
+	}
+	if probe.GPU(0).Lost() {
+		t.Fatal("probe system not repaired: GPU0 still lost")
+	}
+	if err := probe.GPU(0).RunCtx(context.Background(), "probe", 1, func(int) {}); err != nil {
+		t.Fatalf("repaired device still failing: %v", err)
+	}
+}
+
+// TestChaosRepeatedFailureOpensBreaker: systems that keep failing jobs
+// without losing a device are quarantined after poolMaxConsecFails
+// consecutive failures (and a success in between resets the streak).
+func TestChaosRepeatedFailureOpensBreaker(t *testing.T) {
+	p := newSystemPool(2, newMetrics(obs.NewRegistry()))
+	cfg := hetsim.DefaultConfig(1)
+
+	sys := p.acquire(cfg)
+	for i := 0; i < poolMaxConsecFails-1; i++ {
+		p.fail(sys)
+		if got := p.acquire(cfg); got != sys {
+			t.Fatalf("failure %d should reshelve below the threshold", i+1)
+		}
+	}
+	// A success clears the streak...
+	p.release(sys)
+	if p.quarantined() != 0 {
+		t.Fatal("healthy release must not quarantine")
+	}
+	sys = p.acquire(cfg)
+	// ...so it takes a full run of consecutive failures to open the breaker.
+	for i := 0; i < poolMaxConsecFails; i++ {
+		p.fail(sys)
+		if i < poolMaxConsecFails-1 {
+			if got := p.acquire(cfg); got != sys {
+				t.Fatalf("failure %d should reshelve below the threshold", i+1)
+			}
+		}
+	}
+	if p.quarantined() != 1 {
+		t.Fatalf("breaker did not open after %d consecutive failures", poolMaxConsecFails)
+	}
+}
+
+// TestChaosStorm is the randomized campaign: a fleet of jobs with random
+// fail-stop faults (crash / hang / straggler / none) on random devices,
+// random deadlines, and corrupting injectors, all racing on a small worker
+// pool. Every job must reach a terminal state that is either a verified
+// result or a typed error, and the scheduler must wind down without
+// leaking goroutines.
+func TestChaosStorm(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	s := New(Config{
+		Workers:        4,
+		Retry:          RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond},
+		AttemptTimeout: 250 * time.Millisecond,
+		Seed:           77,
+	})
+
+	rng := matrix.NewRNG(2026)
+	const jobs = 24
+	handles := make([]*JobHandle, 0, jobs)
+	expectOK := make([]bool, 0, jobs) // jobs with no scripted doom must succeed
+	for i := 0; i < jobs; i++ {
+		var fs map[int]ftla.FailStopPlan
+		doomed := false
+		switch rng.Intn(4) {
+		case 0: // clean
+		case 1:
+			fs = map[int]ftla.FailStopPlan{rng.Intn(4): {Mode: ftla.FailCrash, AfterOps: 1 + rng.Intn(8)}}
+		case 2:
+			fs = map[int]ftla.FailStopPlan{rng.Intn(4): {Mode: ftla.FailHang, AfterOps: 1 + rng.Intn(8)}}
+		case 3:
+			fs = map[int]ftla.FailStopPlan{rng.Intn(4): {Mode: ftla.FailStraggler, Slowdown: 4}}
+		}
+		spec := chaosSpec(uint64(100+i), fs)
+		if rng.Intn(4) == 0 {
+			spec.Deadline = time.Duration(20+rng.Intn(200)) * time.Millisecond
+			doomed = true // a tight deadline may legitimately expire
+		}
+		h, err := s.Submit(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+		expectOK = append(expectOK, !doomed)
+	}
+
+	var mu sync.Mutex
+	outcomes := map[string]int{}
+	var wg sync.WaitGroup
+	for i, h := range handles {
+		wg.Add(1)
+		go func(i int, h *JobHandle) {
+			defer wg.Done()
+			// The harness-level liveness bound: no job may take longer
+			// than this to reach a terminal state.
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			res, err := h.Wait(ctx)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				if res.Residual > 1e-9 {
+					t.Errorf("job %d: silently wrong result, residual %g", i, res.Residual)
+				}
+				outcomes["ok"]++
+			case errors.Is(err, context.DeadlineExceeded) && ctx.Err() != nil:
+				t.Errorf("job %d: never terminated (harness timeout)", i)
+			default:
+				var de *DeadlineError
+				var fse *FailStopError
+				var ce *CorruptError
+				switch {
+				case errors.As(err, &de):
+					outcomes["deadline"]++
+				case errors.As(err, &fse):
+					outcomes["failstop"]++
+				case errors.As(err, &ce):
+					outcomes["corrupt"]++
+				case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+					outcomes["ctx"]++
+				default:
+					t.Errorf("job %d: untyped terminal error %v", i, err)
+				}
+				if expectOK[i] {
+					t.Errorf("job %d: no scripted doom but failed: %v", i, err)
+				}
+			}
+		}(i, h)
+	}
+	wg.Wait()
+	s.Close()
+
+	st := s.Stats()
+	if got := int(st.Completed + st.Failed + st.Canceled); got != jobs {
+		t.Fatalf("terminal states %d != jobs %d (some job vanished)", got, jobs)
+	}
+	t.Logf("storm outcomes: %v; deviceLost=%d aborted=%d retries=%d quarantined=%d",
+		outcomes, st.DeviceLost, st.AbortedAttempts, st.Retries, st.Quarantined)
+
+	// Goroutine-leak check: workers and per-job waiters must be gone.
+	// Settle loop: the race detector and timer goroutines need a moment.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before storm, %d after settle", before, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -88,6 +89,14 @@ type JobSpec struct {
 	// JobResult.Trace, exportable as a Chrome trace (WriteChrome). Off by
 	// default — the span slice grows with every kernel.
 	Trace bool
+	// Deadline bounds the job's total service time, measured from dispatch
+	// (queue time excluded): all attempts, backoff sleeps, and the solve
+	// must fit inside it. A job that cannot finish in time terminates with
+	// a *DeadlineError — including mid-attempt, because the deadline is
+	// bound into the running system and aborts kernels at the next gate.
+	// Zero means no deadline. For a bound covering queue time too, pass a
+	// context with a deadline to Submit.
+	Deadline time.Duration
 }
 
 func (s *JobSpec) validate() error {
@@ -190,12 +199,75 @@ type CorruptError struct {
 	Outcome  ftla.Outcome
 	Report   *ftla.Report
 	Attempts int
+	// Injected describes the faults the job's injector actually fired
+	// (fault.Spec.Describe form), so a chaos-campaign failure is
+	// diagnosable from the error alone. Empty when the job carried no
+	// injector or nothing fired.
+	Injected []string
 }
 
-// Error summarizes the terminal outcome and how many attempts were spent.
+// Error summarizes the terminal outcome, how many attempts were spent, and
+// which scheduled faults fired.
 func (e *CorruptError) Error() string {
-	return fmt.Sprintf("service: factorization %s after %d attempt(s)", e.Outcome, e.Attempts)
+	msg := fmt.Sprintf("service: factorization %s after %d attempt(s)", e.Outcome, e.Attempts)
+	if len(e.Injected) > 0 {
+		msg += " [injected: " + strings.Join(e.Injected, "; ") + "]"
+	}
+	return msg
 }
+
+// DeadlineError is the terminal state of a job that ran out of time: the
+// job-level JobSpec.Deadline expired (possibly mid-attempt or during a
+// backoff sleep). It wraps context.DeadlineExceeded so
+// errors.Is(err, context.DeadlineExceeded) holds.
+type DeadlineError struct {
+	// Deadline is the budget that was exceeded.
+	Deadline time.Duration
+	// Attempts counts factorization runs started before time ran out.
+	Attempts int
+	// Cause is the underlying abort, when the deadline reaped a running
+	// attempt (e.g. a *hetsim.DeviceHungError); nil when the deadline
+	// expired between attempts.
+	Cause error
+}
+
+// Error summarizes the exceeded budget and any mid-attempt abort.
+func (e *DeadlineError) Error() string {
+	msg := fmt.Sprintf("service: job deadline %v exceeded after %d attempt(s)", e.Deadline, e.Attempts)
+	if e.Cause != nil {
+		msg += ": " + e.Cause.Error()
+	}
+	return msg
+}
+
+// Unwrap lets errors.Is see context.DeadlineExceeded (and the cause chain).
+func (e *DeadlineError) Unwrap() []error {
+	errs := []error{context.DeadlineExceeded}
+	if e.Cause != nil {
+		errs = append(errs, e.Cause)
+	}
+	return errs
+}
+
+// FailStopError is the terminal state of a job that lost devices on every
+// allowed attempt: fail-stop faults (crash, hang) exhausted the retry
+// budget even after the pool degraded to smaller platforms. It wraps the
+// last attempt's typed device error.
+type FailStopError struct {
+	// Attempts counts factorization runs, all aborted by device loss.
+	Attempts int
+	// Cause is the last attempt's abort (*hetsim.DeviceLostError or
+	// *hetsim.DeviceHungError).
+	Cause error
+}
+
+// Error summarizes the exhausted retry budget and the final device fault.
+func (e *FailStopError) Error() string {
+	return fmt.Sprintf("service: device loss on all %d attempt(s): %v", e.Attempts, e.Cause)
+}
+
+// Unwrap exposes the device error for errors.As classification.
+func (e *FailStopError) Unwrap() error { return e.Cause }
 
 // Sentinel submission errors.
 var (

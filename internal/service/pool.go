@@ -6,12 +6,34 @@ import (
 	"ftla/internal/hetsim"
 )
 
+// Circuit-breaker thresholds for the pool's health tracking.
+const (
+	// poolMaxConsecFails is the consecutive-failure count at which a
+	// system is quarantined even without a device loss — the pattern of a
+	// node that keeps producing corrupt results.
+	poolMaxConsecFails = 3
+	// poolProbeAfter is how many acquires on a platform must pass between
+	// probation probes: after that many grants, the next acquire re-admits
+	// one quarantined system (repaired by Reset) instead of an idle one.
+	poolProbeAfter = 8
+)
+
 // systemPool reuses hetsim.System instances across jobs, keyed by platform
 // configuration (jobs may request different GPU counts or speeds). A
 // released system has its device-utilization harvested into the pool's
 // aggregate, is Reset to a like-new state, and becomes available to the
 // next job on the same platform; the per-job cost of simulator construction
 // is paid only on pool misses.
+//
+// The pool is also the service's circuit breaker for fail-stop faults. A
+// system whose job aborted with a device loss is quarantined immediately;
+// a system that keeps failing jobs without losing a device is quarantined
+// after poolMaxConsecFails consecutive failures. Quarantined systems are
+// held out of circulation, counted by the ftla_pool_quarantined gauge, and
+// re-admitted on probation: every poolProbeAfter acquires on the same
+// platform, one quarantined system is repaired (Reset — which revives lost
+// simulated devices, modeling node repair) and handed out as the probe. A
+// probe that fails again goes straight back to quarantine.
 type systemPool struct {
 	mu   sync.Mutex
 	idle map[hetsim.Config][]*hetsim.System
@@ -21,6 +43,11 @@ type systemPool struct {
 
 	met     *metrics           // created/reused land in the scheduler registry
 	devSecs map[string]float64 // aggregated busy seconds by device name
+
+	// Circuit-breaker state.
+	health map[*hetsim.System]int             // consecutive failures per live system
+	quar   map[hetsim.Config][]*hetsim.System // held-out systems per platform
+	grants map[hetsim.Config]int              // acquires since the last probe
 }
 
 func newSystemPool(maxIdlePer int, met *metrics) *systemPool {
@@ -32,13 +59,27 @@ func newSystemPool(maxIdlePer int, met *metrics) *systemPool {
 		maxIdlePer: maxIdlePer,
 		met:        met,
 		devSecs:    make(map[string]float64),
+		health:     make(map[*hetsim.System]int),
+		quar:       make(map[hetsim.Config][]*hetsim.System),
+		grants:     make(map[hetsim.Config]int),
 	}
 }
 
-// acquire returns a clean system for the platform, reusing an idle one when
-// available.
+// acquire returns a clean system for the platform: a probation probe when
+// one is due, else an idle system, else a fresh construction.
 func (p *systemPool) acquire(cfg hetsim.Config) *hetsim.System {
 	p.mu.Lock()
+	p.grants[cfg]++
+	if q := p.quar[cfg]; len(q) > 0 && p.grants[cfg] > poolProbeAfter {
+		sys := q[len(q)-1]
+		p.quar[cfg] = q[:len(q)-1]
+		p.grants[cfg] = 0
+		p.mu.Unlock()
+		p.met.quarantined.Add(-1)
+		p.met.sysReused.Inc()
+		sys.Reset() // repair: revives lost devices, clears armed plans
+		return sys
+	}
 	if q := p.idle[cfg]; len(q) > 0 {
 		sys := q[len(q)-1]
 		p.idle[cfg] = q[:len(q)-1]
@@ -51,20 +92,86 @@ func (p *systemPool) acquire(cfg hetsim.Config) *hetsim.System {
 	return hetsim.New(cfg)
 }
 
-// release harvests the system's device utilization into the pool aggregate,
-// resets it, and shelves it for reuse (or drops it if the shelf is full).
+// release returns a healthy system after a successful job: utilization is
+// harvested, the failure streak cleared, and the system shelved for reuse
+// (or dropped if the shelf is full).
 func (p *systemPool) release(sys *hetsim.System) {
+	p.harvest(sys)
+	p.mu.Lock()
+	delete(p.health, sys)
+	p.shelveLocked(sys)
+	p.mu.Unlock()
+}
+
+// fail returns a system whose job attempt failed without a device loss.
+// The failure streak grows; at poolMaxConsecFails the breaker opens and
+// the system is quarantined instead of shelved.
+func (p *systemPool) fail(sys *hetsim.System) {
+	p.harvest(sys)
+	p.mu.Lock()
+	p.health[sys]++
+	if p.health[sys] >= poolMaxConsecFails {
+		delete(p.health, sys)
+		p.quarLocked(sys)
+		p.mu.Unlock()
+		p.met.quarantined.Add(1)
+		return
+	}
+	p.shelveLocked(sys)
+	p.mu.Unlock()
+}
+
+// quarantine holds a system out of circulation immediately — the reaction
+// to a fail-stop device fault, where reuse without repair is unsafe.
+func (p *systemPool) quarantine(sys *hetsim.System) {
+	p.harvest(sys)
+	p.mu.Lock()
+	delete(p.health, sys)
+	p.quarLocked(sys)
+	p.mu.Unlock()
+	p.met.quarantined.Add(1)
+}
+
+// harvest folds the system's device utilization into the pool aggregate
+// and Resets it (detaching per-run attachments: tracer, bound context,
+// fault plans, transfer hooks).
+func (p *systemPool) harvest(sys *hetsim.System) {
 	stats := sys.Utilization()
 	sys.Reset()
-	cfg := sys.Config()
 	p.mu.Lock()
 	for _, st := range stats {
 		p.devSecs[st.Name] += st.SimSecs
 	}
+	p.mu.Unlock()
+}
+
+// shelveLocked parks a system on the idle shelf; callers hold p.mu.
+func (p *systemPool) shelveLocked(sys *hetsim.System) {
+	cfg := sys.Config()
 	if q := p.idle[cfg]; len(q) < p.maxIdlePer {
 		p.idle[cfg] = append(q, sys)
 	}
-	p.mu.Unlock()
+}
+
+// quarLocked parks a system on the quarantine list and restarts the
+// platform's probation clock, so the breaker stays open for a full
+// poolProbeAfter grants from the quarantine event; callers hold p.mu and
+// update the gauge after unlocking.
+func (p *systemPool) quarLocked(sys *hetsim.System) {
+	cfg := sys.Config()
+	p.quar[cfg] = append(p.quar[cfg], sys)
+	p.grants[cfg] = 0
+}
+
+// quarantined reports the number of systems currently held out.
+func (p *systemPool) quarantined() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, q := range p.quar {
+		n += len(q)
+	}
+	return n
 }
 
 // utilization snapshots the aggregated per-device busy seconds (including

@@ -2,19 +2,23 @@ package service
 
 import "time"
 
-// RetryPolicy governs the service's reaction to the complete-restart bucket
-// of the paper's outcome taxonomy (§X.B). The protected factorizations
-// repair what they can online (Corrected, LocalRestarted — both count as
-// success here, with the recovery recorded in the report); what they cannot
-// repair they detect and surrender to the application. This policy is that
-// application-level answer: rerun the whole factorization, on the model
-// that soft errors are transients that will not strike the rerun.
+// RetryPolicy governs the service's reaction to retryable attempt
+// failures: the complete-restart bucket of the paper's outcome taxonomy
+// (§X.B) and, since the fail-stop layer, device loss/hang/timeout aborts.
+// The protected factorizations repair what they can online (Corrected,
+// LocalRestarted — both count as success here, with the recovery recorded
+// in the report); what they cannot repair they detect and surrender to the
+// application. This policy is that application-level answer: rerun the
+// whole factorization, on the model that soft errors are transients that
+// will not strike the rerun — and that a lost device will not haunt the
+// rebuilt, degraded system the pool hands to the retry.
 type RetryPolicy struct {
 	// MaxAttempts caps total factorization runs per job, first attempt
 	// included (default 3; minimum 1).
 	MaxAttempts int
-	// BaseBackoff is the delay before the first retry; each further retry
-	// doubles it, capped at MaxBackoff (defaults 5ms / 250ms). A zero-ish
+	// BaseBackoff is the nominal delay before the first retry; each
+	// further retry doubles it, capped at MaxBackoff (defaults 5ms /
+	// 250ms). The actual sleep is jittered — see Backoff. A zero-ish
 	// simulated workload retries almost immediately; real deployments size
 	// these to their fault environment.
 	BaseBackoff time.Duration
@@ -43,10 +47,17 @@ func (p RetryPolicy) normalize() RetryPolicy {
 	return p
 }
 
-// Backoff returns the capped exponential delay before retry number
-// retryIdx (1-based: the delay between attempt 1 and attempt 2 is
-// Backoff(1)).
-func (p RetryPolicy) Backoff(retryIdx int) time.Duration {
+// Backoff returns the jittered delay before retry number retryIdx
+// (1-based: the delay between attempt 1 and attempt 2 is Backoff(1, ·)).
+// The nominal delay doubles per retry from BaseBackoff, capped at
+// MaxBackoff; the returned delay applies full ±50% jitter around that
+// envelope — jitter is a uniform variate in [0, 1), and the result is
+// envelope × (0.5 + jitter). Without jitter, every job killed by the same
+// shared-pool event retries at the same instant and thunders the herd
+// right back into the queue; the caller supplies the variate (the
+// Scheduler draws from a seedable source, so tests stay deterministic).
+// Out-of-range jitter is clamped into [0, 1).
+func (p RetryPolicy) Backoff(retryIdx int, jitter float64) time.Duration {
 	if retryIdx < 1 {
 		retryIdx = 1
 	}
@@ -54,11 +65,17 @@ func (p RetryPolicy) Backoff(retryIdx int) time.Duration {
 	for i := 1; i < retryIdx; i++ {
 		d *= 2
 		if d >= p.MaxBackoff {
-			return p.MaxBackoff
+			d = p.MaxBackoff
+			break
 		}
 	}
 	if d > p.MaxBackoff {
-		return p.MaxBackoff
+		d = p.MaxBackoff
 	}
-	return d
+	if jitter < 0 {
+		jitter = 0
+	} else if jitter >= 1 {
+		jitter = 1 - 1e-9
+	}
+	return time.Duration(float64(d) * (0.5 + jitter))
 }

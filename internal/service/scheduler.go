@@ -6,7 +6,15 @@
 //   - admission control: a bounded queue with three priority classes;
 //     submissions beyond capacity fail fast with ErrQueueFull
 //     (backpressure) instead of growing without bound,
-//   - per-job deadlines and cancellation via context.Context,
+//   - per-job deadlines (JobSpec.Deadline → typed *DeadlineError),
+//     per-attempt timeouts (Config.AttemptTimeout), and cancellation via
+//     context.Context — all bound into the running system, so they abort
+//     kernels mid-factorization rather than after,
+//   - graceful degradation under fail-stop faults: an attempt aborted by
+//     a device crash or hang quarantines its system (the pool's circuit
+//     breaker, with probation re-admission), degrades the platform to the
+//     surviving GPU count, and retries; persistent loss terminates with a
+//     typed *FailStopError,
 //   - a retry policy acting on the paper's outcome taxonomy (§X.B): runs
 //     whose ABFT layer repaired everything online (fault-free, corrected,
 //     locally restarted) succeed with the recovery recorded in the report;
@@ -23,12 +31,15 @@ package service
 
 import (
 	"context"
+	"errors"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
 	"ftla"
 	"ftla/internal/hetsim"
+	"ftla/internal/matrix"
 	"ftla/internal/obs"
 )
 
@@ -47,6 +58,17 @@ type Config struct {
 	CacheEntries int
 	// Retry is the corruption retry policy (zero value: DefaultRetryPolicy).
 	Retry RetryPolicy
+	// AttemptTimeout bounds each factorization attempt's wall-clock time.
+	// The per-attempt context is bound into the running system, so a hung
+	// or runaway attempt is aborted at its next kernel gate and the job
+	// retries (attempts permitting) instead of wedging a worker forever.
+	// Zero means attempts are bounded only by the job's Deadline/context.
+	AttemptTimeout time.Duration
+	// Seed seeds the scheduler's internal randomness — currently the
+	// backoff jitter (RetryPolicy.Backoff) — making retry timing
+	// reproducible in tests. Zero selects a fixed default seed; schedulers
+	// are deterministic either way, just differently jittered.
+	Seed uint64
 	// Registry receives the scheduler's metrics (job counters, the outcome
 	// series, queue gauges, latency histograms; see the Metric* constants).
 	// nil selects a fresh private registry, so concurrent schedulers (one
@@ -80,6 +102,9 @@ type Scheduler struct {
 	cache *factorCache
 	met   *metrics
 
+	rngMu sync.Mutex
+	rng   *matrix.RNG // backoff jitter source, seeded by Config.Seed
+
 	mu      sync.Mutex
 	cond    *sync.Cond
 	queues  [numPriorities][]*JobHandle
@@ -99,11 +124,16 @@ type Scheduler struct {
 func New(cfg Config) *Scheduler {
 	cfg = cfg.normalize()
 	met := newMetrics(cfg.Registry)
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x5eed0f5e12e5 // fixed default: deterministic jitter
+	}
 	s := &Scheduler{
 		cfg:   cfg,
 		pool:  newSystemPool(cfg.MaxIdleSystems, met),
 		cache: newFactorCache(cfg.CacheEntries, met),
 		met:   met,
+		rng:   matrix.NewRNG(seed),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.wg.Add(cfg.Workers)
@@ -216,8 +246,20 @@ func (s *Scheduler) worker() {
 	}
 }
 
+// jitter draws one uniform variate in [0, 1) from the scheduler's seeded
+// source — the RetryPolicy.Backoff jitter input.
+func (s *Scheduler) jitter() float64 {
+	s.rngMu.Lock()
+	defer s.rngMu.Unlock()
+	return s.rng.Float64()
+}
+
 // run drives one job to a terminal state: cache fast path, then the
-// attempt/retry loop of the RetryPolicy.
+// attempt/retry loop of the RetryPolicy, classifying each attempt's
+// failure — corruption (complete restart), fail-stop device fault
+// (quarantine the system, retry on a degraded platform), context expiry
+// (cancellation or a typed DeadlineError), or a deterministic construction
+// error (fail fast).
 func (s *Scheduler) run(h *JobHandle) {
 	spec := h.spec
 	wait := time.Since(h.enqueued)
@@ -228,6 +270,15 @@ func (s *Scheduler) run(h *JobHandle) {
 		tr = obs.NewTrace()
 	}
 
+	// jctx is the job's service-time budget: the submission context,
+	// tightened by JobSpec.Deadline measured from dispatch.
+	jctx := h.ctx
+	if spec.Deadline > 0 {
+		var jcancel context.CancelFunc
+		jctx, jcancel = context.WithTimeout(h.ctx, spec.Deadline)
+		defer jcancel()
+	}
+
 	fail := func(err error) {
 		s.met.failed.Inc()
 		h.finish(nil, err)
@@ -235,6 +286,21 @@ func (s *Scheduler) run(h *JobHandle) {
 	cancel := func(err error) {
 		s.met.canceled.Inc()
 		h.finish(nil, err)
+	}
+	deadline := func(attempts int, cause error) {
+		s.met.deadlineExceeded.Inc()
+		s.met.failed.Inc()
+		h.finish(nil, &DeadlineError{Deadline: spec.Deadline, Attempts: attempts, Cause: cause})
+	}
+	// expire routes a job-budget expiry to the right terminal state: the
+	// caller's context going first means cancellation; otherwise the
+	// spec's Deadline ran out.
+	expire := func(attempts int, cause error) {
+		if err := h.ctx.Err(); err != nil {
+			cancel(err)
+			return
+		}
+		deadline(attempts, cause)
 	}
 	succeed := func(f *Factorization, attempts int, cacheHit bool) {
 		res := &JobResult{
@@ -258,9 +324,22 @@ func (s *Scheduler) run(h *JobHandle) {
 		s.met.jobDone(f.Outcome, wait, res.Run)
 		h.finish(res, nil)
 	}
+	// injected snapshots the fault descriptions the job's injector fired,
+	// for diagnosable CorruptError messages.
+	injected := func() []string {
+		if spec.Config.Injector == nil {
+			return nil
+		}
+		events := spec.Config.Injector.Events()
+		out := make([]string, 0, len(events))
+		for _, ev := range events {
+			out = append(out, ev.Spec.Describe())
+		}
+		return out
+	}
 
-	if err := h.ctx.Err(); err != nil {
-		cancel(err)
+	if err := jctx.Err(); err != nil {
+		expire(0, nil)
 		return
 	}
 
@@ -273,50 +352,121 @@ func (s *Scheduler) run(h *JobHandle) {
 		}
 	}
 
+	// sysCfg is the platform the job runs on. A GPU loss degrades it in
+	// place — the retry reruns on a rebuilt system with the surviving GPU
+	// count, so a job that lost GPU 3 of 4 completes on a 3-GPU platform.
 	sysCfg := spec.Config.SystemConfig()
 	for attempt := 1; ; attempt++ {
-		if err := h.ctx.Err(); err != nil {
-			cancel(err)
+		if jctx.Err() != nil {
+			expire(attempt-1, nil)
 			return
 		}
 		cfg := spec.Config
 		if attempt > 1 {
-			// Complete restart: fresh pooled (Reset) system, no injector —
-			// the transient that corrupted the previous attempt is gone.
+			// Complete restart: fresh pooled (Reset) system, no injector,
+			// no armed fault plans — the transient that corrupted or
+			// killed the previous attempt is gone; only the (possibly
+			// degraded) platform shape carries over.
 			cfg.Injector = nil
+			cfg.FailStop = nil
+		}
+		actx, acancel := jctx, context.CancelFunc(func() {})
+		if s.cfg.AttemptTimeout > 0 {
+			actx, acancel = context.WithTimeout(jctx, s.cfg.AttemptTimeout)
 		}
 		sys := s.pool.acquire(sysCfg)
+		// Bind the attempt context into the system: kernels and transfers
+		// gate on it, so cancellation, the job Deadline, and the attempt
+		// timeout all abort mid-factorization instead of after it.
+		sys.Bind(actx)
 		if tr != nil {
 			// Per-attempt spans accumulate into the job's one trace; the
 			// pool's release → Reset detaches it with the other per-run
 			// attachments.
 			sys.SetTracer(tr)
 		}
+		attemptStart := time.Now()
 		f, err := runDecomposition(sys, spec, cfg)
-		s.pool.release(sys)
+		acancel()
 		if err != nil {
-			// Construction-time errors (bad dimensions, invalid options) are
-			// deterministic; retrying cannot help.
-			fail(err)
-			return
-		}
-		if !needsRestart(f.Outcome) {
-			if !spec.NoCache {
-				s.cache.put(key, f)
+			aborted := time.Since(attemptStart)
+			var lost *hetsim.DeviceLostError
+			var hung *hetsim.DeviceHungError
+			switch {
+			case errors.As(err, &lost), errors.As(err, &hung):
+				// Fail-stop fault: the system is unsafe to reuse as-is.
+				// Quarantine it, degrade the platform if a GPU died, and
+				// retry on a rebuilt system.
+				name := ""
+				if lost != nil {
+					name = lost.Device
+				} else {
+					name = hung.Device
+				}
+				s.met.deviceLost.Inc()
+				s.met.abortSeconds.Observe(aborted.Seconds())
+				if tr != nil {
+					tr.WallSpan("device-lost:"+name, "fault", attemptStart, aborted)
+				}
+				s.pool.quarantine(sys)
+				if strings.HasPrefix(name, "GPU") && sysCfg.NumGPUs > 1 {
+					sysCfg.NumGPUs--
+				}
+				if jctx.Err() != nil {
+					expire(attempt, err)
+					return
+				}
+				if attempt >= s.cfg.Retry.MaxAttempts {
+					fail(&FailStopError{Attempts: attempt, Cause: err})
+					return
+				}
+			case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+				// Context abort without a device fault: the job was
+				// canceled, its Deadline fired, or the AttemptTimeout
+				// reaped a slow attempt. The system itself is healthy.
+				s.met.abortSeconds.Observe(aborted.Seconds())
+				s.pool.release(sys)
+				if jctx.Err() != nil {
+					expire(attempt, err)
+					return
+				}
+				// Only the per-attempt timeout expired: retryable.
+				if attempt >= s.cfg.Retry.MaxAttempts {
+					fail(err)
+					return
+				}
+			default:
+				// Construction-time errors (bad dimensions, invalid
+				// options) are deterministic; retrying cannot help.
+				s.pool.release(sys)
+				fail(err)
+				return
 			}
-			succeed(f, attempt, false)
-			return
-		}
-		if attempt >= s.cfg.Retry.MaxAttempts {
-			fail(&CorruptError{Outcome: f.Outcome, Report: f.Report(), Attempts: attempt})
-			return
+		} else {
+			s.pool.release(sys)
+			if !needsRestart(f.Outcome) {
+				if !spec.NoCache {
+					s.cache.put(key, f)
+				}
+				succeed(f, attempt, false)
+				return
+			}
+			if attempt >= s.cfg.Retry.MaxAttempts {
+				fail(&CorruptError{
+					Outcome: f.Outcome, Report: f.Report(),
+					Attempts: attempt, Injected: injected(),
+				})
+				return
+			}
 		}
 		s.met.retries.Inc()
-		timer := time.NewTimer(s.cfg.Retry.Backoff(attempt))
+		timer := time.NewTimer(s.cfg.Retry.Backoff(attempt, s.jitter()))
 		select {
-		case <-h.ctx.Done():
+		case <-jctx.Done():
+			// The budget ran out during the backoff sleep: a cancellation
+			// or a typed deadline expiry, never a silent hang.
 			timer.Stop()
-			cancel(h.ctx.Err())
+			expire(attempt, nil)
 			return
 		case <-timer.C:
 		}

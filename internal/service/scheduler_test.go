@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -111,6 +112,19 @@ func TestPersistentCorruptionDegradesGracefully(t *testing.T) {
 	}
 	if ce.Attempts != 1 {
 		t.Fatalf("attempts = %d, want 1", ce.Attempts)
+	}
+	// The terminal error names the faults that fired (fault.Spec.Describe),
+	// so a chaos-campaign log is diagnosable without re-running the run.
+	if len(ce.Injected) != 2 {
+		t.Fatalf("Injected = %v, want the two scheduled DRAM faults", ce.Injected)
+	}
+	for _, d := range ce.Injected {
+		if !strings.Contains(d, "off-chip-mem@PD/ref") {
+			t.Fatalf("injected description %q missing kind@op/part", d)
+		}
+		if !strings.Contains(ce.Error(), d) {
+			t.Fatalf("Error() %q does not carry injected description %q", ce.Error(), d)
+		}
 	}
 	if st := s.Stats(); st.Failed != 1 {
 		t.Fatalf("Stats.Failed = %d, want 1", st.Failed)

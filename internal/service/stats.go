@@ -50,6 +50,20 @@ const (
 	// (dispatch → terminal, including retries and backoff).
 	MetricJobWaitSeconds = "ftla_job_wait_seconds"
 	MetricJobRunSeconds  = "ftla_job_run_seconds"
+	// MetricDeviceLost counts attempts aborted by a fail-stop device fault
+	// (crash or deadline-reaped hang) — the failures ABFT cannot repair.
+	MetricDeviceLost = "ftla_device_lost_total"
+	// MetricJobsDeadlineExceeded counts jobs terminated with a
+	// *DeadlineError (JobSpec.Deadline budget exhausted).
+	MetricJobsDeadlineExceeded = "ftla_jobs_deadline_exceeded_total"
+	// MetricPoolQuarantined gauges systems currently quarantined by the
+	// pool's circuit breaker (device loss or repeated failures), awaiting
+	// probation re-admission.
+	MetricPoolQuarantined = "ftla_pool_quarantined"
+	// MetricAttemptAbortSeconds histograms the wall-clock time an attempt
+	// ran before being aborted (device loss, hang reap, cancellation) —
+	// the work lost per abort.
+	MetricAttemptAbortSeconds = "ftla_attempt_abort_seconds"
 )
 
 // Stats is a point-in-time snapshot of the scheduler's aggregate behavior:
@@ -71,6 +85,16 @@ type Stats struct {
 	// Retries counts corruption-triggered complete restarts across all jobs
 	// (attempts beyond each job's first).
 	Retries uint64
+	// DeviceLost counts attempts aborted by fail-stop device faults;
+	// DeadlineExceeded counts jobs terminated by their Deadline budget;
+	// AbortedAttempts counts all aborted attempts (the abort-duration
+	// histogram's sample count).
+	DeviceLost       uint64
+	DeadlineExceeded uint64
+	AbortedAttempts  uint64
+	// Quarantined gauges systems currently held out by the pool's circuit
+	// breaker.
+	Quarantined int
 	// Outcomes histograms the winning attempt of completed jobs by the
 	// paper's outcome classes ("fault-free", "abft-fixed", ...). Cache hits
 	// count under the cached factor's outcome.
@@ -114,6 +138,10 @@ type metrics struct {
 	sysCreated, sysReused   *obs.Counter
 	queueDepth, running     *obs.Gauge
 	waitSeconds, runSeconds *obs.Histogram
+	deviceLost              *obs.Counter
+	deadlineExceeded        *obs.Counter
+	quarantined             *obs.Gauge
+	abortSeconds            *obs.Histogram
 
 	mu              sync.Mutex
 	waitMax, runMax time.Duration
@@ -141,6 +169,14 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Queue time of completed jobs (submit to dispatch), seconds.", nil),
 		runSeconds: reg.Histogram(MetricJobRunSeconds,
 			"Service time of completed jobs (dispatch to terminal, incl. retries), seconds.", nil),
+		deviceLost: reg.Counter(MetricDeviceLost,
+			"Attempts aborted by fail-stop device faults (crash or reaped hang)."),
+		deadlineExceeded: reg.Counter(MetricJobsDeadlineExceeded,
+			"Jobs terminated by their JobSpec.Deadline budget."),
+		quarantined: reg.Gauge(MetricPoolQuarantined,
+			"Systems held out by the pool circuit breaker, awaiting probation."),
+		abortSeconds: reg.Histogram(MetricAttemptAbortSeconds,
+			"Wall-clock time an attempt ran before being aborted, seconds.", nil),
 	}
 }
 
@@ -166,18 +202,22 @@ func (m *metrics) jobDone(outcome ftla.Outcome, wait, run time.Duration) {
 // aggregate.
 func (m *metrics) snapshot() Stats {
 	st := Stats{
-		Submitted:      m.submitted.Value(),
-		Rejected:       m.rejected.Value(),
-		Completed:      m.completed.Value(),
-		Failed:         m.failed.Value(),
-		Canceled:       m.canceled.Value(),
-		Retries:        m.retries.Value(),
-		Outcomes:       m.outcomes.Values(),
-		CacheHits:      m.cacheHits.Value(),
-		CacheMisses:    m.cacheMisses.Value(),
-		CacheEntries:   int(m.cacheEntries.Value()),
-		SystemsCreated: m.sysCreated.Value(),
-		SystemsReused:  m.sysReused.Value(),
+		Submitted:        m.submitted.Value(),
+		Rejected:         m.rejected.Value(),
+		Completed:        m.completed.Value(),
+		Failed:           m.failed.Value(),
+		Canceled:         m.canceled.Value(),
+		Retries:          m.retries.Value(),
+		Outcomes:         m.outcomes.Values(),
+		CacheHits:        m.cacheHits.Value(),
+		CacheMisses:      m.cacheMisses.Value(),
+		CacheEntries:     int(m.cacheEntries.Value()),
+		SystemsCreated:   m.sysCreated.Value(),
+		SystemsReused:    m.sysReused.Value(),
+		DeviceLost:       m.deviceLost.Value(),
+		DeadlineExceeded: m.deadlineExceeded.Value(),
+		AbortedAttempts:  m.abortSeconds.Count(),
+		Quarantined:      int(m.quarantined.Value()),
 	}
 	if n := m.waitSeconds.Count(); n > 0 {
 		st.AvgWait = time.Duration(m.waitSeconds.Sum() / float64(n) * float64(time.Second))

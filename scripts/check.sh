@@ -22,4 +22,9 @@ fi
 # every exported identifier there must carry a doc comment.
 go run ./scripts/doclint internal/obs internal/service
 
-go test -race ./...
+go test -race -timeout 5m ./...
+
+# Chaos gate: the fail-stop/graceful-degradation suites (see RESILIENCE.md)
+# run a second time at -count=2 to shake out order- and reuse-dependent
+# flakiness (pool probation, quarantine state, goroutine leaks).
+go test -race -timeout 5m -run 'Chaos|Storm' -count=2 ./...
