@@ -10,8 +10,13 @@
 package ftla
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"sort"
+	"sync"
 	"testing"
+	"time"
 
 	"ftla/internal/campaign"
 	"ftla/internal/checksum"
@@ -138,6 +143,111 @@ func benchPhaseBreakdown(b *testing.B, decomp string) {
 func BenchmarkPhaseBreakdownCholesky(b *testing.B) { benchPhaseBreakdown(b, "cholesky") }
 func BenchmarkPhaseBreakdownLU(b *testing.B)       { benchPhaseBreakdown(b, "lu") }
 func BenchmarkPhaseBreakdownQR(b *testing.B)       { benchPhaseBreakdown(b, "qr") }
+
+// --- DESIGN.md §8: step-runtime schedules, serial vs look-ahead --------------
+
+// lookaheadBenchRow is one BENCH_lookahead.json record: the wall and
+// simulated cost of one decomposition under one schedule, with the phase
+// breakdown attributed by overhead.FromSnapshots — the same mechanism that
+// feeds cmd/ftserve -load and the /metrics histograms.
+type lookaheadBenchRow struct {
+	Decomp      string  `json:"decomp"`
+	Lookahead   int     `json:"lookahead"`
+	N           int     `json:"n"`
+	NB          int     `json:"nb"`
+	GPUs        int     `json:"gpus"`
+	WallSeconds float64 `json:"wall_seconds"`
+	SimMakespan float64 `json:"sim_makespan_seconds"`
+	Encode      float64 `json:"encode_seconds"`
+	Factorize   float64 `json:"factorize_seconds"`
+	Verify      float64 `json:"verify_seconds"`
+	Recover     float64 `json:"recover_seconds"`
+	PCIe        float64 `json:"pcie_sim_seconds"`
+}
+
+var lookaheadBench struct {
+	sync.Mutex
+	rows map[string]lookaheadBenchRow
+}
+
+// recordLookaheadRow folds one schedule measurement into
+// BENCH_lookahead.json, rewriting the artifact with every row collected so
+// far (sorted, so reruns diff cleanly).
+func recordLookaheadRow(b *testing.B, row lookaheadBenchRow) {
+	b.Helper()
+	lookaheadBench.Lock()
+	defer lookaheadBench.Unlock()
+	if lookaheadBench.rows == nil {
+		lookaheadBench.rows = map[string]lookaheadBenchRow{}
+	}
+	lookaheadBench.rows[fmt.Sprintf("%s/la%d", row.Decomp, row.Lookahead)] = row
+	out := make([]lookaheadBenchRow, 0, len(lookaheadBench.rows))
+	for _, r := range lookaheadBench.rows {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Decomp != out[j].Decomp {
+			return out[i].Decomp < out[j].Decomp
+		}
+		return out[i].Lookahead < out[j].Lookahead
+	})
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatalf("marshal BENCH_lookahead.json: %v", err)
+	}
+	if err := os.WriteFile("BENCH_lookahead.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatalf("write BENCH_lookahead.json: %v", err)
+	}
+}
+
+// benchLookahead measures one decomposition under one step-runtime
+// schedule: wall time, simulated makespan (where the overlap shows up), and
+// the wall phase breakdown.
+func benchLookahead(b *testing.B, decomp string, lookahead int) {
+	const n, nb, gpus = 512, 64, 2
+	opts := core.Options{NB: nb, Mode: core.Full, Scheme: core.NewScheme,
+		Kernel: checksum.OptKernel, Lookahead: lookahead}
+	var m overhead.Measured
+	var sim float64
+	t0 := time.Now()
+	for i := 0; i < b.N; i++ {
+		before := obs.Default().Snapshot()
+		sys := hetsim.New(hetsim.DefaultConfig(gpus))
+		rng := matrix.NewRNG(uint64(n))
+		var res *core.Result
+		var err error
+		switch decomp {
+		case "cholesky":
+			_, res, err = core.Cholesky(sys, matrix.RandomSPD(n, rng), opts)
+		case "qr":
+			_, _, res, err = core.QR(sys, matrix.Random(n, n, rng), opts)
+		default:
+			_, _, res, err = core.LU(sys, matrix.RandomDiagDominant(n, rng), opts)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		m = overhead.FromSnapshots(before, obs.Default().Snapshot())
+		sim = res.SimMakespan
+	}
+	wall := time.Since(t0).Seconds() / float64(b.N)
+	b.ReportMetric(1e3*sim, "sim-ms")
+	b.ReportMetric(1e3*m.ABFTSeconds(), "abft-ms")
+	b.ReportMetric(1e3*m.Factorize, "factorize-ms")
+	recordLookaheadRow(b, lookaheadBenchRow{
+		Decomp: decomp, Lookahead: lookahead, N: n, NB: nb, GPUs: gpus,
+		WallSeconds: wall, SimMakespan: sim,
+		Encode: m.Encode, Factorize: m.Factorize, Verify: m.Verify,
+		Recover: m.Recover, PCIe: m.PCIe,
+	})
+}
+
+func BenchmarkLookaheadSerialCholesky(b *testing.B)  { benchLookahead(b, "cholesky", 0) }
+func BenchmarkLookaheadOverlapCholesky(b *testing.B) { benchLookahead(b, "cholesky", 1) }
+func BenchmarkLookaheadSerialLU(b *testing.B)        { benchLookahead(b, "lu", 0) }
+func BenchmarkLookaheadOverlapLU(b *testing.B)       { benchLookahead(b, "lu", 1) }
+func BenchmarkLookaheadSerialQR(b *testing.B)        { benchLookahead(b, "qr", 0) }
+func BenchmarkLookaheadOverlapQR(b *testing.B)       { benchLookahead(b, "qr", 1) }
 
 // --- Table VIII: protection-strength campaign -------------------------------
 

@@ -193,6 +193,13 @@ type Config struct {
 	// PeriodicTrailingCheck > 0 adds a full trailing verification every
 	// k-th iteration under NewScheme (§VII.B mitigation).
 	PeriodicTrailingCheck int
+	// Lookahead selects the step-runtime schedule: 0 (the default) runs the
+	// serial ladder; 1 enables MAGMA-style look-ahead — the CPU factorizes
+	// panel k+1 while the GPUs run step k's trailing update on asynchronous
+	// streams. Results are bit-identical in both schedules; when an Injector
+	// is attached the runtime falls back to the serial schedule (see
+	// DESIGN.md §8).
+	Lookahead int
 	// System overrides the simulated platform (worker counts, nominal
 	// speeds); nil uses hetsim.DefaultConfig(GPUs).
 	System *hetsim.Config
@@ -226,6 +233,7 @@ func (c Config) normalize() (Config, core.Options) {
 		Injector:              c.Injector,
 		FailStop:              c.FailStop,
 		PeriodicTrailingCheck: c.PeriodicTrailingCheck,
+		Lookahead:             c.Lookahead,
 	}
 	return c, opts
 }

@@ -21,13 +21,14 @@ import (
 // factor L in the lower triangle) and the run report.
 //
 // The per-iteration dataflow matches MAGMA's hybrid right-looking Cholesky
-// and the paper's Algorithm 2:
+// and the paper's Algorithm 2, expressed as ladder stages for the step
+// runtime (see runtime.go):
 //
-//	GPU_owner → CPU   diagonal block transfer
-//	CPU               PD: POTF2 on A11
-//	CPU → GPU_owner   factored block writeback
+//	GPU_owner → CPU   diagonal block transfer     (panelFactor)
+//	CPU               PD: POTF2 on A11            (panelFactor)
+//	CPU → GPU_owner   factored block writeback    (panelCommit)
 //	GPU_owner         PU: L21 = A21·L11⁻ᵀ (column checksums ride the TRSM)
-//	GPU_owner → all   L21 panel broadcast (+ its column checksums)
+//	GPU_owner → all   L21 panel broadcast         (panelUpdate)
 //	all GPUs          TMU: A22 −= L21·L21ᵀ (full checksums maintained via
 //	                  the transposed-column-checksum trick of Fig. 2)
 func Cholesky(sys *hetsim.System, a *matrix.Dense, opts Options) (lret *matrix.Dense, rret *Result, err error) {
@@ -53,250 +54,337 @@ func Cholesky(sys *hetsim.System, a *matrix.Dense, opts Options) (lret *matrix.D
 	es := newEngine("cholesky", sys, opts, res)
 	start := time.Now()
 	p := newProtected(es, a)
-	pl := planFor(opts.Scheme)
-	nb := opts.NB
+	l := &cholLadder{p: p, es: es, pl: planFor(opts.Scheme), step: make([]*cholStep, p.nbr)}
+	if err := runLadder(es, l); err != nil {
+		return nil, nil, err
+	}
+	out := p.gather()
+	es.finishResult(start)
+	return out, res, nil
+}
+
+// cholStep is the staging state a Cholesky ladder step carries between its
+// stages: the pulled CPU panel from panelFactor until panelCommit writes
+// it back, and the broadcast L21 stages from panelUpdate until tmuFinish
+// retires them.
+type cholStep struct {
+	cpuPanel, cpuChk *hetsim.Buffer
+	pm, cm           *matrix.Dense
+	stages           []stagePair
+}
+
+// cholLadder is the Cholesky instantiation of the step-runtime ladder.
+type cholLadder struct {
+	p    *protected
+	es   *engineSys
+	pl   plan
+	step []*cholStep
+	err  error
+}
+
+func (l *cholLadder) steps() int     { return l.p.nbr }
+func (l *cholLadder) failed() error  { return l.err }
+func (l *cholLadder) panelPivot(int) {}
+
+// panelFactor pulls the diagonal block (and its checksum strip) to the
+// CPU, verifies it, factors it with POTF2 under local-restart protection,
+// and re-encodes the certified checksums. The factored block stays staged
+// host-side; panelCommit owns the writeback.
+func (l *cholLadder) panelFactor(k int) {
+	p, es := l.p, l.es
+	cpu := es.sys.CPU()
+	res, pl := es.res, l.pl
+	nb := p.nb
+	o := k * nb
+	gk := p.owner(k)
+	chk := es.opts.Mode != NoChecksum
+	st := &cholStep{}
+	l.step[k] = st
+
+	a11dev := p.local[gk].View(o, p.localOff(k), nb, nb)
+	st.cpuPanel = cpu.Alloc(nb, nb)
+	es.transfer(a11dev, st.cpuPanel)
+	st.pm = st.cpuPanel.Access(cpu)
+	if chk {
+		st.cpuChk = cpu.Alloc(2, nb)
+		es.transfer(p.colChkView(k, k, k+1), st.cpuChk)
+		st.cm = st.cpuChk.Access(cpu)
+	}
+	pdRegs := []fault.Region{
+		{Part: fault.ReferencePart, M: st.pm, Row0: o, Col0: o},
+		{Part: fault.UpdatePart, M: st.pm, Row0: o, Col0: o},
+	}
+	es.injectMem(k, fault.PD, pdRegs)
+	if pl.beforePD && chk {
+		// Under Full mode the diagonal block's row-checksum pair rides
+		// along, so a column left unlocalizable by a previous TMU's
+		// cross-contamination can be rebuilt element-wise.
+		var rowRepair func(col int) bool
+		if es.opts.Mode == Full {
+			cpuRowChk := cpu.Alloc(nb, 2)
+			es.transfer(p.rowChkView(k, o, o+nb), cpuRowChk)
+			rm := cpuRowChk.Access(cpu)
+			rowRepair = func(col int) bool {
+				return p.reconstructColViaRowChk(st.pm, rm, col)
+			}
+		}
+		if out := p.verifyRepairCol(cpu.Workers(), st.pm, st.cm, rowRepair); out == repairFailed {
+			res.Unrecoverable = true
+		}
+		res.Counter.PDBefore++
+	}
+	snapshot := st.pm.Clone()
+	var snapChk *matrix.Dense
+	if chk {
+		snapChk = st.cm.Clone()
+	}
+	es.injectOnChip(k, fault.PD, pdRegs)
+	if err := p.cholPD(es, k, st.pm, snapshot, snapChk, pl, pdRegs); err != nil {
+		l.err = err
+		return
+	}
+	if chk {
+		// Certified re-encode: the stored block (L11 lower, original
+		// symmetric values above) becomes the protected content.
+		p.encodeColInto(cpu.Workers(), st.pm, st.cm)
+	}
+}
+
+// panelCommit writes the certified factored block back to its owner GPU
+// over PCIe (the §V communication window covers it) and, under schemes
+// that verify after broadcast, re-checks the received copy.
+func (l *cholLadder) panelCommit(k int) {
+	p, es := l.p, l.es
+	res, pl := es.res, l.pl
+	nb := p.nb
+	o := k * nb
+	gk := p.owner(k)
+	gdevK := es.sys.GPU(gk)
+	chk := es.opts.Mode != NoChecksum
+	st := l.step[k]
+	if st == nil || st.cpuPanel == nil {
+		return
+	}
+
+	a11dev := p.local[gk].View(o, p.localOff(k), nb, nb)
+	es.withCommContext(k, fault.PD, o, o, func() {
+		es.transfer(st.cpuPanel, a11dev)
+		if chk {
+			es.transfer(st.cpuChk, p.colChkView(k, k, k+1))
+		}
+	})
+	if pl.afterPDBcast && chk {
+		gd := a11dev.Access(gdevK)
+		gc := p.colChkView(k, k, k+1).Access(gdevK)
+		out := p.verifyRepairCol(gdevK.Workers(), gd, gc, nil)
+		res.Counter.PDAfter++
+		if out == repairFailed {
+			// PCIe corrupted the writeback beyond local repair:
+			// re-transfer the certified CPU copy.
+			es.transfer(st.cpuPanel, a11dev)
+			es.transfer(st.cpuChk, p.colChkView(k, k, k+1))
+			res.Counter.Rebroadcasts++
+		}
+	}
+	st.cpuPanel, st.cpuChk = nil, nil
+}
+
+// panelUpdate runs PU — L21 = A21·L11⁻ᵀ on the owner GPU with its
+// checksum TRSM — and broadcasts the panel (plus checksums) to every GPU,
+// including the §VII.C post-broadcast verification and restart paths.
+func (l *cholLadder) panelUpdate(k int) {
+	p, es := l.p, l.es
+	sys := es.sys
+	res, pl := es.res, l.pl
+	nb := p.nb
 	nbr := p.nbr
+	n := p.n
+	o := k * nb
 	G := sys.NumGPUs()
-	cpu := sys.CPU()
-	chk := opts.Mode != NoChecksum
+	gk := p.owner(k)
+	gdevK := sys.GPU(gk)
+	chk := es.opts.Mode != NoChecksum
+	st := l.step[k]
+	m2 := n - o - nb
 
-	for k := 0; k < nbr; k++ {
-		o := k * nb
-		gk := p.owner(k)
-		gdevK := sys.GPU(gk)
-
-		// ---------------- PD: diagonal block on the CPU ----------------
-		a11dev := p.local[gk].View(o, p.localOff(k), nb, nb)
-		cpuPanel := cpu.Alloc(nb, nb)
-		sys.Transfer(a11dev, cpuPanel)
-		pm := cpuPanel.Access(cpu)
-		var cpuChk *hetsim.Buffer
-		var cm *matrix.Dense
+	a11dev := p.local[gk].View(o, p.localOff(k), nb, nb)
+	pnl := p.local[gk].View(o+nb, p.localOff(k), m2, nb)
+	var pnlChk *hetsim.Buffer
+	if chk {
+		pnlChk = p.colChk[gk].View(2*(k+1), p.localOff(k), 2*(nbr-k-1), nb)
+	}
+	puRegs := []fault.Region{
+		{Part: fault.ReferencePart, M: a11dev.UnsafeData(), Row0: o, Col0: o},
+		{Part: fault.UpdatePart, M: pnl.UnsafeData(), Row0: o + nb, Col0: o},
+	}
+	es.injectMem(k, fault.PU, puRegs)
+	if pl.beforePU && chk {
+		// Reference part first: a DRAM fault striking the factored L11
+		// block between the post-broadcast check and PU would otherwise
+		// corrupt the whole TRSM consistently with its checksum TRSM.
+		if out := p.verifyRepairCol(gdevK.Workers(), a11dev.Access(gdevK), p.colChkView(k, k, k+1).Access(gdevK), nil); out == repairFailed {
+			res.Unrecoverable = true
+		}
+		res.Counter.PUBefore++
+		var rowRepair func(col int) bool
+		if es.opts.Mode == Full {
+			// View-limited on purpose: the diagonal block above this
+			// view was just factored, so its row checksums are stale —
+			// and Cholesky contamination of the panel column can only
+			// live in the diagonal block (repaired by the beforePD
+			// check) or in these rows, so the window is complete.
+			rchk := p.rowChkView(k, o+nb, n).Access(gdevK)
+			data := pnl.Access(gdevK)
+			loff := p.localOff(k)
+			rowRepair = func(col int) bool {
+				ok := p.reconstructColViaRowChk(data, rchk, col)
+				p.reencodeColChkCol(gk, loff+col)
+				return ok
+			}
+		}
+		if out := p.verifyRepairCol(gdevK.Workers(), pnl.Access(gdevK), pnlChk.Access(gdevK), rowRepair); out == repairFailed {
+			res.Unrecoverable = true
+		}
+		res.Counter.PUBefore += nbr - k - 1
+	}
+	// Snapshot for local restart of PU.
+	snapPnl := gdevK.Alloc(m2, nb)
+	copyWithin(gdevK, pnl, snapPnl)
+	var snapPnlChk *hetsim.Buffer
+	if chk {
+		snapPnlChk = gdevK.Alloc(2*(nbr-k-1), nb)
+		copyWithin(gdevK, pnlChk, snapPnlChk)
+	}
+	es.injectOnChip(k, fault.PU, puRegs)
+	runPU := func() {
+		gdevK.Trsm(blas.Right, true, true, false, 1, a11dev, pnl)
+		// An on-chip corruption is a transient read: the checksum TRSM
+		// loads its operands independently and does not see it.
+		es.restoreOnChip()
 		if chk {
-			cpuChk = cpu.Alloc(2, nb)
-			sys.Transfer(p.colChkView(k, k, k+1), cpuChk)
-			cm = cpuChk.Access(cpu)
+			gdevK.Trsm(blas.Right, true, true, false, 1, a11dev, pnlChk)
 		}
-		pdRegs := []fault.Region{
-			{Part: fault.ReferencePart, M: pm, Row0: o, Col0: o},
-			{Part: fault.UpdatePart, M: pm, Row0: o, Col0: o},
-		}
-		es.injectMem(k, fault.PD, pdRegs)
-		if pl.beforePD && chk {
-			// Under Full mode the diagonal block's row-checksum pair rides
-			// along, so a column left unlocalizable by a previous TMU's
-			// cross-contamination can be rebuilt element-wise.
-			var rowRepair func(col int) bool
-			if opts.Mode == Full {
-				cpuRowChk := cpu.Alloc(nb, 2)
-				sys.Transfer(p.rowChkView(k, o, o+nb), cpuRowChk)
-				rm := cpuRowChk.Access(cpu)
-				rowRepair = func(col int) bool {
-					return p.reconstructColViaRowChk(pm, rm, col)
-				}
-			}
-			if out := p.verifyRepairCol(cpu.Workers(), pm, cm, rowRepair); out == repairFailed {
-				res.Unrecoverable = true
-			}
-			res.Counter.PDBefore++
-		}
-		snapshot := pm.Clone()
-		var snapChk *matrix.Dense
-		if chk {
-			snapChk = cm.Clone()
-		}
-		es.injectOnChip(k, fault.PD, pdRegs)
-		if err := p.cholPD(es, k, pm, snapshot, snapChk, pl, pdRegs); err != nil {
-			return nil, nil, err
-		}
-		if chk {
-			// Certified re-encode: the stored block (L11 lower, original
-			// symmetric values above) becomes the protected content.
-			p.encodeColInto(cpu.Workers(), pm, cm)
-		}
-		// Writeback over PCIe; the §V communication window covers it.
-		es.withCommContext(k, fault.PD, o, o, func() {
-			sys.Transfer(cpuPanel, a11dev)
-			if chk {
-				sys.Transfer(cpuChk, p.colChkView(k, k, k+1))
-			}
-		})
-		if pl.afterPDBcast && chk {
-			gd := a11dev.Access(gdevK)
-			gc := p.colChkView(k, k, k+1).Access(gdevK)
-			out := p.verifyRepairCol(gdevK.Workers(), gd, gc, nil)
-			res.Counter.PDAfter++
-			if out == repairFailed {
-				// PCIe corrupted the writeback beyond local repair:
-				// re-transfer the certified CPU copy.
-				sys.Transfer(cpuPanel, a11dev)
-				sys.Transfer(cpuChk, p.colChkView(k, k, k+1))
-				res.Counter.Rebroadcasts++
-			}
-		}
-
-		if k == nbr-1 {
-			break
-		}
-		m2 := n - o - nb
-
-		// ---------------- PU: L21 = A21·L11⁻ᵀ on the owner GPU ----------
-		pnl := p.local[gk].View(o+nb, p.localOff(k), m2, nb)
-		var pnlChk *hetsim.Buffer
-		if chk {
-			pnlChk = p.colChk[gk].View(2*(k+1), p.localOff(k), 2*(nbr-k-1), nb)
-		}
-		puRegs := []fault.Region{
-			{Part: fault.ReferencePart, M: a11dev.UnsafeData(), Row0: o, Col0: o},
-			{Part: fault.UpdatePart, M: pnl.UnsafeData(), Row0: o + nb, Col0: o},
-		}
-		es.injectMem(k, fault.PU, puRegs)
-		if pl.beforePU && chk {
-			// Reference part first: a DRAM fault striking the factored L11
-			// block between the post-broadcast check and PU would otherwise
-			// corrupt the whole TRSM consistently with its checksum TRSM.
-			if out := p.verifyRepairCol(gdevK.Workers(), a11dev.Access(gdevK), p.colChkView(k, k, k+1).Access(gdevK), nil); out == repairFailed {
-				res.Unrecoverable = true
-			}
-			res.Counter.PUBefore++
-			var rowRepair func(col int) bool
-			if opts.Mode == Full {
-				// View-limited on purpose: the diagonal block above this
-				// view was just factored, so its row checksums are stale —
-				// and Cholesky contamination of the panel column can only
-				// live in the diagonal block (repaired by the beforePD
-				// check) or in these rows, so the window is complete.
-				rchk := p.rowChkView(k, o+nb, n).Access(gdevK)
-				data := pnl.Access(gdevK)
-				loff := p.localOff(k)
-				rowRepair = func(col int) bool {
-					ok := p.reconstructColViaRowChk(data, rchk, col)
-					p.reencodeColChkCol(gk, loff+col)
-					return ok
-				}
-			}
-			if out := p.verifyRepairCol(gdevK.Workers(), pnl.Access(gdevK), pnlChk.Access(gdevK), rowRepair); out == repairFailed {
-				res.Unrecoverable = true
-			}
-			res.Counter.PUBefore += nbr - k - 1
-		}
-		// Snapshot for local restart of PU.
-		snapPnl := gdevK.Alloc(m2, nb)
-		copyWithin(gdevK, pnl, snapPnl)
-		var snapPnlChk *hetsim.Buffer
-		if chk {
-			snapPnlChk = gdevK.Alloc(2*(nbr-k-1), nb)
-			copyWithin(gdevK, pnlChk, snapPnlChk)
-		}
-		es.injectOnChip(k, fault.PU, puRegs)
-		runPU := func() {
-			gdevK.Trsm(blas.Right, true, true, false, 1, a11dev, pnl)
-			// An on-chip corruption is a transient read: the checksum TRSM
-			// loads its operands independently and does not see it.
-			es.restoreOnChip()
-			if chk {
-				gdevK.Trsm(blas.Right, true, true, false, 1, a11dev, pnlChk)
-			}
-		}
-		runPU()
-		es.injectComp(k, fault.PU, puRegs)
-		if pl.afterPU && chk {
-			out := p.verifyRepairCol(gdevK.Workers(), pnl.Access(gdevK), pnlChk.Access(gdevK), nil)
-			res.Counter.PUAfter += nbr - k - 1
-			if out == repairFailed {
-				// 2-D propagation inside PU: local in-memory restart.
-				copyWithin(gdevK, snapPnl, pnl)
-				copyWithin(gdevK, snapPnlChk, pnlChk)
-				res.Counter.LocalRestarts++
-				runPU()
-				if p.verifyRepairCol(gdevK.Workers(), pnl.Access(gdevK), pnlChk.Access(gdevK), nil) == repairFailed {
-					res.Unrecoverable = true
-				}
-			}
-		}
-
-		// ------------- PU broadcast: L21 (+checksums) to all GPUs -------
-		chkRows := 2 * (nbr - k - 1)
-		if !chk {
-			chkRows = 2 // placeholder stage, never read
-		}
-		stages := p.allocStages(m2, chkRows, nb)
-		doBroadcast := func() {
-			es.withCommContext(k, fault.PU, o+nb, o, func() {
-				for g := 0; g < G; g++ {
-					if g == gk {
-						copyWithin(gdevK, pnl, stages[g].data)
-						if chk {
-							copyWithin(gdevK, pnlChk, stages[g].chk)
-						}
-						continue
-					}
-					sys.Transfer(pnl, stages[g].data)
-					if chk {
-						sys.Transfer(pnlChk, stages[g].chk)
-					}
-				}
-			})
-		}
-		doBroadcast()
-		if pl.afterPUBcast && chk {
-			outs, corrupted := p.verifyStages(stages, &res.Counter.PUAfter, nbr-k-1)
-			if corrupted == G && G > 1 {
-				// Every GPU received a corrupted panel: the sender (PU) is
-				// implicated — local in-memory restart of PU and a fresh
-				// broadcast (§VII.C).
-				copyWithin(gdevK, snapPnl, pnl)
-				copyWithin(gdevK, snapPnlChk, pnlChk)
-				res.Counter.LocalRestarts++
-				runPU()
-				doBroadcast()
-			} else if corrupted > 0 {
-				// Some legs corrupted: PCIe is implicated; legs repaired by
-				// the ladder already, re-ship any that failed.
-				p.rebroadcastFailed(pnl, pnlChk, stages, outs)
-			}
-		}
-
-		// ---------------- TMU: A22 −= L21·L21ᵀ on all GPUs --------------
-		tmuRegs := p.cholTMURegions(k, stages)
-		es.injectMem(k, fault.TMU, tmuRegs)
-		if pl.beforeTMUPanels && chk {
-			_, _ = p.verifyStages(stages, &res.Counter.TMUBefore, nbr-k-1)
-		}
-		if pl.beforeTMUTrailing && chk {
-			worst, blocks := p.verifyTrailingCol(o+nb, k+1)
-			res.Counter.TMUBefore += blocks
-			if worst == repairFailed {
-				res.Unrecoverable = true
-			}
-		}
-		es.injectOnChip(k, fault.TMU, tmuRegs)
-		for g := 0; g < G; g++ {
-			p.cholTMUOnGPU(g, k, stages[g])
-		}
-		es.injectComp(k, fault.TMU, tmuRegs)
-		if pl.afterTMUTrailing && chk {
-			worst, blocks := p.verifyTrailingCol(o+nb, k+1)
-			res.Counter.TMUAfter += blocks
-			if worst == repairFailed {
-				res.Unrecoverable = true
-			}
-		}
-		if pl.afterTMUHeuristic && chk {
-			p.cholHeuristicAfterTMU(k, stages)
-		}
-		if opts.PeriodicTrailingCheck > 0 && (k+1)%opts.PeriodicTrailingCheck == 0 && chk {
-			worst, blocks := p.verifyTrailingCol(o+nb, k+1)
-			res.Counter.TMUAfter += blocks
-			if worst == repairFailed {
+	}
+	runPU()
+	es.injectComp(k, fault.PU, puRegs)
+	if pl.afterPU && chk {
+		out := p.verifyRepairCol(gdevK.Workers(), pnl.Access(gdevK), pnlChk.Access(gdevK), nil)
+		res.Counter.PUAfter += nbr - k - 1
+		if out == repairFailed {
+			// 2-D propagation inside PU: local in-memory restart.
+			copyWithin(gdevK, snapPnl, pnl)
+			copyWithin(gdevK, snapPnlChk, pnlChk)
+			res.Counter.LocalRestarts++
+			runPU()
+			if p.verifyRepairCol(gdevK.Workers(), pnl.Access(gdevK), pnlChk.Access(gdevK), nil) == repairFailed {
 				res.Unrecoverable = true
 			}
 		}
 	}
 
-	out := p.gather()
-	es.finishResult(start)
-	return out, res, nil
+	// ------------- PU broadcast: L21 (+checksums) to all GPUs -------
+	chkRows := 2 * (nbr - k - 1)
+	if !chk {
+		chkRows = 2 // placeholder stage, never read
+	}
+	st.stages = p.allocStages(m2, chkRows, nb)
+	doBroadcast := func() {
+		es.withCommContext(k, fault.PU, o+nb, o, func() {
+			for g := 0; g < G; g++ {
+				if g == gk {
+					copyWithin(gdevK, pnl, st.stages[g].data)
+					if chk {
+						copyWithin(gdevK, pnlChk, st.stages[g].chk)
+					}
+					continue
+				}
+				es.transfer(pnl, st.stages[g].data)
+				if chk {
+					es.transfer(pnlChk, st.stages[g].chk)
+				}
+			}
+		})
+	}
+	doBroadcast()
+	if pl.afterPUBcast && chk {
+		outs, corrupted := p.verifyStages(st.stages, &res.Counter.PUAfter, nbr-k-1)
+		if corrupted == G && G > 1 {
+			// Every GPU received a corrupted panel: the sender (PU) is
+			// implicated — local in-memory restart of PU and a fresh
+			// broadcast (§VII.C).
+			copyWithin(gdevK, snapPnl, pnl)
+			copyWithin(gdevK, snapPnlChk, pnlChk)
+			res.Counter.LocalRestarts++
+			runPU()
+			doBroadcast()
+		} else if corrupted > 0 {
+			// Some legs corrupted: PCIe is implicated; legs repaired by
+			// the ladder already, re-ship any that failed.
+			p.rebroadcastFailed(pnl, pnlChk, st.stages, outs)
+		}
+	}
+}
+
+// tmuBegin opens the trailing update: injection windows and the scheme's
+// pre-TMU verification.
+func (l *cholLadder) tmuBegin(k int) {
+	p, es := l.p, l.es
+	res, pl := es.res, l.pl
+	o := k * p.nb
+	chk := es.opts.Mode != NoChecksum
+	st := l.step[k]
+
+	tmuRegs := p.cholTMURegions(k, st.stages)
+	es.injectMem(k, fault.TMU, tmuRegs)
+	if pl.beforeTMUPanels && chk {
+		_, _ = p.verifyStages(st.stages, &res.Counter.TMUBefore, p.nbr-k-1)
+	}
+	if pl.beforeTMUTrailing && chk {
+		worst, blocks := p.verifyTrailingCol(o+p.nb, k+1)
+		res.Counter.TMUBefore += blocks
+		if worst == repairFailed {
+			res.Unrecoverable = true
+		}
+	}
+	es.injectOnChip(k, fault.TMU, tmuRegs)
+}
+
+// tmuGPU applies GPU g's slice of the trailing update (kernels only; the
+// look-ahead schedule may run the tmuRest slice inside a stream).
+func (l *cholLadder) tmuGPU(k, g int, sel tmuSel) {
+	l.p.cholTMUOnGPU(g, k, l.step[k].stages[g], sel)
+}
+
+// tmuFinish closes the trailing update: computation-fault injection,
+// post-TMU verification, the §VII.B heuristic, and the periodic trailing
+// check, then retires the step's staging state.
+func (l *cholLadder) tmuFinish(k int) {
+	p, es := l.p, l.es
+	res, pl := es.res, l.pl
+	o := k * p.nb
+	chk := es.opts.Mode != NoChecksum
+	st := l.step[k]
+
+	tmuRegs := p.cholTMURegions(k, st.stages)
+	es.injectComp(k, fault.TMU, tmuRegs)
+	if pl.afterTMUTrailing && chk {
+		worst, blocks := p.verifyTrailingCol(o+p.nb, k+1)
+		res.Counter.TMUAfter += blocks
+		if worst == repairFailed {
+			res.Unrecoverable = true
+		}
+	}
+	if pl.afterTMUHeuristic && chk {
+		p.cholHeuristicAfterTMU(k, st.stages)
+	}
+	if es.opts.PeriodicTrailingCheck > 0 && (k+1)%es.opts.PeriodicTrailingCheck == 0 && chk {
+		worst, blocks := p.verifyTrailingCol(o+p.nb, k+1)
+		res.Counter.TMUAfter += blocks
+		if worst == repairFailed {
+			res.Unrecoverable = true
+		}
+	}
+	l.step[k] = nil
 }
 
 // cholPD factors the diagonal block on the CPU with a one-shot local
@@ -307,7 +395,7 @@ func (p *protected) cholPD(es *engineSys, k int, pm, snapshot, snapChk *matrix.D
 	cpu := es.sys.CPU()
 	for attempt := 0; ; attempt++ {
 		var err error
-		cpu.Run("potf2", float64(p.nb*p.nb*p.nb)/3, func(int) {
+		es.kernel(cpu, "potf2", float64(p.nb*p.nb*p.nb)/3, func(int) {
 			err = lapack.Potf2(pm)
 		})
 		es.injectComp(k, fault.PD, regs)
@@ -379,21 +467,45 @@ func (p *protected) cholTMURegions(k int, stages []stagePair) []fault.Region {
 	return regs
 }
 
-// cholTMUOnGPU updates GPU g's trailing block columns and their full
-// checksums: for each local block column bj > k,
+// tmuRange resolves the local block-column range [lb0, lb1) GPU g updates
+// for step k under the given TMU slice selector. The look-ahead column —
+// block column k+1 — is the owner's first trailing local block (and only
+// that), so the split is exact: tmuLookahead ∪ tmuRest = tmuAll, disjoint.
+func (p *protected) tmuRange(g, k int, sel tmuSel) (lb0, lb1 int) {
+	lb0, lb1 = p.trailStart(g, k+1), p.nloc[g]
+	if sel == tmuAll {
+		return lb0, lb1
+	}
+	if g == p.owner(k+1) {
+		la := p.localBlock(k + 1)
+		if sel == tmuLookahead {
+			return la, la + 1
+		}
+		return la + 1, lb1
+	}
+	if sel == tmuLookahead {
+		return lb0, lb0 // non-owners hold no piece of the look-ahead column
+	}
+	return lb0, lb1
+}
+
+// cholTMUOnGPU updates GPU g's trailing block columns (restricted to the
+// slice sel selects) and their full checksums: for each local block column
+// bj > k,
 //
 //	A[bj·nb:, bj] −= L21[bj·nb:]·L21[bj blk]ᵀ
 //	colChk strips  −= c(L21) strips ·L21[bj blk]ᵀ     (column checksums)
 //	rowChk pairs   −= L21[bj·nb:]·(c(L21) strip bj)ᵀ  (transposed-checksum
 //	                                                   trick of Fig. 2)
-func (p *protected) cholTMUOnGPU(g, k int, st stagePair) {
+func (p *protected) cholTMUOnGPU(g, k int, st stagePair, sel tmuSel) {
 	G := p.es.sys.NumGPUs()
 	gdev := p.es.sys.GPU(g)
 	nb := p.nb
 	o := k * nb
 	chk := p.es.opts.Mode != NoChecksum
 	full := p.es.opts.Mode == Full
-	for lb := p.trailStart(g, k+1); lb < p.nloc[g]; lb++ {
+	lb0, lb1 := p.tmuRange(g, k, sel)
+	for lb := lb0; lb < lb1; lb++ {
 		bj := lb*G + g
 		r0 := bj * nb
 		c := p.local[g].View(r0, lb*nb, p.n-r0, nb)
@@ -404,7 +516,7 @@ func (p *protected) cholTMUOnGPU(g, k int, st stagePair) {
 	// On-chip corruption is transient: the checksum-maintenance kernels
 	// load the stage independently and see clean values.
 	p.es.restoreOnChip()
-	for lb := p.trailStart(g, k+1); lb < p.nloc[g]; lb++ {
+	for lb := lb0; lb < lb1; lb++ {
 		bj := lb*G + g
 		r0 := bj * nb
 		aStage := st.data.View(r0-(o+nb), 0, p.n-r0, nb)

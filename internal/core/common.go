@@ -190,7 +190,7 @@ func (es *engineSys) span(phase, name string, acc *time.Duration) func() {
 func (es *engineSys) finishResult(start time.Time) {
 	res := es.res
 	res.Wall = time.Since(start)
-	res.SimMakespan = es.sys.SimMakespan()
+	res.SimMakespan = es.sys.TimelineMakespan()
 	res.PCIeBytes = es.sys.BytesTransferred()
 	res.Flops = blas.Flops() - es.startFlops
 	factor := res.Wall - res.EncodeT - res.VerifyT - res.RecoverT

@@ -19,13 +19,14 @@ import (
 // global pivot sequence (piv[k] = row exchanged with row k at step k), and
 // the run report.
 //
-// Per-iteration dataflow (MAGMA hybrid right-looking LU):
+// Per-iteration dataflow (MAGMA hybrid right-looking LU), expressed as
+// ladder stages for the step runtime (see runtime.go):
 //
 //	GPU_owner → CPU   column panel transfer (+ column checksums)
-//	CPU               PD: GETF2 with partial pivoting
+//	CPU               PD: GETF2 with partial pivoting   (panelFactor)
 //	GPUs              row interchanges on all other block columns, with
-//	                  incremental column-checksum maintenance
-//	CPU → all GPUs    factored panel broadcast (+ checksums)
+//	                  incremental column-checksum maintenance (panelPivot)
+//	CPU → all GPUs    factored panel broadcast (+ checksums) (panelCommit)
 //	all GPUs          PU: U12 = L11⁻¹·A12 (row checksums ride the TRSM)
 //	all GPUs          TMU: A22 −= L21·U12 with full checksum maintenance
 func LU(sys *hetsim.System, a *matrix.Dense, opts Options) (lret *matrix.Dense, pret []int, rret *Result, err error) {
@@ -49,289 +50,389 @@ func LU(sys *hetsim.System, a *matrix.Dense, opts Options) (lret *matrix.Dense, 
 	es := newEngine("lu", sys, opts, res)
 	start := time.Now()
 	p := newProtected(es, a)
-	pl := planFor(opts.Scheme)
-	nb := opts.NB
-	nbr := p.nbr
-	G := sys.NumGPUs()
-	cpu := sys.CPU()
-	chk := opts.Mode != NoChecksum
-	full := opts.Mode == Full
-	piv := make([]int, n)
+	l := &luLadder{
+		p: p, es: es, pl: planFor(opts.Scheme),
+		step: make([]*luStep, p.nbr),
+		piv:  make([]int, n),
+	}
+	if err := runLadder(es, l); err != nil {
+		return nil, nil, nil, err
+	}
+	out := p.gather()
+	es.finishResult(start)
+	return out, l.piv, res, nil
+}
 
-	for k := 0; k < nbr; k++ {
-		o := k * nb
-		gk := p.owner(k)
-		m := n - o
-		strips := nbr - k
+// luStep is the staging state an LU ladder step carries between stages:
+// the pulled CPU panel and its local pivots from panelFactor until
+// panelCommit broadcasts it, and the received panel stages until tmuFinish
+// retires them.
+type luStep struct {
+	cpuPanel, cpuChk *hetsim.Buffer
+	pm, cm           *matrix.Dense
+	lpiv             []int
+	stages           []stagePair
+}
 
-		// ------------- PD: column panel on the CPU ---------------------
-		panelDev := p.local[gk].View(o, p.localOff(k), m, nb)
-		cpuPanel := cpu.Alloc(m, nb)
-		sys.Transfer(panelDev, cpuPanel)
-		pm := cpuPanel.Access(cpu)
-		var cpuChk *hetsim.Buffer
-		var cm *matrix.Dense
-		if chk {
-			cpuChk = cpu.Alloc(2*strips, nb)
-			sys.Transfer(p.colChkView(k, k, nbr), cpuChk)
-			cm = cpuChk.Access(cpu)
-		}
-		pdRegs := []fault.Region{
-			{Part: fault.ReferencePart, M: pm, Row0: o, Col0: o},
-			{Part: fault.UpdatePart, M: pm, Row0: o, Col0: o},
-		}
-		es.injectMem(k, fault.PD, pdRegs)
-		if pl.beforePD && chk {
-			// Under Full mode the panel's row-checksum pair rides along so
-			// that a 1-D column contamination (e.g. an on-chip row-panel
-			// fault consumed by an earlier TMU) can be rebuilt in place.
-			var rowRepairPD func(col int) bool
-			if full {
-				cpuRowChk := cpu.Alloc(m, 2)
-				sys.Transfer(p.rowChkView(k, o, n), cpuRowChk)
-				rm := cpuRowChk.Access(cpu)
-				rowRepairPD = func(col int) bool {
-					return p.reconstructColViaRowChk(pm, rm, col)
-				}
-			}
-			out, fixed := p.verifyRepairColReport(cpu.Workers(), pm, cm, rowRepairPD)
-			if out == repairFailed {
-				res.Unrecoverable = true
-			}
-			res.Counter.PDBefore += strips
-			// §VII.B Fig. 4b: corrections in the panel may be the visible
-			// edge of a 1-D row contamination from an earlier on-chip TMU
-			// fault; probe and repair the full rows across the trailing
-			// matrix (data and polluted row checksums).
-			if full {
-				seen := map[int]bool{}
-				for _, fe := range fixed {
-					r := o + fe.Row
-					if seen[r] {
-						continue
-					}
-					seen[r] = true
-					for g := 0; g < G; g++ {
-						if p.trailStart(g, k+1) >= p.nloc[g] {
-							continue
-						}
-						if !p.verifyRowQuick(g, r, p.trailStart(g, k+1)) {
-							p.repairContaminatedRow(g, r, k+1)
-						}
-					}
-				}
-			}
-		}
-		snapshot := pm.Clone()
-		es.injectOnChip(k, fault.PD, pdRegs)
-		lpiv := make([]int, nb)
-		if err := p.luPD(es, k, pm, cm, snapshot, lpiv, pl, pdRegs); err != nil {
-			return nil, nil, nil, err
-		}
-		for j, lp := range lpiv {
-			piv[o+j] = o + lp
-		}
-		if chk {
-			// Certified re-encode of the stored L\U panel.
-			p.encodeColInto(cpu.Workers(), pm, cm)
-		}
+// luLadder is the LU instantiation of the step-runtime ladder.
+type luLadder struct {
+	p    *protected
+	es   *engineSys
+	pl   plan
+	step []*luStep
+	piv  []int
+	err  error
+}
 
-		// ------------- Row interchanges on the other block columns ------
-		// Before moving any row, probe it against its row checksums: a row
-		// contaminated by an undetected on-chip 1-D propagation from an
-		// earlier TMU (§VII.B Fig. 4b) must be repaired *before* the
-		// interchange, because the incremental checksum maintenance under
-		// a swap reads the stored (corrupted) values and would otherwise
-		// bake the corruption into the checksums.
+func (l *luLadder) steps() int    { return l.p.nbr }
+func (l *luLadder) failed() error { return l.err }
+
+// panelFactor pulls the full column panel (and its checksum strips) to the
+// CPU, verifies it — with the §VII.B Fig. 4b contamination probes under
+// Full mode — factors it with GETF2 under local-restart protection, and
+// re-encodes the certified checksums. The panel stays staged host-side;
+// panelCommit owns the writeback and broadcast.
+func (l *luLadder) panelFactor(k int) {
+	p, es := l.p, l.es
+	cpu := es.sys.CPU()
+	res, pl := es.res, l.pl
+	nb := p.nb
+	n := p.n
+	o := k * nb
+	gk := p.owner(k)
+	G := es.sys.NumGPUs()
+	m := n - o
+	strips := p.nbr - k
+	chk := es.opts.Mode != NoChecksum
+	full := es.opts.Mode == Full
+	st := &luStep{}
+	l.step[k] = st
+
+	panelDev := p.local[gk].View(o, p.localOff(k), m, nb)
+	st.cpuPanel = cpu.Alloc(m, nb)
+	es.transfer(panelDev, st.cpuPanel)
+	st.pm = st.cpuPanel.Access(cpu)
+	if chk {
+		st.cpuChk = cpu.Alloc(2*strips, nb)
+		es.transfer(p.colChkView(k, k, p.nbr), st.cpuChk)
+		st.cm = st.cpuChk.Access(cpu)
+	}
+	pdRegs := []fault.Region{
+		{Part: fault.ReferencePart, M: st.pm, Row0: o, Col0: o},
+		{Part: fault.UpdatePart, M: st.pm, Row0: o, Col0: o},
+	}
+	es.injectMem(k, fault.PD, pdRegs)
+	if pl.beforePD && chk {
+		// Under Full mode the panel's row-checksum pair rides along so
+		// that a 1-D column contamination (e.g. an on-chip row-panel
+		// fault consumed by an earlier TMU) can be rebuilt in place.
+		var rowRepairPD func(col int) bool
 		if full {
-			probed := map[int]bool{}
-			for j, lp := range lpiv {
-				for _, r := range [2]int{o + j, o + lp} {
-					if probed[r] {
-						continue
-					}
-					probed[r] = true
-					for g := 0; g < G; g++ {
-						if p.trailStart(g, k+1) >= p.nloc[g] {
-							continue
-						}
-						if !p.verifyRowQuick(g, r, p.trailStart(g, k+1)) {
-							res.Detected = true
-							res.Counter.DetectedErrors++
-							p.repairContaminatedRow(g, r, k+1)
-						}
-					}
-				}
-			}
-			// Each probe touches one row across the trailing columns;
-			// charge the block-equivalent cost (rows·cols / nb²).
-			res.Counter.SwapChecks += (len(probed)*(n-o-nb) + nb*nb - 1) / (nb * nb)
-		}
-		for j, lp := range lpiv {
-			if lp != j {
-				p.swapRows(o+j, o+lp, 0, k)
-				p.swapRows(o+j, o+lp, k+1, nbr)
+			cpuRowChk := cpu.Alloc(m, 2)
+			es.transfer(p.rowChkView(k, o, n), cpuRowChk)
+			rm := cpuRowChk.Access(cpu)
+			rowRepairPD = func(col int) bool {
+				return p.reconstructColViaRowChk(st.pm, rm, col)
 			}
 		}
-
-		// ------------- Panel broadcast (CPU → all GPUs) ------------------
-		chkRows := 2 * strips
-		if !chk {
-			chkRows = 2
+		out, fixed := p.verifyRepairColReport(cpu.Workers(), st.pm, st.cm, rowRepairPD)
+		if out == repairFailed {
+			res.Unrecoverable = true
 		}
-		stages := p.allocStages(m, chkRows, nb)
-		doBroadcast := func() {
-			es.withCommContext(k, fault.PD, o, o, func() {
-				// Writeback into the owner's authoritative storage first.
-				sys.Transfer(cpuPanel, panelDev)
-				if chk {
-					sys.Transfer(cpuChk, p.colChkView(k, k, nbr))
+		res.Counter.PDBefore += strips
+		// §VII.B Fig. 4b: corrections in the panel may be the visible
+		// edge of a 1-D row contamination from an earlier on-chip TMU
+		// fault; probe and repair the full rows across the trailing
+		// matrix (data and polluted row checksums).
+		if full {
+			seen := map[int]bool{}
+			for _, fe := range fixed {
+				r := o + fe.Row
+				if seen[r] {
+					continue
 				}
+				seen[r] = true
 				for g := 0; g < G; g++ {
-					if g == gk {
-						copyWithin(sys.GPU(gk), panelDev, stages[g].data)
-						if chk {
-							copyWithin(sys.GPU(gk), p.colChkView(k, k, nbr), stages[g].chk)
-						}
+					if p.trailStart(g, k+1) >= p.nloc[g] {
 						continue
 					}
-					sys.Transfer(cpuPanel, stages[g].data)
-					if chk {
-						sys.Transfer(cpuChk, stages[g].chk)
+					if !p.verifyRowQuick(g, r, p.trailStart(g, k+1)) {
+						p.repairContaminatedRow(g, r, k+1)
 					}
 				}
-			})
-		}
-		doBroadcast()
-		if pl.afterPDBcast && chk {
-			outs, corrupted := p.verifyStages(stages, &res.Counter.PDAfter, strips)
-			if corrupted == G && G > 1 {
-				// §VII.C: every GPU corrupted implicates the sender side —
-				// conservative local restart of the broadcast from the
-				// certified CPU copy.
-				res.Counter.LocalRestarts++
-				doBroadcast()
-			} else if corrupted > 0 {
-				p.rebroadcastFailed(cpuPanel, cpuChk, stages, outs)
-				// The owner's authoritative copy may have taken the hit on
-				// the writeback leg; repair it from the certified source.
-				gd := panelDev.Access(sys.GPU(gk))
-				gc := p.colChkView(k, k, nbr).Access(sys.GPU(gk))
-				if p.verifyRepairCol(sys.GPU(gk).Workers(), gd, gc, nil) == repairFailed {
-					sys.Transfer(cpuPanel, panelDev)
-					sys.Transfer(cpuChk, p.colChkView(k, k, nbr))
-					res.Counter.Rebroadcasts++
-				}
-			}
-		}
-
-		if k == nbr-1 {
-			break
-		}
-
-		// ------------- PU: U12 = L11⁻¹·A12 on every GPU ------------------
-		puRegs := p.luPURegions(k, stages)
-		es.injectMem(k, fault.PU, puRegs)
-		if pl.beforePU && chk {
-			// Reference part first: a DRAM fault on the received L11 block
-			// after the post-broadcast check would otherwise corrupt the
-			// row-panel TRSM consistently with its checksum TRSM.
-			for g := 0; g < G; g++ {
-				gdev := sys.GPU(g)
-				l11d := stages[g].data.View(0, 0, nb, nb).Access(gdev)
-				l11c := stages[g].chk.View(0, 0, 2, nb).Access(gdev)
-				if out := p.verifyRepairCol(gdev.Workers(), l11d, l11c, nil); out == repairFailed {
-					res.Unrecoverable = true
-				}
-				res.Counter.PUBefore++
-			}
-			p.luVerifyRowPanelPrePU(k, &res.Counter.PUBefore)
-		}
-		snaps := make([]luPUSnap, G)
-		for g := 0; g < G; g++ {
-			gdev := sys.GPU(g)
-			lb0 := p.trailStart(g, k+1)
-			snaps[g].lb0 = lb0
-			if lb0 >= p.nloc[g] {
-				continue
-			}
-			cols := p.nloc[g]*nb - lb0*nb
-			rowPanel := p.local[g].View(o, lb0*nb, nb, cols)
-			snaps[g].data = gdev.Alloc(nb, cols)
-			copyWithin(gdev, rowPanel, snaps[g].data)
-			if full {
-				rslab := p.rowChk[g].View(o, 2*lb0, nb, 2*(p.nloc[g]-lb0))
-				snaps[g].rchk = gdev.Alloc(nb, 2*(p.nloc[g]-lb0))
-				copyWithin(gdev, rslab, snaps[g].rchk)
-			}
-		}
-		es.injectOnChip(k, fault.PU, puRegs)
-		runPU := func(g int) {
-			gdev := sys.GPU(g)
-			lb0 := snaps[g].lb0
-			if lb0 >= p.nloc[g] {
-				return
-			}
-			cols := p.nloc[g]*nb - lb0*nb
-			l11 := stages[g].data.View(0, 0, nb, nb)
-			rowPanel := p.local[g].View(o, lb0*nb, nb, cols)
-			gdev.Trsm(blas.Left, true, false, true, 1, l11, rowPanel)
-			// Transient on-chip corruption is not visible to the checksum
-			// TRSM's independent loads.
-			es.restoreOnChip()
-			if full {
-				rslab := p.rowChk[g].View(o, 2*lb0, nb, 2*(p.nloc[g]-lb0))
-				gdev.Trsm(blas.Left, true, false, true, 1, l11, rslab)
-			}
-		}
-		for g := 0; g < G; g++ {
-			runPU(g)
-		}
-		es.injectComp(k, fault.PU, puRegs)
-		if pl.afterPU && full {
-			p.luVerifyRowPanelPostPU(k, snaps, runPU, &res.Counter.PUAfter)
-		}
-
-		// ------------- TMU: A22 −= L21·U12 on every GPU ------------------
-		tmuRegs := p.luTMURegions(k, stages)
-		es.injectMem(k, fault.TMU, tmuRegs)
-		if pl.beforeTMUPanels && chk {
-			_, _ = p.verifyStages(stages, &res.Counter.TMUBefore, strips)
-		}
-		if pl.beforeTMUTrailing && chk {
-			worst, blocks := p.verifyTrailingCol(o+nb, k+1)
-			res.Counter.TMUBefore += blocks
-			if worst == repairFailed {
-				res.Unrecoverable = true
-			}
-		}
-		es.injectOnChip(k, fault.TMU, tmuRegs)
-		for g := 0; g < G; g++ {
-			p.luTMUOnGPU(g, k, stages[g])
-		}
-		es.injectComp(k, fault.TMU, tmuRegs)
-		if pl.afterTMUTrailing && chk {
-			worst, blocks := p.verifyTrailingCol(o+nb, k+1)
-			res.Counter.TMUAfter += blocks
-			if worst == repairFailed {
-				res.Unrecoverable = true
-			}
-		}
-		if pl.afterTMUHeuristic && chk {
-			p.luHeuristicAfterTMU(k, stages)
-		}
-		if opts.PeriodicTrailingCheck > 0 && (k+1)%opts.PeriodicTrailingCheck == 0 && chk {
-			worst, blocks := p.verifyTrailingCol(o+nb, k+1)
-			res.Counter.TMUAfter += blocks
-			if worst == repairFailed {
-				res.Unrecoverable = true
 			}
 		}
 	}
+	snapshot := st.pm.Clone()
+	es.injectOnChip(k, fault.PD, pdRegs)
+	st.lpiv = make([]int, nb)
+	if err := p.luPD(es, k, st.pm, st.cm, snapshot, st.lpiv, pl, pdRegs); err != nil {
+		l.err = err
+		return
+	}
+	for j, lp := range st.lpiv {
+		l.piv[o+j] = o + lp
+	}
+	if chk {
+		// Certified re-encode of the stored L\U panel.
+		p.encodeColInto(cpu.Workers(), st.pm, st.cm)
+	}
+}
 
-	out := p.gather()
-	es.finishResult(start)
-	return out, piv, res, nil
+// panelPivot applies the step's row interchanges to every other block
+// column, probing each touched row against its row checksums first: a row
+// contaminated by an undetected on-chip 1-D propagation from an earlier
+// TMU (§VII.B Fig. 4b) must be repaired *before* the interchange, because
+// the incremental checksum maintenance under a swap reads the stored
+// (corrupted) values and would otherwise bake the corruption into the
+// checksums.
+func (l *luLadder) panelPivot(k int) {
+	p, es := l.p, l.es
+	res := es.res
+	nb := p.nb
+	n := p.n
+	o := k * nb
+	G := es.sys.NumGPUs()
+	full := es.opts.Mode == Full
+	st := l.step[k]
+
+	if full {
+		probed := map[int]bool{}
+		for j, lp := range st.lpiv {
+			for _, r := range [2]int{o + j, o + lp} {
+				if probed[r] {
+					continue
+				}
+				probed[r] = true
+				for g := 0; g < G; g++ {
+					if p.trailStart(g, k+1) >= p.nloc[g] {
+						continue
+					}
+					if !p.verifyRowQuick(g, r, p.trailStart(g, k+1)) {
+						res.Detected = true
+						res.Counter.DetectedErrors++
+						p.repairContaminatedRow(g, r, k+1)
+					}
+				}
+			}
+		}
+		// Each probe touches one row across the trailing columns;
+		// charge the block-equivalent cost (rows·cols / nb²).
+		res.Counter.SwapChecks += (len(probed)*(n-o-nb) + nb*nb - 1) / (nb * nb)
+	}
+	for j, lp := range st.lpiv {
+		if lp != j {
+			p.swapRows(o+j, o+lp, 0, k)
+			p.swapRows(o+j, o+lp, k+1, p.nbr)
+		}
+	}
+}
+
+// panelCommit writes the certified panel back into the owner's
+// authoritative storage and broadcasts it (plus checksums) to every GPU's
+// stage, with the §VII.C post-broadcast verification and restart paths.
+func (l *luLadder) panelCommit(k int) {
+	p, es := l.p, l.es
+	sys := es.sys
+	res, pl := es.res, l.pl
+	nb := p.nb
+	o := k * nb
+	gk := p.owner(k)
+	G := sys.NumGPUs()
+	m := p.n - o
+	strips := p.nbr - k
+	chk := es.opts.Mode != NoChecksum
+	st := l.step[k]
+
+	panelDev := p.local[gk].View(o, p.localOff(k), m, nb)
+	chkRows := 2 * strips
+	if !chk {
+		chkRows = 2
+	}
+	st.stages = p.allocStages(m, chkRows, nb)
+	doBroadcast := func() {
+		es.withCommContext(k, fault.PD, o, o, func() {
+			// Writeback into the owner's authoritative storage first.
+			es.transfer(st.cpuPanel, panelDev)
+			if chk {
+				es.transfer(st.cpuChk, p.colChkView(k, k, p.nbr))
+			}
+			for g := 0; g < G; g++ {
+				if g == gk {
+					copyWithin(sys.GPU(gk), panelDev, st.stages[g].data)
+					if chk {
+						copyWithin(sys.GPU(gk), p.colChkView(k, k, p.nbr), st.stages[g].chk)
+					}
+					continue
+				}
+				es.transfer(st.cpuPanel, st.stages[g].data)
+				if chk {
+					es.transfer(st.cpuChk, st.stages[g].chk)
+				}
+			}
+		})
+	}
+	doBroadcast()
+	if pl.afterPDBcast && chk {
+		outs, corrupted := p.verifyStages(st.stages, &res.Counter.PDAfter, strips)
+		if corrupted == G && G > 1 {
+			// §VII.C: every GPU corrupted implicates the sender side —
+			// conservative local restart of the broadcast from the
+			// certified CPU copy.
+			res.Counter.LocalRestarts++
+			doBroadcast()
+		} else if corrupted > 0 {
+			p.rebroadcastFailed(st.cpuPanel, st.cpuChk, st.stages, outs)
+			// The owner's authoritative copy may have taken the hit on
+			// the writeback leg; repair it from the certified source.
+			gd := panelDev.Access(sys.GPU(gk))
+			gc := p.colChkView(k, k, p.nbr).Access(sys.GPU(gk))
+			if p.verifyRepairCol(sys.GPU(gk).Workers(), gd, gc, nil) == repairFailed {
+				es.transfer(st.cpuPanel, panelDev)
+				es.transfer(st.cpuChk, p.colChkView(k, k, p.nbr))
+				res.Counter.Rebroadcasts++
+			}
+		}
+	}
+}
+
+// panelUpdate runs PU — U12 = L11⁻¹·A12 with the row-checksum TRSM riding
+// along — on every GPU, with pre/post verification and per-GPU local
+// restart.
+func (l *luLadder) panelUpdate(k int) {
+	p, es := l.p, l.es
+	sys := es.sys
+	res, pl := es.res, l.pl
+	nb := p.nb
+	o := k * nb
+	G := sys.NumGPUs()
+	chk := es.opts.Mode != NoChecksum
+	full := es.opts.Mode == Full
+	st := l.step[k]
+
+	puRegs := p.luPURegions(k, st.stages)
+	es.injectMem(k, fault.PU, puRegs)
+	if pl.beforePU && chk {
+		// Reference part first: a DRAM fault on the received L11 block
+		// after the post-broadcast check would otherwise corrupt the
+		// row-panel TRSM consistently with its checksum TRSM.
+		for g := 0; g < G; g++ {
+			gdev := sys.GPU(g)
+			l11d := st.stages[g].data.View(0, 0, nb, nb).Access(gdev)
+			l11c := st.stages[g].chk.View(0, 0, 2, nb).Access(gdev)
+			if out := p.verifyRepairCol(gdev.Workers(), l11d, l11c, nil); out == repairFailed {
+				res.Unrecoverable = true
+			}
+			res.Counter.PUBefore++
+		}
+		p.luVerifyRowPanelPrePU(k, &res.Counter.PUBefore)
+	}
+	snaps := make([]luPUSnap, G)
+	for g := 0; g < G; g++ {
+		gdev := sys.GPU(g)
+		lb0 := p.trailStart(g, k+1)
+		snaps[g].lb0 = lb0
+		if lb0 >= p.nloc[g] {
+			continue
+		}
+		cols := p.nloc[g]*nb - lb0*nb
+		rowPanel := p.local[g].View(o, lb0*nb, nb, cols)
+		snaps[g].data = gdev.Alloc(nb, cols)
+		copyWithin(gdev, rowPanel, snaps[g].data)
+		if full {
+			rslab := p.rowChk[g].View(o, 2*lb0, nb, 2*(p.nloc[g]-lb0))
+			snaps[g].rchk = gdev.Alloc(nb, 2*(p.nloc[g]-lb0))
+			copyWithin(gdev, rslab, snaps[g].rchk)
+		}
+	}
+	es.injectOnChip(k, fault.PU, puRegs)
+	runPU := func(g int) {
+		gdev := sys.GPU(g)
+		lb0 := snaps[g].lb0
+		if lb0 >= p.nloc[g] {
+			return
+		}
+		cols := p.nloc[g]*nb - lb0*nb
+		l11 := st.stages[g].data.View(0, 0, nb, nb)
+		rowPanel := p.local[g].View(o, lb0*nb, nb, cols)
+		gdev.Trsm(blas.Left, true, false, true, 1, l11, rowPanel)
+		// Transient on-chip corruption is not visible to the checksum
+		// TRSM's independent loads.
+		es.restoreOnChip()
+		if full {
+			rslab := p.rowChk[g].View(o, 2*lb0, nb, 2*(p.nloc[g]-lb0))
+			gdev.Trsm(blas.Left, true, false, true, 1, l11, rslab)
+		}
+	}
+	for g := 0; g < G; g++ {
+		runPU(g)
+	}
+	es.injectComp(k, fault.PU, puRegs)
+	if pl.afterPU && full {
+		p.luVerifyRowPanelPostPU(k, snaps, runPU, &res.Counter.PUAfter)
+	}
+}
+
+// tmuBegin opens the trailing update: injection windows and the scheme's
+// pre-TMU verification.
+func (l *luLadder) tmuBegin(k int) {
+	p, es := l.p, l.es
+	res, pl := es.res, l.pl
+	o := k * p.nb
+	chk := es.opts.Mode != NoChecksum
+	st := l.step[k]
+
+	tmuRegs := p.luTMURegions(k, st.stages)
+	es.injectMem(k, fault.TMU, tmuRegs)
+	if pl.beforeTMUPanels && chk {
+		_, _ = p.verifyStages(st.stages, &res.Counter.TMUBefore, p.nbr-k)
+	}
+	if pl.beforeTMUTrailing && chk {
+		worst, blocks := p.verifyTrailingCol(o+p.nb, k+1)
+		res.Counter.TMUBefore += blocks
+		if worst == repairFailed {
+			res.Unrecoverable = true
+		}
+	}
+	es.injectOnChip(k, fault.TMU, tmuRegs)
+}
+
+// tmuGPU applies GPU g's slice of the Schur update (kernels only; the
+// look-ahead schedule may run the tmuRest slice inside a stream).
+func (l *luLadder) tmuGPU(k, g int, sel tmuSel) {
+	l.p.luTMUOnGPU(g, k, l.step[k].stages[g], sel)
+}
+
+// tmuFinish closes the trailing update: computation-fault injection,
+// post-TMU verification, the §VII.B heuristic, and the periodic trailing
+// check, then retires the step's staging state.
+func (l *luLadder) tmuFinish(k int) {
+	p, es := l.p, l.es
+	res, pl := es.res, l.pl
+	o := k * p.nb
+	chk := es.opts.Mode != NoChecksum
+	st := l.step[k]
+
+	tmuRegs := p.luTMURegions(k, st.stages)
+	es.injectComp(k, fault.TMU, tmuRegs)
+	if pl.afterTMUTrailing && chk {
+		worst, blocks := p.verifyTrailingCol(o+p.nb, k+1)
+		res.Counter.TMUAfter += blocks
+		if worst == repairFailed {
+			res.Unrecoverable = true
+		}
+	}
+	if pl.afterTMUHeuristic && chk {
+		p.luHeuristicAfterTMU(k, st.stages)
+	}
+	if es.opts.PeriodicTrailingCheck > 0 && (k+1)%es.opts.PeriodicTrailingCheck == 0 && chk {
+		worst, blocks := p.verifyTrailingCol(o+p.nb, k+1)
+		res.Counter.TMUAfter += blocks
+		if worst == repairFailed {
+			res.Unrecoverable = true
+		}
+	}
+	l.step[k] = nil
 }
 
 // luPUSnap holds one GPU's pre-PU row-panel snapshot for local restart.
@@ -352,7 +453,7 @@ func (p *protected) luPD(es *engineSys, k int, pm, cm, snapshot *matrix.Dense, l
 	nb := p.nb
 	for attempt := 0; ; attempt++ {
 		var err error
-		cpu.Run("getf2", float64(pm.Rows*nb*nb), func(int) {
+		es.kernel(cpu, "getf2", float64(pm.Rows*nb*nb), func(int) {
 			err = lapack.Getf2(pm, lpiv)
 		})
 		es.injectComp(k, fault.PD, regs)
@@ -545,36 +646,40 @@ func (p *protected) luVerifyRowPanelPostPU(k int, ss []luPUSnap, runPU func(g in
 	}
 }
 
-// luTMUOnGPU applies the Schur update and full checksum maintenance on
-// GPU g:
+// luTMUOnGPU applies the Schur update and full checksum maintenance on the
+// slice of GPU g's trailing block columns sel selects:
 //
 //	A22        −= L21·U12
 //	colChk     −= c(L21)·U12                 (strips k+1..)
 //	rowChk     −= L21·r(U12)                 (pairs of the trailing blocks)
-func (p *protected) luTMUOnGPU(g, k int, st stagePair) {
+//
+// The update is column-sliced, so restricting the output columns leaves
+// every computed element bit-identical to the full-width call.
+func (p *protected) luTMUOnGPU(g, k int, st stagePair, sel tmuSel) {
 	gdev := p.es.sys.GPU(g)
 	nb := p.nb
 	o := k * nb
-	lb0 := p.trailStart(g, k+1)
-	if lb0 >= p.nloc[g] {
+	lbLo, lbHi := p.tmuRange(g, k, sel)
+	if lbLo >= lbHi {
 		return
 	}
-	cols := p.nloc[g]*nb - lb0*nb
+	jlo := lbLo * nb
+	cols := (lbHi - lbLo) * nb
 	m2 := p.n - o - nb
 	l21 := st.data.View(nb, 0, m2, nb)
-	u12 := p.local[g].View(o, lb0*nb, nb, cols)
-	c := p.local[g].View(o+nb, lb0*nb, m2, cols)
+	u12 := p.local[g].View(o, jlo, nb, cols)
+	c := p.local[g].View(o+nb, jlo, m2, cols)
 	gdev.Gemm(false, false, -1, l21, u12, 1, c)
 	// Transient on-chip corruption is not visible to the checksum kernels.
 	p.es.restoreOnChip()
 	if p.es.opts.Mode != NoChecksum {
 		cStage := st.chk.View(2, 0, 2*(p.nbr-k-1), nb) // strips k+1..nbr of L21
-		cc := p.colChk[g].View(2*(k+1), lb0*nb, 2*(p.nbr-k-1), cols)
+		cc := p.colChk[g].View(2*(k+1), jlo, 2*(p.nbr-k-1), cols)
 		gdev.Gemm(false, false, -1, cStage, u12, 1, cc)
 	}
 	if p.es.opts.Mode == Full {
-		rU12 := p.rowChk[g].View(o, 2*lb0, nb, 2*(p.nloc[g]-lb0))
-		rc := p.rowChk[g].View(o+nb, 2*lb0, m2, 2*(p.nloc[g]-lb0))
+		rU12 := p.rowChk[g].View(o, 2*lbLo, nb, 2*(lbHi-lbLo))
+		rc := p.rowChk[g].View(o+nb, 2*lbLo, m2, 2*(lbHi-lbLo))
 		gdev.Gemm(false, false, -1, l21, rU12, 1, rc)
 	}
 }

@@ -111,6 +111,19 @@ type Options struct {
 	// ABFT checksums cannot repair a device that is gone; the serving
 	// layer's failover answers this class (see internal/service).
 	FailStop map[int]hetsim.FaultPlan
+	// Lookahead selects the step-runtime schedule: 0 (or negative) runs the
+	// legacy fully serial ladder; 1 enables MAGMA-style look-ahead — the
+	// CPU pulls and factorizes panel k+1 while the GPUs run step k's
+	// trailing update on asynchronous streams, and each GPU's trailing
+	// update runs concurrently with the others'. Results are bit-identical
+	// in both schedules. When a fault Injector is attached the runtime
+	// falls back to the serial schedule so every injection window fires in
+	// exactly the stage it targets (see DESIGN.md §8).
+	Lookahead int
+
+	// stageJournal, when non-nil, receives the runtime's canonical stage
+	// journal for the run (test hook; see runtime.go).
+	stageJournal *[]stageRec
 }
 
 // Validate normalizes and sanity-checks the options for order n.

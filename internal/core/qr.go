@@ -18,14 +18,15 @@ import (
 // factors (R in the upper triangle, Householder vectors below) along with
 // the reflector coefficients tau and the run report.
 //
-// Per-iteration dataflow (MAGMA hybrid right-looking QR, §IV.B):
+// Per-iteration dataflow (MAGMA hybrid right-looking QR, §IV.B),
+// expressed as ladder stages for the step runtime (see runtime.go):
 //
 //	GPU_owner → CPU   column panel transfer (+ column checksums)
 //	CPU               PD: checksum-maintaining Householder panel
-//	                  factorization (Algorithm 1)
+//	                  factorization (Algorithm 1)        (panelFactor)
 //	CPU               CTF: T = LARFT(V), validated by an orthogonality
-//	                  probe; recomputed from V on failure
-//	CPU → all GPUs    panel + c(V) + T broadcast
+//	                  probe; recomputed from V on failure (panelFactor)
+//	CPU → all GPUs    panel + c(V) + T broadcast          (panelCommit)
 //	all GPUs          TMU: A₂ = (I − V·Tᵀ·Vᵀ)·A₂ with full checksums
 //	                  maintained from c(V) (Table III, red terms)
 func QR(sys *hetsim.System, a *matrix.Dense, opts Options) (qret *matrix.Dense, tret []float64, rret *Result, err error) {
@@ -49,230 +50,311 @@ func QR(sys *hetsim.System, a *matrix.Dense, opts Options) (qret *matrix.Dense, 
 	es := newEngine("qr", sys, opts, res)
 	start := time.Now()
 	p := newProtected(es, a)
-	pl := planFor(opts.Scheme)
-	nb := opts.NB
-	nbr := p.nbr
-	G := sys.NumGPUs()
-	cpu := sys.CPU()
-	chk := opts.Mode != NoChecksum
-	tau := make([]float64, n)
+	l := &qrLadder{
+		p: p, es: es, pl: planFor(opts.Scheme),
+		step: make([]*qrStep, p.nbr),
+		tau:  make([]float64, n),
+	}
+	if err := runLadder(es, l); err != nil {
+		return nil, nil, nil, err
+	}
+	out := p.gather()
+	es.finishResult(start)
+	return out, l.tau, res, nil
+}
 
-	for k := 0; k < nbr; k++ {
-		o := k * nb
-		gk := p.owner(k)
-		m := n - o
-		strips := nbr - k
+// qrStep is the staging state a QR ladder step carries between stages: the
+// factored CPU panel, its T factor and reflector checksums from
+// panelFactor until panelCommit broadcasts them, and the per-GPU stage
+// copies until tmuFinish retires them.
+type qrStep struct {
+	cpuPanel, cpuChk *hetsim.Buffer
+	pm, cm           *matrix.Dense
+	cpuT, cpuCV      *hetsim.Buffer
+	stages           []stagePair
+	cvStage, tStage  []*hetsim.Buffer
+}
 
-		// ------------- PD: column panel, verified on its GPU -------------
-		panelDev := p.local[gk].View(o, p.localOff(k), m, nb)
-		gpuPDRegs := []fault.Region{
-			{Part: fault.ReferencePart, M: panelDev.UnsafeData(), Row0: o, Col0: o},
-			{Part: fault.UpdatePart, M: panelDev.UnsafeData(), Row0: o, Col0: o},
-		}
-		es.injectMem(k, fault.PD, gpuPDRegs)
-		if pl.beforePD && chk {
-			// The panel is verified on its owner GPU *before* it ships to
-			// the CPU: QR's block-reflector TMU can leave aliased column
-			// corruption that only the orthogonal-checksum reconciliation
-			// untangles, and the row checksums live on the GPU.
-			gdev := sys.GPU(gk)
-			gdata := panelDev.Access(gdev)
-			gchk := p.colChkView(k, k, nbr).Access(gdev)
-			var rowRepair func(col int) bool
-			if opts.Mode == Full {
-				loff := p.localOff(k)
-				rowRepair = func(col int) bool {
-					return p.repairFullColumn(gk, loff+col)
-				}
-			}
-			if out := p.verifyRepairCol(gdev.Workers(), gdata, gchk, rowRepair); out == repairFailed {
-				res.Unrecoverable = true
-			}
-			if opts.Mode == Full {
-				lb := p.localBlock(k)
-				p.reconcileOrthogonal(gk, o, n, lb, lb+1)
-			}
-			res.Counter.PDBefore += strips
-		}
-		cpuPanel := cpu.Alloc(m, nb)
-		sys.Transfer(panelDev, cpuPanel)
-		pm := cpuPanel.Access(cpu)
-		var cpuChk *hetsim.Buffer
-		var cm *matrix.Dense
-		if chk {
-			cpuChk = cpu.Alloc(2*strips, nb)
-			sys.Transfer(p.colChkView(k, k, nbr), cpuChk)
-			cm = cpuChk.Access(cpu)
-		}
-		pdRegs := []fault.Region{
-			{Part: fault.ReferencePart, M: pm, Row0: o, Col0: o},
-			{Part: fault.UpdatePart, M: pm, Row0: o, Col0: o},
-		}
-		snapshot := pm.Clone()
-		var snapChk *matrix.Dense
-		if chk {
-			snapChk = cm.Clone()
-		}
-		es.injectOnChip(k, fault.PD, pdRegs)
-		ltau := tau[o : o+nb]
-		if err := p.qrPD(es, k, pm, cm, snapshot, snapChk, ltau, pl, pdRegs); err != nil {
-			return nil, nil, nil, err
-		}
-		if chk {
-			// Certified re-encode of the stored V\R panel.
-			p.encodeColInto(cpu.Workers(), pm, cm)
-		}
+// qrLadder is the QR instantiation of the step-runtime ladder.
+type qrLadder struct {
+	p    *protected
+	es   *engineSys
+	pl   plan
+	step []*qrStep
+	tau  []float64
+	err  error
+}
 
-		// ------------- CTF: T = LARFT(V) on the CPU ---------------------
-		var tmat *matrix.Dense
-		cpu.Run("larft", float64(m*nb*nb), func(int) {
-			tmat = lapack.Larft(pm, ltau)
+func (l *qrLadder) steps() int      { return l.p.nbr }
+func (l *qrLadder) failed() error   { return l.err }
+func (l *qrLadder) panelPivot(int)  {}
+func (l *qrLadder) panelUpdate(int) {}
+
+// panelFactor verifies the panel on its owner GPU, pulls it to the CPU,
+// factors it with the checksum-maintaining Householder kernel of
+// Algorithm 1 under local-restart protection, builds and validates the T
+// factor (CTF), and encodes c(V). Everything stays staged host-side;
+// panelCommit owns the writeback and broadcast.
+func (l *qrLadder) panelFactor(k int) {
+	p, es := l.p, l.es
+	sys, cpu := es.sys, es.sys.CPU()
+	res, pl := es.res, l.pl
+	nb := p.nb
+	n := p.n
+	o := k * nb
+	gk := p.owner(k)
+	m := n - o
+	strips := p.nbr - k
+	chk := es.opts.Mode != NoChecksum
+	st := &qrStep{}
+	l.step[k] = st
+
+	panelDev := p.local[gk].View(o, p.localOff(k), m, nb)
+	gpuPDRegs := []fault.Region{
+		{Part: fault.ReferencePart, M: panelDev.UnsafeData(), Row0: o, Col0: o},
+		{Part: fault.UpdatePart, M: panelDev.UnsafeData(), Row0: o, Col0: o},
+	}
+	es.injectMem(k, fault.PD, gpuPDRegs)
+	if pl.beforePD && chk {
+		// The panel is verified on its owner GPU *before* it ships to
+		// the CPU: QR's block-reflector TMU can leave aliased column
+		// corruption that only the orthogonal-checksum reconciliation
+		// untangles, and the row checksums live on the GPU.
+		gdev := sys.GPU(gk)
+		gdata := panelDev.Access(gdev)
+		gchk := p.colChkView(k, k, p.nbr).Access(gdev)
+		var rowRepair func(col int) bool
+		if es.opts.Mode == Full {
+			loff := p.localOff(k)
+			rowRepair = func(col int) bool {
+				return p.repairFullColumn(gk, loff+col)
+			}
+		}
+		if out := p.verifyRepairCol(gdev.Workers(), gdata, gchk, rowRepair); out == repairFailed {
+			res.Unrecoverable = true
+		}
+		if es.opts.Mode == Full {
+			lb := p.localBlock(k)
+			p.reconcileOrthogonal(gk, o, n, lb, lb+1)
+		}
+		res.Counter.PDBefore += strips
+	}
+	st.cpuPanel = cpu.Alloc(m, nb)
+	es.transfer(panelDev, st.cpuPanel)
+	st.pm = st.cpuPanel.Access(cpu)
+	if chk {
+		st.cpuChk = cpu.Alloc(2*strips, nb)
+		es.transfer(p.colChkView(k, k, p.nbr), st.cpuChk)
+		st.cm = st.cpuChk.Access(cpu)
+	}
+	pdRegs := []fault.Region{
+		{Part: fault.ReferencePart, M: st.pm, Row0: o, Col0: o},
+		{Part: fault.UpdatePart, M: st.pm, Row0: o, Col0: o},
+	}
+	snapshot := st.pm.Clone()
+	var snapChk *matrix.Dense
+	if chk {
+		snapChk = st.cm.Clone()
+	}
+	es.injectOnChip(k, fault.PD, pdRegs)
+	ltau := l.tau[o : o+nb]
+	if err := p.qrPD(es, k, st.pm, st.cm, snapshot, snapChk, ltau, pl, pdRegs); err != nil {
+		l.err = err
+		return
+	}
+	if chk {
+		// Certified re-encode of the stored V\R panel.
+		p.encodeColInto(cpu.Workers(), st.pm, st.cm)
+	}
+
+	// ------------- CTF: T = LARFT(V) on the CPU ---------------------
+	var tmat *matrix.Dense
+	es.kernel(cpu, "larft", float64(m*nb*nb), func(int) {
+		tmat = lapack.Larft(st.pm, ltau)
+	})
+	tRegs := []fault.Region{{Part: fault.UpdatePart, M: tmat, Row0: o, Col0: o}}
+	es.injectComp(k, fault.CTF, tRegs)
+	if chk && !p.qrOrthoProbe(st.pm, tmat) {
+		// Corrupted T: detected by the orthogonality probe, recovered
+		// by recomputing T from V (§IV.B).
+		res.Detected = true
+		res.Counter.DetectedErrors++
+		stop := es.span(obs.PhaseRecover, "recompute-t", &res.RecoverT)
+		es.kernel(cpu, "larft", float64(m*nb*nb), func(int) {
+			tmat = lapack.Larft(st.pm, ltau)
 		})
-		tRegs := []fault.Region{{Part: fault.UpdatePart, M: tmat, Row0: o, Col0: o}}
-		es.injectComp(k, fault.CTF, tRegs)
-		if chk && !p.qrOrthoProbe(pm, tmat) {
-			// Corrupted T: detected by the orthogonality probe, recovered
-			// by recomputing T from V (§IV.B).
-			res.Detected = true
-			res.Counter.DetectedErrors++
-			stop := es.span(obs.PhaseRecover, "recompute-t", &res.RecoverT)
-			cpu.Run("larft", float64(m*nb*nb), func(int) {
-				tmat = lapack.Larft(pm, ltau)
-			})
-			stop()
-			if !p.qrOrthoProbe(pm, tmat) {
-				res.Unrecoverable = true
-			}
+		stop()
+		if !p.qrOrthoProbe(st.pm, tmat) {
+			res.Unrecoverable = true
 		}
-		cpuT := cpu.AllocFrom(tmat)
+	}
+	st.cpuT = cpu.AllocFrom(tmat)
 
-		// c(V): column checksums of the materialized reflectors, the
-		// operand that maintains the trailing column checksums (Table III).
-		var cpuCV *hetsim.Buffer
-		if chk {
-			vmat := lapack.MaterializeV(pm)
-			cv := matrix.NewDense(checksum.ColDims(m, nb, nb))
-			p.encodeColInto(cpu.Workers(), vmat, cv)
-			cpuCV = cpu.AllocFrom(cv)
-		}
+	// c(V): column checksums of the materialized reflectors, the
+	// operand that maintains the trailing column checksums (Table III).
+	if chk {
+		vmat := lapack.MaterializeV(st.pm)
+		cv := matrix.NewDense(checksum.ColDims(m, nb, nb))
+		p.encodeColInto(cpu.Workers(), vmat, cv)
+		st.cpuCV = cpu.AllocFrom(cv)
+	}
+}
 
-		// ------------- Panel broadcast (CPU → all GPUs) ------------------
-		chkRows := 2 * strips
-		if !chk {
-			chkRows = 2
-		}
-		stages := p.allocStages(m, chkRows, nb)
-		cvStage := make([]*hetsim.Buffer, G)
-		tStage := make([]*hetsim.Buffer, G)
-		doBroadcast := func() {
-			es.withCommContext(k, fault.PD, o, o, func() {
-				sys.Transfer(cpuPanel, panelDev)
-				if chk {
-					sys.Transfer(cpuChk, p.colChkView(k, k, nbr))
-				}
-				for g := 0; g < G; g++ {
-					if cvStage[g] == nil {
-						cvStage[g] = sys.GPU(g).Alloc(chkRows, nb)
-						tStage[g] = sys.GPU(g).Alloc(nb, nb)
-					}
-					if g == gk {
-						copyWithin(sys.GPU(gk), panelDev, stages[g].data)
-						if chk {
-							copyWithin(sys.GPU(gk), p.colChkView(k, k, nbr), stages[g].chk)
-						}
-					} else {
-						sys.Transfer(cpuPanel, stages[g].data)
-						if chk {
-							sys.Transfer(cpuChk, stages[g].chk)
-						}
-					}
-					if chk {
-						sys.Transfer(cpuCV, cvStage[g])
-					}
-					sys.Transfer(cpuT, tStage[g])
-				}
-			})
-		}
-		doBroadcast()
-		if pl.afterPDBcast && chk {
-			outs, corrupted := p.verifyStages(stages, &res.Counter.PDAfter, strips)
-			if corrupted == G && G > 1 {
-				res.Counter.LocalRestarts++
-				doBroadcast()
-			} else if corrupted > 0 {
-				p.rebroadcastFailed(cpuPanel, cpuChk, stages, outs)
-				// The owner's authoritative copy may have taken the hit on
-				// the writeback leg; repair it from the certified source.
-				gd := panelDev.Access(sys.GPU(gk))
-				gc := p.colChkView(k, k, nbr).Access(sys.GPU(gk))
-				if p.verifyRepairCol(sys.GPU(gk).Workers(), gd, gc, nil) == repairFailed {
-					sys.Transfer(cpuPanel, panelDev)
-					sys.Transfer(cpuChk, p.colChkView(k, k, nbr))
-					res.Counter.Rebroadcasts++
-				}
+// panelCommit writes the certified panel back into the owner's
+// authoritative storage and broadcasts panel + c(V) + T to every GPU's
+// stage, with the §VII.C post-broadcast verification, restart paths, and
+// per-GPU T orthogonality probes.
+func (l *qrLadder) panelCommit(k int) {
+	p, es := l.p, l.es
+	sys := es.sys
+	res, pl := es.res, l.pl
+	nb := p.nb
+	o := k * nb
+	gk := p.owner(k)
+	G := sys.NumGPUs()
+	m := p.n - o
+	strips := p.nbr - k
+	chk := es.opts.Mode != NoChecksum
+	st := l.step[k]
+	ltau := l.tau[o : o+nb]
+
+	panelDev := p.local[gk].View(o, p.localOff(k), m, nb)
+	chkRows := 2 * strips
+	if !chk {
+		chkRows = 2
+	}
+	st.stages = p.allocStages(m, chkRows, nb)
+	st.cvStage = make([]*hetsim.Buffer, G)
+	st.tStage = make([]*hetsim.Buffer, G)
+	doBroadcast := func() {
+		es.withCommContext(k, fault.PD, o, o, func() {
+			es.transfer(st.cpuPanel, panelDev)
+			if chk {
+				es.transfer(st.cpuChk, p.colChkView(k, k, p.nbr))
 			}
-			// Validate T on every GPU with the probe; recompute locally
-			// from the (verified) stage V on failure.
 			for g := 0; g < G; g++ {
-				gdev := sys.GPU(g)
-				sd := stages[g].data.Access(gdev)
-				td := tStage[g].Access(gdev)
-				if !p.qrOrthoProbe(sd, td) {
-					res.Detected = true
-					res.Counter.DetectedErrors++
-					stop := es.span(obs.PhaseRecover, "recompute-t", &res.RecoverT)
-					gdev.Run("larft", float64(m*nb*nb), func(int) {
-						td.CopyFrom(lapack.Larft(sd, ltau))
-					})
-					stop()
+				if st.cvStage[g] == nil {
+					st.cvStage[g] = sys.GPU(g).Alloc(chkRows, nb)
+					st.tStage[g] = sys.GPU(g).Alloc(nb, nb)
 				}
+				if g == gk {
+					copyWithin(sys.GPU(gk), panelDev, st.stages[g].data)
+					if chk {
+						copyWithin(sys.GPU(gk), p.colChkView(k, k, p.nbr), st.stages[g].chk)
+					}
+				} else {
+					es.transfer(st.cpuPanel, st.stages[g].data)
+					if chk {
+						es.transfer(st.cpuChk, st.stages[g].chk)
+					}
+				}
+				if chk {
+					es.transfer(st.cpuCV, st.cvStage[g])
+				}
+				es.transfer(st.cpuT, st.tStage[g])
+			}
+		})
+	}
+	doBroadcast()
+	if pl.afterPDBcast && chk {
+		outs, corrupted := p.verifyStages(st.stages, &res.Counter.PDAfter, strips)
+		if corrupted == G && G > 1 {
+			res.Counter.LocalRestarts++
+			doBroadcast()
+		} else if corrupted > 0 {
+			p.rebroadcastFailed(st.cpuPanel, st.cpuChk, st.stages, outs)
+			// The owner's authoritative copy may have taken the hit on
+			// the writeback leg; repair it from the certified source.
+			gd := panelDev.Access(sys.GPU(gk))
+			gc := p.colChkView(k, k, p.nbr).Access(sys.GPU(gk))
+			if p.verifyRepairCol(sys.GPU(gk).Workers(), gd, gc, nil) == repairFailed {
+				es.transfer(st.cpuPanel, panelDev)
+				es.transfer(st.cpuChk, p.colChkView(k, k, p.nbr))
+				res.Counter.Rebroadcasts++
 			}
 		}
-
-		if k == nbr-1 {
-			break
-		}
-
-		// ------------- TMU: A₂ = Qᵀ·A₂ on every GPU ----------------------
-		tmuRegs := p.qrTMURegions(k, stages)
-		es.injectMem(k, fault.TMU, tmuRegs)
-		if pl.beforeTMUPanels && chk {
-			_, _ = p.verifyStages(stages, &res.Counter.TMUBefore, strips)
-		}
-		if pl.beforeTMUTrailing && chk {
-			worst, blocks := p.verifyTrailingCol(o, k+1)
-			res.Counter.TMUBefore += blocks
-			if worst == repairFailed {
-				res.Unrecoverable = true
-			}
-		}
-		es.injectOnChip(k, fault.TMU, tmuRegs)
+		// Validate T on every GPU with the probe; recompute locally
+		// from the (verified) stage V on failure.
 		for g := 0; g < G; g++ {
-			p.qrTMUOnGPU(g, k, stages[g], cvStage[g], tStage[g])
-		}
-		es.injectComp(k, fault.TMU, tmuRegs)
-		if pl.afterTMUTrailing && chk {
-			worst, blocks := p.verifyTrailingCol(o, k+1)
-			res.Counter.TMUAfter += blocks
-			if worst == repairFailed {
-				res.Unrecoverable = true
-			}
-		}
-		if pl.afterTMUHeuristic && chk {
-			p.qrHeuristicAfterTMU(k, stages, cvStage, tStage)
-		}
-		if opts.PeriodicTrailingCheck > 0 && (k+1)%opts.PeriodicTrailingCheck == 0 && chk {
-			worst, blocks := p.verifyTrailingCol(o, k+1)
-			res.Counter.TMUAfter += blocks
-			if worst == repairFailed {
-				res.Unrecoverable = true
+			gdev := sys.GPU(g)
+			sd := st.stages[g].data.Access(gdev)
+			td := st.tStage[g].Access(gdev)
+			if !p.qrOrthoProbe(sd, td) {
+				res.Detected = true
+				res.Counter.DetectedErrors++
+				stop := es.span(obs.PhaseRecover, "recompute-t", &res.RecoverT)
+				es.kernel(gdev, "larft", float64(m*nb*nb), func(int) {
+					td.CopyFrom(lapack.Larft(sd, ltau))
+				})
+				stop()
 			}
 		}
 	}
+}
 
-	out := p.gather()
-	es.finishResult(start)
-	return out, tau, res, nil
+// tmuBegin opens the trailing update: injection windows and the scheme's
+// pre-TMU verification.
+func (l *qrLadder) tmuBegin(k int) {
+	p, es := l.p, l.es
+	res, pl := es.res, l.pl
+	o := k * p.nb
+	chk := es.opts.Mode != NoChecksum
+	st := l.step[k]
+
+	tmuRegs := p.qrTMURegions(k, st.stages)
+	es.injectMem(k, fault.TMU, tmuRegs)
+	if pl.beforeTMUPanels && chk {
+		_, _ = p.verifyStages(st.stages, &res.Counter.TMUBefore, p.nbr-k)
+	}
+	if pl.beforeTMUTrailing && chk {
+		worst, blocks := p.verifyTrailingCol(o, k+1)
+		res.Counter.TMUBefore += blocks
+		if worst == repairFailed {
+			res.Unrecoverable = true
+		}
+	}
+	es.injectOnChip(k, fault.TMU, tmuRegs)
+}
+
+// tmuGPU applies GPU g's slice of the block-reflector trailing update
+// (kernels only; the look-ahead schedule may run the tmuRest slice inside
+// a stream).
+func (l *qrLadder) tmuGPU(k, g int, sel tmuSel) {
+	st := l.step[k]
+	l.p.qrTMUOnGPU(g, k, st.stages[g], st.cvStage[g], st.tStage[g], sel)
+}
+
+// tmuFinish closes the trailing update: computation-fault injection,
+// post-TMU verification, the §VII.B heuristic with its Woodbury rollback
+// path, and the periodic trailing check, then retires the step's staging
+// state.
+func (l *qrLadder) tmuFinish(k int) {
+	p, es := l.p, l.es
+	res, pl := es.res, l.pl
+	o := k * p.nb
+	chk := es.opts.Mode != NoChecksum
+	st := l.step[k]
+
+	tmuRegs := p.qrTMURegions(k, st.stages)
+	es.injectComp(k, fault.TMU, tmuRegs)
+	if pl.afterTMUTrailing && chk {
+		worst, blocks := p.verifyTrailingCol(o, k+1)
+		res.Counter.TMUAfter += blocks
+		if worst == repairFailed {
+			res.Unrecoverable = true
+		}
+	}
+	if pl.afterTMUHeuristic && chk {
+		p.qrHeuristicAfterTMU(k, st.stages, st.cvStage, st.tStage)
+	}
+	if es.opts.PeriodicTrailingCheck > 0 && (k+1)%es.opts.PeriodicTrailingCheck == 0 && chk {
+		worst, blocks := p.verifyTrailingCol(o, k+1)
+		res.Counter.TMUAfter += blocks
+		if worst == repairFailed {
+			res.Unrecoverable = true
+		}
+	}
+	l.step[k] = nil
 }
 
 // qrPD runs the checksum-maintaining Householder panel factorization of
@@ -292,7 +374,7 @@ func (p *protected) qrPD(es *engineSys, k int, pm, cm, snapshot, snapChk *matrix
 	nb := p.nb
 	m := pm.Rows
 	for attempt := 0; ; attempt++ {
-		cpu.Run("geqr2-chk", 2*float64(m*nb*nb), func(int) {
+		es.kernel(cpu, "geqr2-chk", 2*float64(m*nb*nb), func(int) {
 			p.qrPanelChecked(pm, cm, ltau)
 		})
 		es.injectComp(k, fault.PD, regs)
@@ -460,27 +542,32 @@ func (p *protected) qrTMURegions(k int, stages []stagePair) []fault.Region {
 	return regs
 }
 
-// qrTMUOnGPU applies the block reflector to GPU g's trailing columns
-// (rows o..n — the top nb rows become R12) and maintains both checksum
-// dimensions:
+// qrTMUOnGPU applies the block reflector to the slice of GPU g's trailing
+// columns sel selects (rows o..n — the top nb rows become R12) and
+// maintains both checksum dimensions:
 //
 //	C      ← C − V·Tᵀ·Vᵀ·C
 //	colChk ← colChk − c(V)·W₂          (W₂ = Tᵀ·Vᵀ·C)
 //	rowChk ← rowChk − V·Tᵀ·Vᵀ·rowChk   (row checksums ride as columns)
-func (p *protected) qrTMUOnGPU(g, k int, st stagePair, cv, tm *hetsim.Buffer) {
+//
+// Every kernel is column-sliced over the trailing columns (and their
+// row-checksum pairs), so restricting the slice leaves each computed
+// element bit-identical to the full-width call.
+func (p *protected) qrTMUOnGPU(g, k int, st stagePair, cv, tm *hetsim.Buffer, sel tmuSel) {
 	gdev := p.es.sys.GPU(g)
 	nb := p.nb
 	o := k * nb
-	lb0 := p.trailStart(g, k+1)
-	if lb0 >= p.nloc[g] {
+	lbLo, lbHi := p.tmuRange(g, k, sel)
+	if lbLo >= lbHi {
 		return
 	}
-	cols := p.nloc[g]*nb - lb0*nb
+	jlo := lbLo * nb
+	cols := (lbHi - lbLo) * nb
 	m := p.n - o
-	c := p.local[g].View(o, lb0*nb, m, cols)
+	c := p.local[g].View(o, jlo, m, cols)
 	// Materialize V on-device.
 	vbuf := gdev.Alloc(m, nb)
-	gdev.Run("materialize-v", 0, func(int) {
+	p.es.kernel(gdev, "materialize-v", 0, func(int) {
 		vbuf.Access(gdev).CopyFrom(lapack.MaterializeV(st.data.Access(gdev)))
 	})
 	w := gdev.Alloc(nb, cols)
@@ -489,13 +576,13 @@ func (p *protected) qrTMUOnGPU(g, k int, st stagePair, cv, tm *hetsim.Buffer) {
 	gdev.Gemm(true, false, 1, tm, w, 0, w2)
 	gdev.Gemm(false, false, -1, vbuf, w2, 1, c)
 	if p.es.opts.Mode != NoChecksum {
-		cc := p.colChk[g].View(2*k, lb0*nb, 2*(p.nbr-k), cols)
+		cc := p.colChk[g].View(2*k, jlo, 2*(p.nbr-k), cols)
 		gdev.Gemm(false, false, -1, cv, w2, 1, cc)
 	}
 	if p.es.opts.Mode == Full {
-		rc := p.rowChk[g].View(o, 2*lb0, m, 2*(p.nloc[g]-lb0))
-		wr := gdev.Alloc(nb, 2*(p.nloc[g]-lb0))
-		wr2 := gdev.Alloc(nb, 2*(p.nloc[g]-lb0))
+		rc := p.rowChk[g].View(o, 2*lbLo, m, 2*(lbHi-lbLo))
+		wr := gdev.Alloc(nb, 2*(lbHi-lbLo))
+		wr2 := gdev.Alloc(nb, 2*(lbHi-lbLo))
 		gdev.Gemm(true, false, 1, vbuf, rc, 0, wr)
 		gdev.Gemm(true, false, 1, tm, wr, 0, wr2)
 		gdev.Gemm(false, false, -1, vbuf, wr2, 1, rc)
@@ -652,7 +739,7 @@ func (p *protected) qrRollbackRedo(g, k int, corrupt *matrix.Dense, st stagePair
 	}
 	p.es.res.Counter.LocalRestarts++
 	// Redo the TMU with the repaired stage.
-	p.qrTMUOnGPU(g, k, st, cv, tm)
+	p.qrTMUOnGPU(g, k, st, cv, tm, tmuAll)
 }
 
 // mulInto is a small helper: dst = alpha·op(a)·op(b) + beta·dst using the

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in, so
+// wall-clock-heavy tests can skip themselves under -race (they are run
+// without it by scripts/check.sh).
+const raceEnabled = true

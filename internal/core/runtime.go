@@ -1,0 +1,289 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ftla/internal/hetsim"
+)
+
+// The step runtime.
+//
+// All three decompositions iterate the same right-looking ladder: factor a
+// panel, commit (write back + broadcast) it, update the panel's row/column
+// complement, then apply the trailing-matrix update — with verification
+// and fault-injection windows woven between the stages by the checking
+// scheme. The drivers express one iteration as the typed stages of the
+// ladder interface; runLadder owns the schedule.
+//
+// Two schedules exist. The serial schedule (Options.Lookahead <= 0)
+// executes the stages of step k strictly in order before starting step
+// k+1 — the legacy behavior, and the baseline the paper's overhead curves
+// assume. The look-ahead schedule (Lookahead >= 1) reproduces MAGMA's
+// hybrid pipelining: after step k's TMU has updated the *look-ahead
+// column* (the panel of step k+1) synchronously, the rest of the trailing
+// update is launched onto per-GPU hetsim streams and the CPU pulls and
+// factorizes panel k+1 while the GPUs are still updating. The runtime then
+// joins the streams, finishes step k's verification, and step k+1 begins
+// at its commit stage.
+//
+// Why results are bit-identical: the trailing update is split by columns,
+// and every kernel accumulates each output element sequentially along the
+// contraction dimension, so computing the look-ahead column in a separate
+// call produces the very floats the full-width call would (see
+// blas.GemmP). The look-ahead panel factorization reads only data the
+// synchronous look-ahead TMU already wrote (the panel column, its column-
+// checksum strips, and its row-checksum pair), which the launched
+// remainder never touches — the element sets are disjoint by the block
+// layout.
+//
+// Why injection windows are schedule-invariant: when a fault.Injector is
+// attached, the runtime forces the serial schedule (overlapDepth returns
+// 0), so injectMem/injectOnChip/injectComp and withCommContext fire in
+// exactly the stage they do today. Fail-stop fault plans (hetsim layer)
+// stay armed under overlap: a plan firing inside a launched closure is
+// captured by the stream and re-raised at the join, where the driver
+// boundary's RecoverAbort turns it into the same typed error the serial
+// schedule produces.
+//
+// Concurrency discipline under overlap: launched closures run *kernels
+// only* (GEMM/TRSM/transfer-free trailing updates) — every Result and
+// Counter mutation, every verify/repair, and every injector call happens
+// on the coordinating goroutine, so the drivers need no locking.
+
+// tmuSel selects which slice of the trailing update a tmuGPU call applies.
+type tmuSel int
+
+const (
+	// tmuAll applies the whole trailing update (serial schedule).
+	tmuAll tmuSel = iota
+	// tmuLookahead applies only the look-ahead column — the block column
+	// of step k+1, owned by one GPU.
+	tmuLookahead
+	// tmuRest applies everything but the look-ahead column.
+	tmuRest
+)
+
+// ladder is one decomposition's per-iteration stage definitions. Stage
+// methods run on the coordinating goroutine except tmuGPU, which the
+// look-ahead schedule may run inside a hetsim stream and therefore must
+// only execute kernels (no counters, no verifies, no injector calls).
+type ladder interface {
+	// steps returns the number of ladder iterations (block columns).
+	steps() int
+	// panelFactor pulls panel k to the CPU, verifies it, factorizes it,
+	// and re-encodes its checksums, leaving the certified factor staged
+	// host-side. It must not write device-resident trailing state: the
+	// writeback belongs to panelCommit (the look-ahead schedule runs
+	// panelFactor(k+1) while step k's trailing update is in flight).
+	panelFactor(k int)
+	// panelPivot applies row interchanges (LU); no-op elsewhere.
+	panelPivot(k int)
+	// panelCommit writes the certified panel back to its owner and
+	// broadcasts it, including post-broadcast verification.
+	panelCommit(k int)
+	// panelUpdate runs the panel-update phase (PU) and, for Cholesky, its
+	// inter-GPU broadcast; no-op for QR. Never called for the last step.
+	panelUpdate(k int)
+	// tmuBegin opens the trailing update: fault-injection windows and the
+	// scheme's pre-TMU verification.
+	tmuBegin(k int)
+	// tmuGPU applies GPU g's slice of the trailing update. Kernels only.
+	tmuGPU(k, g int, sel tmuSel)
+	// tmuFinish closes the trailing update: computation-fault injection,
+	// post-TMU verification, heuristics, and periodic trailing checks. It
+	// should release step k's staging state.
+	tmuFinish(k int)
+	// failed reports a non-abort driver error (e.g. a panel factorization
+	// that failed after its local restart); runLadder stops on it.
+	failed() error
+}
+
+// stageRec is one canonical journal entry: stage `name` of ladder step
+// `step`. The journal is recorded in dependency (ladder) order regardless
+// of schedule, so serial and look-ahead runs of the same configuration
+// produce identical journals (the pipeline tests assert exactly this).
+type stageRec struct {
+	Step int
+	Name string
+}
+
+// String renders "panel-factor[3]".
+func (s stageRec) String() string { return fmt.Sprintf("%s[%d]", s.Name, s.Step) }
+
+// Canonical stage names, in ladder-rank order.
+const (
+	stagePanelFactor = "panel-factor"
+	stagePanelPivot  = "panel-pivot"
+	stagePanelCommit = "panel-commit"
+	stagePanelUpdate = "panel-update"
+	stageTMUBegin    = "tmu-begin"
+	stageTMU         = "tmu"
+	stageTMUFinish   = "tmu-finish"
+)
+
+// stageRank orders stages within a step for journal canonicalization.
+var stageRank = map[string]int{
+	stagePanelFactor: 0,
+	stagePanelPivot:  1,
+	stagePanelCommit: 2,
+	stagePanelUpdate: 3,
+	stageTMUBegin:    4,
+	stageTMU:         5,
+	stageTMUFinish:   6,
+}
+
+// stepRuntime schedules a ladder across the simulated system.
+type stepRuntime struct {
+	es       *engineSys
+	l        ladder
+	depth    int
+	streams  []*hetsim.Stream
+	factored []bool
+	journal  []stageRec
+}
+
+// overlapDepth resolves the effective look-ahead depth: the Lookahead
+// option, clamped to {0, 1}, and forced to 0 while a fault injector is
+// attached so injection windows stay schedule-invariant.
+func (es *engineSys) overlapDepth() int {
+	if es.opts.Lookahead < 1 || es.inj != nil {
+		return 0
+	}
+	return 1
+}
+
+// runLadder executes the ladder under the configured schedule. A fail-stop
+// abort panics through (after stream cleanup) to the driver boundary's
+// RecoverAbort; a driver error surfaces as the return value.
+func runLadder(es *engineSys, l ladder) error {
+	rt := &stepRuntime{
+		es:       es,
+		l:        l,
+		depth:    es.overlapDepth(),
+		factored: make([]bool, l.steps()),
+	}
+	defer rt.close()
+	nbr := l.steps()
+	G := es.sys.NumGPUs()
+	for k := 0; k < nbr; k++ {
+		if !rt.factored[k] {
+			rt.stage(k, stagePanelFactor, func() { l.panelFactor(k) })
+			if err := l.failed(); err != nil {
+				return err
+			}
+		}
+		rt.stage(k, stagePanelPivot, func() { l.panelPivot(k) })
+		rt.stage(k, stagePanelCommit, func() { l.panelCommit(k) })
+		if err := l.failed(); err != nil {
+			return err
+		}
+		if k == nbr-1 {
+			break
+		}
+		rt.stage(k, stagePanelUpdate, func() { l.panelUpdate(k) })
+		rt.stage(k, stageTMUBegin, func() { l.tmuBegin(k) })
+		if rt.depth >= 1 {
+			// Look-ahead: update the next panel's column synchronously,
+			// launch the remainder onto per-GPU streams, factorize panel
+			// k+1 on the CPU while they run, then join.
+			rt.stage(k, stageTMU, func() {
+				for g := 0; g < G; g++ {
+					l.tmuGPU(k, g, tmuLookahead)
+				}
+			})
+			evs := rt.launchRest(k)
+			rt.stage(k+1, stagePanelFactor, func() { l.panelFactor(k + 1) })
+			rt.factored[k+1] = true
+			for _, ev := range evs {
+				ev.Wait()
+			}
+		} else {
+			rt.stage(k, stageTMU, func() {
+				for g := 0; g < G; g++ {
+					l.tmuGPU(k, g, tmuAll)
+				}
+			})
+		}
+		rt.stage(k, stageTMUFinish, func() { l.tmuFinish(k) })
+		if err := l.failed(); err != nil {
+			return err
+		}
+	}
+	if es.opts.stageJournal != nil {
+		*es.opts.stageJournal = rt.canonicalJournal()
+	}
+	return nil
+}
+
+// stage runs one coordinator-side stage: journal it, emit a wall span on
+// the attached tracer, and execute.
+func (rt *stepRuntime) stage(k int, name string, fn func()) {
+	rt.journal = append(rt.journal, stageRec{Step: k, Name: name})
+	t0 := time.Now()
+	fn()
+	rt.es.sys.Tracer().WallSpan(fmt.Sprintf("%s:%s[%d]", rt.es.decomp, name, k), "stage", t0, time.Since(t0))
+}
+
+// launchRest enqueues every GPU's remaining trailing-update slice onto its
+// stream and returns the per-stream completion events. The TMU stage was
+// already journaled by the synchronous look-ahead slice.
+func (rt *stepRuntime) launchRest(k int) []*hetsim.StreamEvent {
+	G := rt.es.sys.NumGPUs()
+	if rt.streams == nil {
+		rt.streams = make([]*hetsim.Stream, G)
+		for g := 0; g < G; g++ {
+			rt.streams[g] = rt.es.sys.GPU(g).NewStream()
+		}
+	}
+	evs := make([]*hetsim.StreamEvent, G)
+	for g := 0; g < G; g++ {
+		g := g
+		rt.streams[g].Launch("tmu-rest", func() { rt.l.tmuGPU(k, g, tmuRest) })
+		evs[g] = rt.streams[g].Record()
+	}
+	return evs
+}
+
+// close releases the runtime's streams. It runs on every exit path —
+// including a fail-stop abort unwinding to the driver boundary — so no
+// executor goroutine outlives the run (aborted streams drain their queue
+// without executing it).
+func (rt *stepRuntime) close() {
+	for _, st := range rt.streams {
+		if st != nil {
+			st.Close()
+		}
+	}
+}
+
+// canonicalJournal returns the journal sorted into dependency order:
+// by step, then by ladder stage rank. The look-ahead schedule records
+// panel-factor(k+1) between step k's TMU and its finish; canonicalization
+// restores the ladder order so the two schedules compare equal.
+func (rt *stepRuntime) canonicalJournal() []stageRec {
+	out := make([]stageRec, len(rt.journal))
+	copy(out, rt.journal)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Step != out[j].Step {
+			return out[i].Step < out[j].Step
+		}
+		return stageRank[out[i].Name] < stageRank[out[j].Name]
+	})
+	return out
+}
+
+// transfer moves src to dst over PCIe. Drivers route all data movement
+// through the runtime (scripts/check.sh lints driver files for direct
+// sys.Transfer calls) so the schedule stays visible in one place.
+func (es *engineSys) transfer(src, dst *hetsim.Buffer) {
+	es.sys.Transfer(src, dst)
+}
+
+// kernel executes a named kernel body on a device, charging flops to the
+// simulated clock — the runtime-routed form of hetsim.Device.Run (driver
+// files are linted against calling Run directly).
+func (es *engineSys) kernel(d *hetsim.Device, name string, flops float64, body func(workers int)) {
+	d.Run(name, flops, body)
+}

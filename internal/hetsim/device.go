@@ -50,6 +50,13 @@ type Device struct {
 	simSecs float64 // accumulated simulated busy time
 	sys     *System
 
+	// Logical-clock state, guarded by sys.clockMu: avail is the logical
+	// time the device next becomes free; curTL is the timeline of the
+	// stream currently executing on the device (nil = the serial
+	// timeline). See stream.go.
+	avail float64
+	curTL *timeline
+
 	// Fail-stop fault state (see failstop.go), guarded by its own mutex so
 	// the gate never contends with the simulated clock.
 	fmu  sync.Mutex
@@ -87,6 +94,15 @@ func (d *Device) resetSim() {
 	d.mu.Lock()
 	d.simSecs = 0
 	d.mu.Unlock()
+}
+
+// account charges one completed kernel to the simulated clocks: busy time
+// (addSim), the logical [start, end] interval (advanceClock), and the
+// system trace, stamped with the logical completion time.
+func (d *Device) account(op string, flops float64) {
+	dur := d.addSim(flops)
+	_, end := d.advanceClock(dur)
+	d.sys.trace(op, d, flops, end, dur)
 }
 
 // addSim advances the device clock by the kernel's simulated duration and
@@ -179,7 +195,7 @@ func (d *Device) Gemm(transA, transB bool, alpha float64, a, b *Buffer, beta flo
 	}
 	blas.GemmP(d.workers, transA, transB, alpha, am, bm, beta, cm)
 	flops := 2 * float64(cm.Rows) * float64(cm.Cols) * float64(k)
-	d.sys.trace("gemm", d, flops, d.addSim(flops))
+	d.account("gemm", flops)
 }
 
 // Trsm solves a triangular system with multiple right-hand sides on the
@@ -189,7 +205,7 @@ func (d *Device) Trsm(side blas.Side, lower, trans, unit bool, alpha float64, a,
 	am, bm := a.Access(d), b.Access(d)
 	blas.TrsmP(d.workers, side, lower, trans, unit, alpha, am, bm)
 	flops := float64(am.Rows) * float64(am.Rows) * float64(bm.Rows*bm.Cols) / float64(am.Rows)
-	d.sys.trace("trsm", d, flops, d.addSim(flops))
+	d.account("trsm", flops)
 }
 
 // Syrk performs a symmetric rank-k update on the device (see blas.Syrk).
@@ -202,7 +218,7 @@ func (d *Device) Syrk(lower, trans bool, alpha float64, a *Buffer, beta float64,
 		k = am.Rows
 	}
 	flops := float64(cm.Rows) * float64(cm.Cols) * float64(k)
-	d.sys.trace("syrk", d, flops, d.addSim(flops))
+	d.account("syrk", flops)
 }
 
 // Run executes an arbitrary kernel body on the device, charging the given
@@ -215,5 +231,5 @@ func (d *Device) Syrk(lower, trans bool, alpha float64, a *Buffer, beta float64,
 func (d *Device) Run(name string, flops float64, body func(workers int)) {
 	d.gate(name)
 	body(d.workers)
-	d.sys.trace(name, d, flops, d.addSim(flops))
+	d.account(name, flops)
 }

@@ -289,7 +289,7 @@ func (d *Device) RunCtx(ctx context.Context, name string, flops float64, body fu
 	}()
 	d.gateCtx(ctx, name)
 	body(d.workers)
-	d.sys.trace(name, d, flops, d.addSim(flops))
+	d.account(name, flops)
 	return nil
 }
 

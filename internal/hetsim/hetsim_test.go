@@ -332,8 +332,13 @@ func TestEventsStampedWithSimTime(t *testing.T) {
 	if want := g.SimTime(); evts[1].At != want {
 		t.Fatalf("last kernel stamped %g, want device clock %g", evts[1].At, want)
 	}
-	if evts[2].At != s.PCIeSimTime() {
-		t.Fatalf("pcie event stamped %g, want PCIe clock %g", evts[2].At, s.PCIeSimTime())
+	// The transfer is ordered after the kernels on the shared logical
+	// clock: its completion stamp is the kernels' end plus the PCIe time.
+	if want := g.SimTime() + s.PCIeSimTime(); evts[2].At != want {
+		t.Fatalf("pcie event stamped %g, want logical clock %g", evts[2].At, want)
+	}
+	if evts[0].Seq == 0 || evts[1].Seq <= evts[0].Seq || evts[2].Seq <= evts[1].Seq {
+		t.Fatalf("event sequence numbers not monotonic: %d, %d, %d", evts[0].Seq, evts[1].Seq, evts[2].Seq)
 	}
 }
 

@@ -61,13 +61,22 @@ type Event struct {
 	Device string
 	Flops  float64
 	Bytes  int
-	// At is the simulated-clock timestamp of the event's completion: the
-	// executing device's accumulated busy time for kernels, the accumulated
-	// PCIe time for transfers. Traces from jobs run on different systems (or
-	// separated by Reset) are orderable on this axis, unlike append order,
-	// which interleaves arbitrarily under concurrent devices.
+	// At is the event's completion time on the logical simulated clock —
+	// one shared axis for kernels and transfers (see TimelineMakespan).
+	// Under overlapped streams, distinct events can complete at the same
+	// logical instant, so At alone is not a total order; sort on Seq for a
+	// deterministic merge.
 	At float64
+	// Seq is a process-monotonic sequence number assigned in the order
+	// events were recorded. It makes merged traces from concurrently
+	// executing devices sortable deterministically, which append order and
+	// At ties are not.
+	Seq uint64
 }
+
+// eventSeq issues process-monotonic Event.Seq values. Deliberately not
+// reset by Reset: monotonicity across runs is the point.
+var eventSeq atomic.Uint64
 
 // System is the simulated heterogeneous node.
 type System struct {
@@ -87,6 +96,14 @@ type System struct {
 	traceEnabled bool
 	hook         TransferHook
 	tracer       *obs.Trace
+
+	// Logical simulated clock (see stream.go): the serial timeline every
+	// synchronous operation is ordered on, and per-GPU PCIe link
+	// availability. Guarded by clockMu together with each device's avail
+	// and curTL.
+	clockMu   sync.Mutex
+	serial    timeline
+	linkAvail []float64
 }
 
 // New builds a simulated node from cfg.
@@ -100,7 +117,7 @@ func New(cfg Config) *System {
 	if cfg.GPUWorkers < 1 {
 		cfg.GPUWorkers = 1
 	}
-	s := &System{cfg: cfg}
+	s := &System{cfg: cfg, linkAvail: make([]float64, cfg.NumGPUs)}
 	s.cpu = &Device{kind: CPU, id: -1, workers: cfg.CPUWorkers, gflops: cfg.CPUGflops, sys: s}
 	for i := 0; i < cfg.NumGPUs; i++ {
 		s.gpus = append(s.gpus, &Device{kind: GPU, id: i, workers: cfg.GPUWorkers, gflops: cfg.GPUGflops, sys: s})
@@ -174,12 +191,11 @@ func (s *System) Events() []Event {
 	return out
 }
 
-func (s *System) trace(op string, d *Device, flops, durSecs float64) {
-	at := d.SimTime() // before s.mu: trace never holds both locks
+func (s *System) trace(op string, d *Device, flops, endAt, durSecs float64) {
 	s.mu.Lock()
 	tr := s.tracer
 	if s.traceEnabled {
-		s.events = append(s.events, Event{Op: op, Device: d.Name(), Flops: flops, At: at})
+		s.events = append(s.events, Event{Op: op, Device: d.Name(), Flops: flops, At: endAt, Seq: eventSeq.Add(1)})
 	}
 	s.mu.Unlock()
 	if tr != nil {
@@ -187,7 +203,7 @@ func (s *System) trace(op string, d *Device, flops, durSecs float64) {
 		if flops > 0 {
 			args = map[string]float64{"flops": flops}
 		}
-		tr.SimSpan(op, "kernel", d.Name(), at, durSecs, args)
+		tr.SimSpan(op, "kernel", d.Name(), endAt, durSecs, args)
 	}
 }
 
@@ -215,6 +231,7 @@ func (s *System) Reset() {
 	s.tracer = nil
 	s.mu.Unlock()
 	s.boundCtx.Store(nil)
+	s.resetClock()
 	s.cpu.resetSim()
 	s.cpu.resetFault()
 	for _, g := range s.gpus {
@@ -271,9 +288,37 @@ func (s *System) transferGated(src, dst *Buffer) {
 		dt = s.cfg.PCIeLatencyUS/1e6 + float64(bytes)/(s.cfg.PCIeGBps*1e9)
 		s.pcieSimSecs += dt
 	}
-	at := s.pcieSimSecs
+	s.mu.Unlock()
+
+	// Logical clock: the transfer occupies the PCIe link of each GPU
+	// endpoint and is ordered on the executing stream's timeline (the
+	// serial timeline for synchronous calls).
+	s.clockMu.Lock()
+	tl := src.dev.curTL
+	if tl == nil {
+		tl = dst.dev.curTL
+	}
+	if tl == nil {
+		tl = &s.serial
+	}
+	start := tl.floor
+	for _, d := range [2]*Device{src.dev, dst.dev} {
+		if d.kind == GPU && s.linkAvail[d.id] > start {
+			start = s.linkAvail[d.id]
+		}
+	}
+	at := start + dt
+	tl.floor = at
+	for _, d := range [2]*Device{src.dev, dst.dev} {
+		if d.kind == GPU {
+			s.linkAvail[d.id] = at
+		}
+	}
+	s.clockMu.Unlock()
+
+	s.mu.Lock()
 	if s.traceEnabled {
-		s.events = append(s.events, Event{Op: "pcie", Device: src.dev.Name() + "->" + dst.dev.Name(), Bytes: bytes, At: at})
+		s.events = append(s.events, Event{Op: "pcie", Device: src.dev.Name() + "->" + dst.dev.Name(), Bytes: bytes, At: at, Seq: eventSeq.Add(1)})
 	}
 	hook, tr := s.hook, s.tracer
 	s.mu.Unlock()
@@ -321,6 +366,11 @@ type DeviceStat struct {
 	Name    string
 	SimSecs float64
 	Share   float64 // fraction of total device busy time
+	// Util is the device's overlap utilization: busy time over the run's
+	// logical makespan (TimelineMakespan). Under the serial schedule the
+	// utilizations sum to ~1; look-ahead overlap pushes individual devices
+	// toward 1 independently.
+	Util float64
 }
 
 // Utilization summarizes the simulated busy time per device (plus a PCIe
@@ -338,6 +388,11 @@ func (s *System) Utilization() []DeviceStat {
 	if total > 0 {
 		for i := range stats {
 			stats[i].Share = stats[i].SimSecs / total
+		}
+	}
+	if mk := s.TimelineMakespan(); mk > 0 {
+		for i := range stats {
+			stats[i].Util = stats[i].SimSecs / mk
 		}
 	}
 	return stats

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -189,6 +190,47 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return f.with("", func() any { return new(Gauge) }).(*Gauge)
 }
 
+// FloatGauge is a float64 metric that can go up and down, for fractional
+// instantaneous values (utilizations, ratios) that the integer Gauge
+// cannot carry. All methods are single atomic operations on the float's
+// bit pattern.
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current gauge value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// FloatGauge returns the registered float gauge for name, creating it on
+// first use.
+func (r *Registry) FloatGauge(name, help string) *FloatGauge {
+	f := r.family(name, help, kindGauge, "", nil)
+	return f.with("", func() any { return new(FloatGauge) }).(*FloatGauge)
+}
+
+// FloatGaugeVec is a family of float gauges keyed by the value of one
+// label.
+type FloatGaugeVec struct {
+	f *family
+}
+
+// FloatGaugeVec returns the registered float-gauge family for name with
+// the given label key, creating it on first use.
+func (r *Registry) FloatGaugeVec(name, help, label string) *FloatGaugeVec {
+	if label == "" {
+		panic("obs: FloatGaugeVec requires a label key")
+	}
+	return &FloatGaugeVec{f: r.family(name, help, kindGauge, label, nil)}
+}
+
+// With returns the gauge for one label value, creating it on first use.
+func (v *FloatGaugeVec) With(value string) *FloatGauge {
+	return v.f.with(value, func() any { return new(FloatGauge) }).(*FloatGauge)
+}
+
 // Histogram returns the registered histogram for name, creating it on
 // first use with the given bucket upper bounds (nil selects DefBuckets).
 // Buckets are fixed at first registration; later callers inherit them.
@@ -306,6 +348,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				_, err = fmt.Fprintf(w, "%s %d\n", Key(f.name, f.label, val), m.Value())
 			case *Gauge:
 				_, err = fmt.Fprintf(w, "%s %d\n", Key(f.name, f.label, val), m.Value())
+			case *FloatGauge:
+				_, err = fmt.Fprintf(w, "%s %g\n", Key(f.name, f.label, val), m.Value())
 			case *Histogram:
 				err = m.writePrometheus(w, f.name, f.label, val)
 			}
@@ -332,6 +376,8 @@ type Snapshot struct {
 	Counters map[string]uint64 `json:"counters,omitempty"`
 	// Gauges holds every gauge series' value.
 	Gauges map[string]int64 `json:"gauges,omitempty"`
+	// FloatGauges holds every float-gauge series' value.
+	FloatGauges map[string]float64 `json:"float_gauges,omitempty"`
 	// Histograms holds every histogram series' state.
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 }
@@ -339,9 +385,10 @@ type Snapshot struct {
 // Snapshot captures the current value of every registered series.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
-		Counters:   make(map[string]uint64),
-		Gauges:     make(map[string]int64),
-		Histograms: make(map[string]HistogramSnapshot),
+		Counters:    make(map[string]uint64),
+		Gauges:      make(map[string]int64),
+		FloatGauges: make(map[string]float64),
+		Histograms:  make(map[string]HistogramSnapshot),
 	}
 	for _, f := range r.sortedFamilies() {
 		vals, ms := f.sortedSeries()
@@ -352,6 +399,8 @@ func (r *Registry) Snapshot() Snapshot {
 				s.Counters[key] = m.Value()
 			case *Gauge:
 				s.Gauges[key] = m.Value()
+			case *FloatGauge:
+				s.FloatGauges[key] = m.Value()
 			case *Histogram:
 				s.Histograms[key] = m.snapshot()
 			}
@@ -367,9 +416,10 @@ func (r *Registry) Snapshot() Snapshot {
 // region of interest and diffing yields exactly the work done in between.
 func (s Snapshot) Diff(base Snapshot) Snapshot {
 	out := Snapshot{
-		Counters:   make(map[string]uint64, len(s.Counters)),
-		Gauges:     make(map[string]int64, len(s.Gauges)),
-		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+		Counters:    make(map[string]uint64, len(s.Counters)),
+		Gauges:      make(map[string]int64, len(s.Gauges)),
+		FloatGauges: make(map[string]float64, len(s.FloatGauges)),
+		Histograms:  make(map[string]HistogramSnapshot, len(s.Histograms)),
 	}
 	for k, v := range s.Counters {
 		if b := base.Counters[k]; v >= b {
@@ -378,6 +428,9 @@ func (s Snapshot) Diff(base Snapshot) Snapshot {
 	}
 	for k, v := range s.Gauges {
 		out.Gauges[k] = v
+	}
+	for k, v := range s.FloatGauges {
+		out.FloatGauges[k] = v
 	}
 	for k, h := range s.Histograms {
 		out.Histograms[k] = h.diff(base.Histograms[k])

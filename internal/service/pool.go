@@ -43,6 +43,7 @@ type systemPool struct {
 
 	met     *metrics           // created/reused land in the scheduler registry
 	devSecs map[string]float64 // aggregated busy seconds by device name
+	mkSecs  float64            // aggregated logical makespan across released systems
 
 	// Circuit-breaker state.
 	health map[*hetsim.System]int             // consecutive failures per live system
@@ -132,17 +133,29 @@ func (p *systemPool) quarantine(sys *hetsim.System) {
 	p.met.quarantined.Add(1)
 }
 
-// harvest folds the system's device utilization into the pool aggregate
-// and Resets it (detaching per-run attachments: tracer, bound context,
+// harvest folds the system's device utilization and logical makespan into
+// the pool aggregate, refreshes the ftla_device_utilization gauges, and
+// Resets the system (detaching per-run attachments: tracer, bound context,
 // fault plans, transfer hooks).
 func (p *systemPool) harvest(sys *hetsim.System) {
 	stats := sys.Utilization()
+	mk := sys.TimelineMakespan()
 	sys.Reset()
 	p.mu.Lock()
 	for _, st := range stats {
 		p.devSecs[st.Name] += st.SimSecs
 	}
+	p.mkSecs += mk
+	util := make(map[string]float64, len(p.devSecs))
+	if p.mkSecs > 0 {
+		for name, secs := range p.devSecs {
+			util[name] = secs / p.mkSecs
+		}
+	}
 	p.mu.Unlock()
+	for name, u := range util {
+		p.met.deviceUtil.With(name).Set(u)
+	}
 }
 
 // shelveLocked parks a system on the idle shelf; callers hold p.mu.
@@ -175,7 +188,8 @@ func (p *systemPool) quarantined() int {
 }
 
 // utilization snapshots the aggregated per-device busy seconds (including
-// the PCIe pseudo-device), with shares of the total — the fleet-wide
+// the PCIe pseudo-device), with shares of the total and overlap
+// utilizations against the aggregated logical makespan — the fleet-wide
 // equivalent of hetsim.System.Utilization.
 func (p *systemPool) utilization() []hetsim.DeviceStat {
 	p.mu.Lock()
@@ -200,6 +214,11 @@ func (p *systemPool) utilization() []hetsim.DeviceStat {
 	if total > 0 {
 		for i := range out {
 			out[i].Share = out[i].SimSecs / total
+		}
+	}
+	if p.mkSecs > 0 {
+		for i := range out {
+			out[i].Util = out[i].SimSecs / p.mkSecs
 		}
 	}
 	return out

@@ -330,6 +330,53 @@ func TestSystemPoolReuseAndUtilization(t *testing.T) {
 	}
 }
 
+// Released systems publish overlap utilization (busy over logical
+// makespan): Stats.Devices carries Util and the scheduler registry gauges
+// it as ftla_device_utilization, including for look-ahead jobs.
+func TestDeviceUtilizationPublished(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	for _, la := range []int{0, 1} {
+		h, err := s.Submit(context.Background(), JobSpec{
+			Decomp: Cholesky, A: ftla.RandomSPD(64, 21),
+			Config: ftla.Config{GPUs: 2, NB: 16, Lookahead: la}, NoCache: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if len(st.Devices) == 0 {
+		t.Fatal("no aggregated device utilization")
+	}
+	var sum float64
+	for _, d := range st.Devices {
+		if d.Util < 0 || d.Util > 1.001 {
+			t.Fatalf("device %s utilization %g outside [0, 1]", d.Name, d.Util)
+		}
+		sum += d.Util
+	}
+	if sum <= 0 {
+		t.Fatal("all device utilizations zero")
+	}
+	snap := s.Registry().Snapshot()
+	found := false
+	for key, v := range snap.FloatGauges {
+		if strings.HasPrefix(key, MetricDeviceUtilization+"{") {
+			found = true
+			if v < 0 || v > 1.001 {
+				t.Fatalf("gauge %s = %g outside [0, 1]", key, v)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no %s series in the scheduler registry", MetricDeviceUtilization)
+	}
+}
+
 // Invalid specs are rejected at Submit, not at run time.
 func TestSubmitValidation(t *testing.T) {
 	s := New(Config{Workers: 1})

@@ -64,6 +64,12 @@ const (
 	// ran before being aborted (device loss, hang reap, cancellation) —
 	// the work lost per abort.
 	MetricAttemptAbortSeconds = "ftla_attempt_abort_seconds"
+	// MetricDeviceUtilization gauges each simulated device's overlap
+	// utilization (label "device"): aggregated busy seconds over aggregated
+	// logical makespan across every pooled system released so far. Under
+	// the serial schedule the per-device values sum to ~1; Lookahead
+	// overlap pushes CPU and GPUs toward 1 independently.
+	MetricDeviceUtilization = "ftla_device_utilization"
 )
 
 // Stats is a point-in-time snapshot of the scheduler's aggregate behavior:
@@ -142,6 +148,7 @@ type metrics struct {
 	deadlineExceeded        *obs.Counter
 	quarantined             *obs.Gauge
 	abortSeconds            *obs.Histogram
+	deviceUtil              *obs.FloatGaugeVec
 
 	mu              sync.Mutex
 	waitMax, runMax time.Duration
@@ -177,6 +184,8 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Systems held out by the pool circuit breaker, awaiting probation."),
 		abortSeconds: reg.Histogram(MetricAttemptAbortSeconds,
 			"Wall-clock time an attempt ran before being aborted, seconds.", nil),
+		deviceUtil: reg.FloatGaugeVec(MetricDeviceUtilization,
+			"Per-device overlap utilization: busy seconds over logical makespan, aggregated across released systems.", "device"),
 	}
 }
 

@@ -22,9 +22,30 @@ fi
 # every exported identifier there must carry a doc comment.
 go run ./scripts/doclint internal/obs internal/service
 
+# Step-runtime lint: driver files must go through the runtime's es.kernel /
+# es.transfer wrappers (which carry stream routing, abort plumbing, and
+# stage spans) — never call the simulator directly. See DESIGN.md §8.
+drivers="internal/core/cholesky.go internal/core/lu.go internal/core/qr.go"
+if grep -nE 'sys\.Transfer\(|\.Run\(' $drivers; then
+    echo "drivers must use the step runtime's es.kernel/es.transfer wrappers," >&2
+    echo "not direct sys.Transfer(...)/dev.Run(...) calls (DESIGN.md §8)" >&2
+    exit 1
+fi
+
 go test -race -timeout 5m ./...
 
 # Chaos gate: the fail-stop/graceful-degradation suites (see RESILIENCE.md)
 # run a second time at -count=2 to shake out order- and reuse-dependent
 # flakiness (pool probation, quarantine state, goroutine leaks).
 go test -race -timeout 5m -run 'Chaos|Storm' -count=2 ./...
+
+# Schedule gate: the step-runtime and stream suites run a second time at
+# -count=2 — look-ahead interleavings are the newest concurrency in the
+# tree, and reuse across -count runs exercises stream/pool recycling.
+go test -race -timeout 5m -run 'TestPipeline|TestStream' -count=2 ./internal/core ./internal/hetsim
+
+# Makespan gate: the look-ahead speedup assertion is skipped under -race
+# (the race runtime's ~10-20x slowdown makes the n=2560 run impractical),
+# so run it here without the detector. This is the only place the ≥15%
+# overlap-improvement acceptance criterion is checked.
+go test -timeout 5m -run 'TestPipelineLookaheadHidesPanelWork' ./internal/core
