@@ -168,6 +168,13 @@ type DeviceLostError = hetsim.DeviceLostError
 // device was reaped by a context deadline.
 type DeviceHungError = hetsim.DeviceHungError
 
+// Checkpoint is a host-side snapshot of a factorization in flight, taken
+// after a verified step (Config.CheckpointEvery) and resumable via
+// Config.Resume — including on a system with fewer GPUs than the run that
+// took it. A resumed run is bit-identical to an uninterrupted run on the
+// same final device set.
+type Checkpoint = core.Checkpoint
+
 // Config selects the simulated platform and the protection configuration.
 // The zero value means: 1 GPU, NB=64, full checksums with the new checking
 // scheme, optimized encoding kernel.
@@ -200,6 +207,22 @@ type Config struct {
 	// is attached the runtime falls back to the serial schedule (see
 	// DESIGN.md §8).
 	Lookahead int
+	// CheckpointEvery > 0 snapshots the factorization state into a
+	// host-side Checkpoint after every k-th verified ladder step (default
+	// off). Checkpoints are known-clean: an uncorrectable mid-run
+	// corruption rolls back to the last one and replays instead of
+	// surrendering the run, and the serving layer resumes a device-loss
+	// abort from it on the surviving GPUs.
+	CheckpointEvery int
+	// OnCheckpoint, when non-nil, receives each checkpoint as it is taken
+	// (on the factorization's goroutine). Treat the value as immutable.
+	OnCheckpoint func(*Checkpoint)
+	// Resume, when non-nil, starts the factorization from the checkpoint
+	// instead of from scratch: state is restored onto the current device
+	// set and the ladder replays from Checkpoint.NextStep. The input
+	// matrix must be the original A. The protection configuration must
+	// match the checkpoint's.
+	Resume *Checkpoint
 	// System overrides the simulated platform (worker counts, nominal
 	// speeds); nil uses hetsim.DefaultConfig(GPUs).
 	System *hetsim.Config
@@ -234,6 +257,9 @@ func (c Config) normalize() (Config, core.Options) {
 		FailStop:              c.FailStop,
 		PeriodicTrailingCheck: c.PeriodicTrailingCheck,
 		Lookahead:             c.Lookahead,
+		CheckpointEvery:       c.CheckpointEvery,
+		OnCheckpoint:          c.OnCheckpoint,
+		Resume:                c.Resume,
 	}
 	return c, opts
 }

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+
+	"ftla/internal/hetsim"
+	"ftla/internal/matrix"
+	"ftla/internal/obs"
+)
+
+// Checkpoint/rollback instruments in the obs default registry. The counters
+// aggregate across every run in the process (the per-run figures are on
+// Result); the histogram records how many ladder steps each rollback
+// discarded.
+var (
+	checkpointsTotal = obs.Default().Counter(obs.MetricCheckpoints,
+		"Verified-state checkpoints taken by the step runtime.")
+	rollbacksTotal = obs.Default().Counter(obs.MetricRollbacks,
+		"Mid-run rollbacks to the last checkpoint (uncorrectable corruption replayed instead of aborting).")
+	rollbackDepth = obs.Default().Histogram(obs.MetricRollbackDepth,
+		"Ladder steps discarded per rollback (failing step back to the checkpointed one).",
+		[]float64{1, 2, 4, 8, 16, 32, 64})
+)
+
+// Checkpoint is a host-side snapshot of a factorization in flight, taken by
+// the step runtime immediately after step NextStep-1's verification passed —
+// so the captured state is known-clean, not merely hoped-clean. It holds
+// everything a resumed run needs: the distributed matrix and its checksum
+// strips (stored per block column, so the layout is independent of how many
+// GPUs held them), the pivot/reflector history of the finished steps, and
+// the step index to resume from.
+//
+// A Checkpoint is device-set agnostic: Options.Resume can replay it on a
+// system with a different GPU count than the run that took it (the failover
+// path — lose a GPU at step k, resume on the survivors), and the resumed
+// factorization is bit-identical to an uninterrupted run on that final
+// device set.
+type Checkpoint struct {
+	// Decomp names the producing driver: "cholesky", "lu", or "qr". A
+	// checkpoint only resumes under the same driver.
+	Decomp string
+	// N and NB are the matrix order and block size of the run.
+	N, NB int
+	// Mode and Scheme are the protection configuration; resume requires an
+	// identical configuration (the checksum strips below only make sense
+	// under the mode that maintained them).
+	Mode   Mode
+	Scheme Scheme
+	// NextStep is the ladder step the snapshot resumes from: steps
+	// [0, NextStep) are complete and verified.
+	NextStep int
+	// Tol is the verification tolerance derived from the original input
+	// matrix, carried so a resumed run verifies against the same threshold.
+	Tol float64
+	// Data, ColChk and RowChk hold one host matrix per block column: the
+	// n×NB data panel, its 2·(n/NB)×NB column-checksum strip (nil under
+	// NoChecksum), and its n×2 row-checksum pair (nil unless Mode is Full).
+	Data   []*matrix.Dense
+	ColChk []*matrix.Dense
+	RowChk []*matrix.Dense
+	// Piv is the LU pivot history, zero beyond the finished steps; nil for
+	// other decompositions.
+	Piv []int
+	// Tau is the QR Householder scalar history, zero beyond the finished
+	// steps; nil for other decompositions.
+	Tau []float64
+}
+
+// validateFor checks that the checkpoint can resume decomposition decomp of
+// order n under opts on a system with at least one GPU.
+func (cp *Checkpoint) validateFor(decomp string, n int, opts *Options) error {
+	switch {
+	case cp.Decomp != decomp:
+		return fmt.Errorf("core: %s checkpoint cannot resume a %s run", cp.Decomp, decomp)
+	case cp.N != n:
+		return fmt.Errorf("core: checkpoint order %d != input order %d", cp.N, n)
+	case cp.NB != opts.NB:
+		return fmt.Errorf("core: checkpoint NB %d != options NB %d", cp.NB, opts.NB)
+	case cp.Mode != opts.Mode || cp.Scheme != opts.Scheme:
+		return fmt.Errorf("core: checkpoint protection %v/%v != options %v/%v",
+			cp.Mode, cp.Scheme, opts.Mode, opts.Scheme)
+	case cp.NextStep <= 0 || cp.NextStep >= cp.N/cp.NB:
+		return fmt.Errorf("core: checkpoint step %d outside (0, %d)", cp.NextStep, cp.N/cp.NB)
+	case len(cp.Data) != cp.N/cp.NB:
+		return fmt.Errorf("core: checkpoint holds %d block columns, want %d", len(cp.Data), cp.N/cp.NB)
+	case cp.Mode != NoChecksum && len(cp.ColChk) != len(cp.Data):
+		return fmt.Errorf("core: checkpoint missing column-checksum strips")
+	case cp.Mode == Full && len(cp.RowChk) != len(cp.Data):
+		return fmt.Errorf("core: checkpoint missing row-checksum strips")
+	}
+	return nil
+}
+
+// captureCheckpoint snapshots the distributed state into a host-side
+// Checkpoint resuming from step next. Every device-resident strip travels
+// through System.Checkpoint (PCIe staging under the fail-stop gates — no
+// private-memory bypass), block column by block column, so the snapshot's
+// layout does not encode the GPU count.
+func (p *protected) captureCheckpoint(next int) *Checkpoint {
+	cp := &Checkpoint{
+		Decomp:   p.es.decomp,
+		N:        p.n,
+		NB:       p.nb,
+		Mode:     p.es.opts.Mode,
+		Scheme:   p.es.opts.Scheme,
+		NextStep: next,
+		Tol:      p.tol,
+		Data:     make([]*matrix.Dense, p.nbr),
+	}
+	if p.es.opts.Mode != NoChecksum {
+		cp.ColChk = make([]*matrix.Dense, p.nbr)
+	}
+	if p.es.opts.Mode == Full {
+		cp.RowChk = make([]*matrix.Dense, p.nbr)
+	}
+	sys := p.es.sys
+	for bj := 0; bj < p.nbr; bj++ {
+		g := p.owner(bj)
+		cp.Data[bj] = sys.Checkpoint(p.local[g].View(0, p.localOff(bj), p.n, p.nb))
+		if cp.ColChk != nil {
+			cp.ColChk[bj] = sys.Checkpoint(p.colChk[g].View(0, p.localOff(bj), 2*p.nbr, p.nb))
+		}
+		if cp.RowChk != nil {
+			cp.RowChk[bj] = sys.Checkpoint(p.rowChk[g].View(0, 2*p.localBlock(bj), p.n, 2))
+		}
+	}
+	return cp
+}
+
+// allocProtectedFor builds an empty protected layout for a resumed run: the
+// buffers are allocated for the *current* device set (which may be smaller
+// than the one that took the checkpoint) and the tolerance comes from the
+// checkpoint, but no data is shipped and no checksums are encoded —
+// restoreFrom fills everything from the snapshot.
+func allocProtectedFor(es *engineSys, cp *Checkpoint) *protected {
+	G := es.sys.NumGPUs()
+	p := &protected{es: es, n: cp.N, nb: cp.NB, nbr: cp.N / cp.NB, tol: cp.Tol}
+	p.local = make([]*hetsim.Buffer, G)
+	p.colChk = make([]*hetsim.Buffer, G)
+	p.rowChk = make([]*hetsim.Buffer, G)
+	p.nloc = make([]int, G)
+	for g := 0; g < G; g++ {
+		p.nloc[g] = (p.nbr - g + G - 1) / G
+		p.local[g] = es.sys.GPU(g).Alloc(p.n, p.nloc[g]*p.nb)
+		if es.opts.Mode != NoChecksum {
+			p.colChk[g] = es.sys.GPU(g).Alloc(2*p.nbr, p.nloc[g]*p.nb)
+		}
+		if es.opts.Mode == Full {
+			p.rowChk[g] = es.sys.GPU(g).Alloc(p.n, 2*p.nloc[g])
+		}
+	}
+	return p
+}
+
+// restoreFrom ships the checkpoint's strips back onto the devices of the
+// current layout through System.Restore — the rollback/resume entry shared
+// by mid-run rollback (same device set) and cross-system resume (possibly
+// fewer GPUs than at capture time).
+func (p *protected) restoreFrom(cp *Checkpoint) {
+	sys := p.es.sys
+	for bj := 0; bj < p.nbr; bj++ {
+		g := p.owner(bj)
+		sys.Restore(cp.Data[bj], p.local[g].View(0, p.localOff(bj), p.n, p.nb))
+		if cp.ColChk != nil {
+			sys.Restore(cp.ColChk[bj], p.colChk[g].View(0, p.localOff(bj), 2*p.nbr, p.nb))
+		}
+		if cp.RowChk != nil {
+			sys.Restore(cp.RowChk[bj], p.rowChk[g].View(0, 2*p.localBlock(bj), p.n, 2))
+		}
+	}
+}

@@ -53,7 +53,15 @@ func Cholesky(sys *hetsim.System, a *matrix.Dense, opts Options) (lret *matrix.D
 	}
 	es := newEngine("cholesky", sys, opts, res)
 	start := time.Now()
-	p := newProtected(es, a)
+	var p *protected
+	if cp := opts.Resume; cp != nil {
+		if err := cp.validateFor("cholesky", n, &opts); err != nil {
+			return nil, nil, err
+		}
+		p = allocProtectedFor(es, cp)
+	} else {
+		p = newProtected(es, a)
+	}
 	l := &cholLadder{p: p, es: es, pl: planFor(opts.Scheme), step: make([]*cholStep, p.nbr)}
 	if err := runLadder(es, l); err != nil {
 		return nil, nil, err
@@ -85,6 +93,20 @@ type cholLadder struct {
 func (l *cholLadder) steps() int     { return l.p.nbr }
 func (l *cholLadder) failed() error  { return l.err }
 func (l *cholLadder) panelPivot(int) {}
+
+// checkpoint snapshots the distributed state after step next-1; Cholesky
+// carries no per-step history beyond the matrix itself.
+func (l *cholLadder) checkpoint(next int) *Checkpoint {
+	return l.p.captureCheckpoint(next)
+}
+
+// resume restores the distributed state from cp onto the current device
+// set and drops any staged per-step state, ready to replay from
+// cp.NextStep.
+func (l *cholLadder) resume(cp *Checkpoint) {
+	l.p.restoreFrom(cp)
+	l.step = make([]*cholStep, l.p.nbr)
+}
 
 // panelFactor pulls the diagonal block (and its checksum strip) to the
 // CPU, verifies it, factors it with POTF2 under local-restart protection,

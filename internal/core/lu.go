@@ -49,7 +49,15 @@ func LU(sys *hetsim.System, a *matrix.Dense, opts Options) (lret *matrix.Dense, 
 	}
 	es := newEngine("lu", sys, opts, res)
 	start := time.Now()
-	p := newProtected(es, a)
+	var p *protected
+	if cp := opts.Resume; cp != nil {
+		if err := cp.validateFor("lu", n, &opts); err != nil {
+			return nil, nil, nil, err
+		}
+		p = allocProtectedFor(es, cp)
+	} else {
+		p = newProtected(es, a)
+	}
 	l := &luLadder{
 		p: p, es: es, pl: planFor(opts.Scheme),
 		step: make([]*luStep, p.nbr),
@@ -86,6 +94,27 @@ type luLadder struct {
 
 func (l *luLadder) steps() int    { return l.p.nbr }
 func (l *luLadder) failed() error { return l.err }
+
+// checkpoint snapshots the distributed state after step next-1 plus the
+// pivot history of the finished steps. Pivot entries beyond next·NB are
+// zeroed: under look-ahead, panelFactor(next) has already written its local
+// pivots, and a resumed run replays that factorization anyway — zeroing
+// keeps the snapshot identical across schedules.
+func (l *luLadder) checkpoint(next int) *Checkpoint {
+	cp := l.p.captureCheckpoint(next)
+	cp.Piv = make([]int, len(l.piv))
+	copy(cp.Piv[:next*l.p.nb], l.piv[:next*l.p.nb])
+	return cp
+}
+
+// resume restores the distributed state and pivot history from cp onto the
+// current device set and drops any staged per-step state, ready to replay
+// from cp.NextStep.
+func (l *luLadder) resume(cp *Checkpoint) {
+	l.p.restoreFrom(cp)
+	copy(l.piv, cp.Piv)
+	l.step = make([]*luStep, l.p.nbr)
+}
 
 // panelFactor pulls the full column panel (and its checksum strips) to the
 // CPU, verifies it — with the §VII.B Fig. 4b contamination probes under

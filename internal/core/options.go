@@ -120,6 +120,28 @@ type Options struct {
 	// falls back to the serial schedule so every injection window fires in
 	// exactly the stage it targets (see DESIGN.md §8).
 	Lookahead int
+	// CheckpointEvery, when > 0, snapshots the factorization state into a
+	// host-side Checkpoint after every CheckpointEvery-th ladder step whose
+	// verification passed — the snapshot is known-clean, so a later
+	// rollback restores verified state. 0 (the default) disables
+	// checkpointing entirely; behavior is then identical to a run without
+	// this option. The final step is never checkpointed (there is nothing
+	// left to resume).
+	CheckpointEvery int
+	// OnCheckpoint, when non-nil, receives each checkpoint as it is taken,
+	// on the coordinating goroutine. The serving layer uses this to keep
+	// the latest checkpoint across a fail-stop abort; callers must treat
+	// the Checkpoint as immutable (the runtime may restore from it later
+	// in the same run).
+	OnCheckpoint func(*Checkpoint)
+	// Resume, when non-nil, starts the run from the checkpoint instead of
+	// from the input matrix: the state is restored onto the *current*
+	// device set (which may hold fewer GPUs than the run that took the
+	// snapshot) and the ladder replays from Checkpoint.NextStep. The input
+	// matrix must still be the original A — it anchors the final residual
+	// check. A resumed run is bit-identical to an uninterrupted run on the
+	// same final device set.
+	Resume *Checkpoint
 
 	// stageJournal, when non-nil, receives the runtime's canonical stage
 	// journal for the run (test hook; see runtime.go).
@@ -236,6 +258,13 @@ type Result struct {
 	// deterministic work metric for overhead comparisons that wall-clock
 	// noise cannot perturb.
 	Flops uint64
+	// Checkpoints counts the host-side snapshots taken by this run
+	// (Options.CheckpointEvery > 0).
+	Checkpoints int
+	// Rollbacks counts mid-run rollbacks to the last checkpoint: detected
+	// but uncorrectable corruption that was replayed from verified state
+	// instead of surrendering to a complete restart.
+	Rollbacks int
 }
 
 // OutcomeOf derives the run outcome given whether the final residual check

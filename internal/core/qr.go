@@ -49,7 +49,15 @@ func QR(sys *hetsim.System, a *matrix.Dense, opts Options) (qret *matrix.Dense, 
 	}
 	es := newEngine("qr", sys, opts, res)
 	start := time.Now()
-	p := newProtected(es, a)
+	var p *protected
+	if cp := opts.Resume; cp != nil {
+		if err := cp.validateFor("qr", n, &opts); err != nil {
+			return nil, nil, nil, err
+		}
+		p = allocProtectedFor(es, cp)
+	} else {
+		p = newProtected(es, a)
+	}
 	l := &qrLadder{
 		p: p, es: es, pl: planFor(opts.Scheme),
 		step: make([]*qrStep, p.nbr),
@@ -89,6 +97,26 @@ func (l *qrLadder) steps() int      { return l.p.nbr }
 func (l *qrLadder) failed() error   { return l.err }
 func (l *qrLadder) panelPivot(int)  {}
 func (l *qrLadder) panelUpdate(int) {}
+
+// checkpoint snapshots the distributed state after step next-1 plus the
+// Householder scalars of the finished steps. Entries beyond next·NB are
+// zeroed so the snapshot is identical across schedules (look-ahead has
+// already factored panel next, which a resumed run replays).
+func (l *qrLadder) checkpoint(next int) *Checkpoint {
+	cp := l.p.captureCheckpoint(next)
+	cp.Tau = make([]float64, len(l.tau))
+	copy(cp.Tau[:next*l.p.nb], l.tau[:next*l.p.nb])
+	return cp
+}
+
+// resume restores the distributed state and reflector history from cp onto
+// the current device set and drops any staged per-step state, ready to
+// replay from cp.NextStep.
+func (l *qrLadder) resume(cp *Checkpoint) {
+	l.p.restoreFrom(cp)
+	copy(l.tau, cp.Tau)
+	l.step = make([]*qrStep, l.p.nbr)
+}
 
 // panelFactor verifies the panel on its owner GPU, pulls it to the CPU,
 // factors it with the checksum-maintaining Householder kernel of

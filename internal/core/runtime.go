@@ -98,6 +98,16 @@ type ladder interface {
 	// failed reports a non-abort driver error (e.g. a panel factorization
 	// that failed after its local restart); runLadder stops on it.
 	failed() error
+	// checkpoint snapshots the factorization state into a host-side
+	// Checkpoint that resumes from step next. Called by the runtime only
+	// after step next-1's verification passed, so the snapshot is
+	// known-clean.
+	checkpoint(next int) *Checkpoint
+	// resume restores the factorization state from a checkpoint onto the
+	// current device set and discards any per-step staging, so the ladder
+	// can replay from cp.NextStep. It serves both the mid-run rollback
+	// (same devices) and the cross-run resume (possibly fewer GPUs).
+	resume(cp *Checkpoint)
 }
 
 // stageRec is one canonical journal entry: stage `name` of ladder step
@@ -112,8 +122,12 @@ type stageRec struct {
 // String renders "panel-factor[3]".
 func (s stageRec) String() string { return fmt.Sprintf("%s[%d]", s.Name, s.Step) }
 
-// Canonical stage names, in ladder-rank order.
+// Canonical stage names, in ladder-rank order. The resume stage precedes a
+// step's ladder stages (a resumed run starts by restoring state for its
+// first step); checkpoint and rollback trail them (both run after the
+// step's verification concluded).
 const (
+	stageResume      = "resume"
 	stagePanelFactor = "panel-factor"
 	stagePanelPivot  = "panel-pivot"
 	stagePanelCommit = "panel-commit"
@@ -121,10 +135,13 @@ const (
 	stageTMUBegin    = "tmu-begin"
 	stageTMU         = "tmu"
 	stageTMUFinish   = "tmu-finish"
+	stageCheckpoint  = "checkpoint"
+	stageRollback    = "rollback"
 )
 
 // stageRank orders stages within a step for journal canonicalization.
 var stageRank = map[string]int{
+	stageResume:      -1,
 	stagePanelFactor: 0,
 	stagePanelPivot:  1,
 	stagePanelCommit: 2,
@@ -132,7 +149,16 @@ var stageRank = map[string]int{
 	stageTMUBegin:    4,
 	stageTMU:         5,
 	stageTMUFinish:   6,
+	stageCheckpoint:  7,
+	stageRollback:    8,
 }
+
+// maxRollbacksPerCheckpoint bounds how often the runtime will replay from
+// the same checkpoint without making progress past it. Corruption that
+// recurs deterministically on every replay would otherwise loop forever;
+// after the cap the run carries its Unrecoverable verdict to completion and
+// the serving layer's complete restart takes over.
+const maxRollbacksPerCheckpoint = 2
 
 // stepRuntime schedules a ladder across the simulated system.
 type stepRuntime struct {
@@ -142,6 +168,12 @@ type stepRuntime struct {
 	streams  []*hetsim.Stream
 	factored []bool
 	journal  []stageRec
+
+	// lastCP is the most recent known-clean checkpoint (the Resume option's
+	// checkpoint until the first in-run snapshot replaces it); rollbacks
+	// counts replays from it since it was taken.
+	lastCP    *Checkpoint
+	rollbacks int
 }
 
 // overlapDepth resolves the effective look-ahead depth: the Lookahead
@@ -167,7 +199,13 @@ func runLadder(es *engineSys, l ladder) error {
 	defer rt.close()
 	nbr := l.steps()
 	G := es.sys.NumGPUs()
-	for k := 0; k < nbr; k++ {
+	start := 0
+	if cp := es.opts.Resume; cp != nil {
+		rt.stage(cp.NextStep, stageResume, func() { l.resume(cp) })
+		rt.lastCP = cp
+		start = cp.NextStep
+	}
+	for k := start; k < nbr; k++ {
 		if !rt.factored[k] {
 			rt.stage(k, stagePanelFactor, func() { l.panelFactor(k) })
 			if err := l.failed(); err != nil {
@@ -178,6 +216,9 @@ func runLadder(es *engineSys, l ladder) error {
 		rt.stage(k, stagePanelCommit, func() { l.panelCommit(k) })
 		if err := l.failed(); err != nil {
 			return err
+		}
+		if rt.maybeRollback(&k) {
+			continue
 		}
 		if k == nbr-1 {
 			break
@@ -210,11 +251,64 @@ func runLadder(es *engineSys, l ladder) error {
 		if err := l.failed(); err != nil {
 			return err
 		}
+		if rt.maybeRollback(&k) {
+			continue
+		}
+		rt.maybeCheckpoint(k)
 	}
 	if es.opts.stageJournal != nil {
 		*es.opts.stageJournal = rt.canonicalJournal()
 	}
 	return nil
+}
+
+// maybeCheckpoint snapshots the state after step k when the checkpoint
+// interval says so and the state is trustworthy (verification has not
+// declared it unrecoverable). The last step never checkpoints — runLadder's
+// loop breaks before reaching here.
+func (rt *stepRuntime) maybeCheckpoint(k int) {
+	es := rt.es
+	every := es.opts.CheckpointEvery
+	if every <= 0 || es.res.Unrecoverable || (k+1)%every != 0 {
+		return
+	}
+	var cp *Checkpoint
+	rt.stage(k, stageCheckpoint, func() { cp = rt.l.checkpoint(k + 1) })
+	rt.lastCP = cp
+	rt.rollbacks = 0
+	es.res.Checkpoints++
+	checkpointsTotal.Inc()
+	if es.opts.OnCheckpoint != nil {
+		es.opts.OnCheckpoint(cp)
+	}
+}
+
+// maybeRollback, called after a step's verification concluded, replays from
+// the last checkpoint when that verification declared the state
+// unrecoverable: the checkpointed state is known-clean, and transient
+// corruption does not recur on the replay — turning the paper's
+// "complete restart" bucket into a partial one. It rewrites *k so the
+// caller's loop continues at the checkpointed step, and reports whether a
+// rollback happened. Without a checkpoint (or once
+// maxRollbacksPerCheckpoint replays made no progress) the unrecoverable
+// verdict stands and the run completes as before.
+func (rt *stepRuntime) maybeRollback(k *int) bool {
+	es := rt.es
+	if !es.res.Unrecoverable || rt.lastCP == nil || rt.rollbacks >= maxRollbacksPerCheckpoint {
+		return false
+	}
+	cp := rt.lastCP
+	rt.stage(*k, stageRollback, func() { rt.l.resume(cp) })
+	rt.rollbacks++
+	es.res.Unrecoverable = false
+	es.res.Rollbacks++
+	rollbacksTotal.Inc()
+	rollbackDepth.Observe(float64(*k + 1 - cp.NextStep))
+	for i := range rt.factored {
+		rt.factored[i] = false
+	}
+	*k = cp.NextStep - 1
+	return true
 }
 
 // stage runs one coordinator-side stage: journal it, emit a wall span on

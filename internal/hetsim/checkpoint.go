@@ -1,0 +1,33 @@
+package hetsim
+
+import "ftla/internal/matrix"
+
+// Checkpoint snapshots a device-resident buffer into a host-owned matrix.
+// The copy goes through the same path an algorithm would use: a GPU-resident
+// buffer is staged to the CPU over the PCIe fabric (passing the fail-stop
+// gates and charging the communication clocks), never read out of device
+// memory behind the simulator's back. A CPU-resident buffer is cloned
+// host-side for free, matching a real host's memcpy. The returned matrix is
+// owned by the caller and shares no storage with the buffer.
+func (s *System) Checkpoint(src *Buffer) *matrix.Dense {
+	if src.dev == s.cpu {
+		return src.Access(s.cpu).Clone()
+	}
+	stage := s.cpu.Alloc(src.Rows(), src.Cols())
+	s.Transfer(src, stage)
+	return stage.Access(s.cpu)
+}
+
+// Restore writes a host-side snapshot (taken by Checkpoint) back into a
+// device-resident buffer of the same shape — the rollback dual of
+// Checkpoint, again routed through the PCIe fabric for GPU destinations so
+// fail-stop gates and transfer accounting apply. The snapshot is copied,
+// not aliased; the caller may keep reusing it for later restores.
+func (s *System) Restore(snap *matrix.Dense, dst *Buffer) {
+	if dst.dev == s.cpu {
+		dst.Access(s.cpu).CopyFrom(snap)
+		return
+	}
+	src := s.cpu.AllocFrom(snap)
+	s.Transfer(src, dst)
+}

@@ -25,6 +25,16 @@ const (
 	// MetricFactorizations counts completed factorization runs (label
 	// "decomp": cholesky, lu, qr).
 	MetricFactorizations = "ftla_factorizations_total"
+	// MetricCheckpoints counts verified-state checkpoints taken by the
+	// step runtime (Options.CheckpointEvery > 0).
+	MetricCheckpoints = "ftla_checkpoints_total"
+	// MetricRollbacks counts mid-run rollbacks to the last checkpoint
+	// (uncorrectable corruption replayed instead of aborting).
+	MetricRollbacks = "ftla_rollbacks_total"
+	// MetricRollbackDepth is the histogram of rollback depth: how many
+	// ladder steps a rollback discarded (distance from the failing step
+	// back to the checkpointed one, in steps).
+	MetricRollbackDepth = "ftla_rollback_depth_steps"
 )
 
 // phaseHist holds the per-phase histograms of the default registry,

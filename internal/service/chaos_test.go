@@ -326,6 +326,174 @@ func TestChaosRepeatedFailureOpensBreaker(t *testing.T) {
 	}
 }
 
+// TestChaosGPULossResumesFromCheckpoint is the headline rollback scenario:
+// a checkpointing 4-GPU job loses GPU 3 mid-factorization and the retry
+// resumes from the last host-side checkpoint on the degraded 3-GPU platform
+// instead of restarting from scratch — visible in JobResult.Resumed and in
+// the split retry counters (Stats.Resumed vs Stats.Restarts).
+func TestChaosGPULossResumesFromCheckpoint(t *testing.T) {
+	s := New(Config{Workers: 1, Retry: RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond}})
+	defer s.Close()
+
+	// AfterOps 20: GPU3 dies after two checkpoints are in hand but well
+	// before the factorization finishes (see the crash-window pin below).
+	spec := chaosSpec(21, map[int]ftla.FailStopPlan{
+		3: {Mode: ftla.FailCrash, AfterOps: 20},
+	})
+	spec.Config.CheckpointEvery = 1
+	userCps := 0
+	spec.Config.OnCheckpoint = func(*ftla.Checkpoint) { userCps++ } // chained sink
+
+	h, err := s.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.Wait(context.Background())
+	if err != nil {
+		t.Fatalf("job failed: %v", err)
+	}
+	if res.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (one lost to the crash, one resumed)", res.Attempts)
+	}
+	if res.Resumed != 1 {
+		t.Fatalf("JobResult.Resumed = %d, want 1 (retry must resume, not restart)", res.Resumed)
+	}
+	if got := res.Factors.Report().GPUs; got != 3 {
+		t.Fatalf("winning attempt ran on %d GPUs, want 3 (degraded from 4)", got)
+	}
+	if res.Residual > 1e-9 {
+		t.Fatalf("resumed attempt produced a wrong factor: residual %g", res.Residual)
+	}
+	if userCps == 0 {
+		t.Fatal("caller's OnCheckpoint sink was not chained")
+	}
+	st := s.Stats()
+	if st.Retries != 1 || st.Resumed != 1 || st.Restarts != 0 {
+		t.Fatalf("Retries/Resumed/Restarts = %d/%d/%d, want 1/1/0", st.Retries, st.Resumed, st.Restarts)
+	}
+	if st.DeviceLost != 1 || st.Quarantined != 1 {
+		t.Fatalf("DeviceLost/Quarantined = %d/%d, want 1/1", st.DeviceLost, st.Quarantined)
+	}
+}
+
+// TestChaosCrashWindowPin pins the fixture the resume scenarios depend on:
+// on the 4-GPU chaos platform, a GPU3 crash armed at AfterOps 20 fires after
+// at least one checkpoint is taken and before the run completes. If a layout
+// or kernel-schedule change moves the window, this fails with the observed
+// figures instead of letting the resume tests rot into testing the restart
+// path.
+func TestChaosCrashWindowPin(t *testing.T) {
+	spec := chaosSpec(21, map[int]ftla.FailStopPlan{
+		3: {Mode: ftla.FailCrash, AfterOps: 20},
+	})
+	cfg := spec.Config
+	cfg.CheckpointEvery = 1
+	cps := 0
+	cfg.OnCheckpoint = func(*ftla.Checkpoint) { cps++ }
+	_, err := ftla.Cholesky(spec.A, cfg)
+	var lost *hetsim.DeviceLostError
+	if !errors.As(err, &lost) {
+		t.Fatalf("err = %v, want DeviceLostError (crash armed too late?)", err)
+	}
+	if cps == 0 {
+		t.Fatal("crash fired before the first checkpoint: resume scenarios would test nothing")
+	}
+}
+
+// TestChaosStormMixedRecovery races the two retry forms against each other:
+// checkpointing jobs that lose a GPU (must resume), injector-corrupted jobs
+// without checkpoints (must restart from scratch), and clean jobs — all on a
+// shared worker pool. Every job must end verified, the split retry counters
+// must add up, and the scheduler must wind down without leaking goroutines.
+func TestChaosStormMixedRecovery(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	s := New(Config{
+		Workers: 3,
+		Retry:   RetryPolicy{MaxAttempts: 4, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond},
+		Seed:    99,
+	})
+
+	const rounds = 6
+	handles := make([]*JobHandle, 0, 3*rounds)
+	for i := 0; i < rounds; i++ {
+		// Resumable: device loss with checkpoints in hand.
+		spec := chaosSpec(uint64(300+i), map[int]ftla.FailStopPlan{
+			3: {Mode: ftla.FailCrash, AfterOps: 20},
+		})
+		spec.Config.CheckpointEvery = 1
+		h, err := s.Submit(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+
+		// Non-resumable: detected-corrupt run with no checkpoint to fall
+		// back on — the retry must restart from scratch.
+		h, err = s.Submit(context.Background(), corruptibleSpec(corruptingInjector(t)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+
+		// Clean control.
+		h, err = s.Submit(context.Background(), chaosSpec(uint64(400+i), nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+
+	var wg sync.WaitGroup
+	for i, h := range handles {
+		wg.Add(1)
+		go func(i int, h *JobHandle) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			res, err := h.Wait(ctx)
+			if err != nil {
+				t.Errorf("job %d failed: %v", i, err)
+				return
+			}
+			if res.Residual > 1e-9 {
+				t.Errorf("job %d: wrong result, residual %g", i, res.Residual)
+			}
+		}(i, h)
+	}
+	wg.Wait()
+	s.Close()
+
+	st := s.Stats()
+	if got := int(st.Completed); got != 3*rounds {
+		t.Fatalf("Completed = %d, want %d", got, 3*rounds)
+	}
+	if st.Resumed != rounds {
+		t.Fatalf("Stats.Resumed = %d, want %d (every device-loss job must resume)", st.Resumed, rounds)
+	}
+	if st.Restarts != rounds {
+		t.Fatalf("Stats.Restarts = %d, want %d (every corrupt job must restart)", st.Restarts, rounds)
+	}
+	if st.Retries != st.Restarts+st.Resumed {
+		t.Fatalf("Retries %d != Restarts %d + Resumed %d", st.Retries, st.Restarts, st.Resumed)
+	}
+	if st.DeviceLost != rounds {
+		t.Fatalf("Stats.DeviceLost = %d, want %d", st.DeviceLost, rounds)
+	}
+
+	// Goroutine-leak check, same settle loop as TestChaosStorm.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before storm, %d after settle", before, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
 // TestChaosStorm is the randomized campaign: a fleet of jobs with random
 // fail-stop faults (crash / hang / straggler / none) on random devices,
 // random deadlines, and corrupting injectors, all racing on a small worker

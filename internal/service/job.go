@@ -70,9 +70,12 @@ type JobSpec struct {
 	// B, when non-nil, is a right-hand side to solve against the factor.
 	B []float64
 	// Config is the ftla configuration for the run (protection, scheme,
-	// platform, injector). On corruption-triggered retries the service
-	// reruns with Config.Injector stripped — a complete restart assumes the
-	// transient fault does not recur deterministically.
+	// platform, injector). On retries the service reruns with
+	// Config.Injector stripped — the transient fault is assumed not to
+	// recur deterministically. When Config.CheckpointEvery is set, retries
+	// prefer resuming from the job's last known-clean checkpoint over a
+	// complete restart (see RetryPolicy); Config.OnCheckpoint, if set, is
+	// chained after the service's own checkpoint capture.
 	Config ftla.Config
 	// Priority is the admission class (default Batch, the lowest).
 	Priority Priority
@@ -179,6 +182,11 @@ type JobResult struct {
 	// Attempts counts factorization runs, 1 for a clean first pass; 0 for a
 	// pure cache hit.
 	Attempts int
+	// Resumed counts the attempts (among Attempts) that replayed from a
+	// mid-run checkpoint instead of restarting from scratch — nonzero only
+	// when the job's Config set CheckpointEvery and a snapshot existed
+	// when a retry was granted.
+	Resumed int
 	// CacheHit reports that the factorization was served from the cache
 	// without running a decomposition.
 	CacheHit bool

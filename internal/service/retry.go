@@ -8,10 +8,23 @@ import "time"
 // The protected factorizations repair what they can online (Corrected,
 // LocalRestarted — both count as success here, with the recovery recorded
 // in the report); what they cannot repair they detect and surrender to the
-// application. This policy is that application-level answer: rerun the
-// whole factorization, on the model that soft errors are transients that
-// will not strike the rerun — and that a lost device will not haunt the
-// rebuilt, degraded system the pool hands to the retry.
+// application. This policy is that application-level answer, and since the
+// checkpoint layer (ftla.Config.CheckpointEvery) each retry it grants
+// takes one of two forms — see attemptOutcome:
+//
+//   - resume (preferred): when the job holds a known-clean checkpoint and
+//     the previous result is not silently corrupt, the retry restores that
+//     snapshot onto the (possibly degraded) platform and replays only the
+//     steps after it;
+//   - restart: without a usable checkpoint — none taken yet, the previous
+//     run finished silently corrupt (its checkpoints cannot be trusted),
+//     or a resume attempt itself failed — the retry reruns from scratch.
+//
+// Either way the retry runs on a fresh injector-free pooled system, on the
+// model that soft errors are transients that will not strike the rerun —
+// and that a lost device will not haunt the rebuilt, degraded system the
+// pool hands to the retry. MaxAttempts, Backoff, and the job's deadline
+// budget apply identically to both forms.
 type RetryPolicy struct {
 	// MaxAttempts caps total factorization runs per job, first attempt
 	// included (default 3; minimum 1).
@@ -24,6 +37,19 @@ type RetryPolicy struct {
 	BaseBackoff time.Duration
 	MaxBackoff  time.Duration
 }
+
+// attemptOutcome classifies how the next attempt granted by the policy
+// will start, splitting the single retry counter the Stats used to conflate
+// into restart-from-scratch vs resume-from-checkpoint (Stats.Restarts /
+// Stats.Resumed, MetricJobRestarts / MetricJobResumes).
+type attemptOutcome int
+
+const (
+	// attemptRestart reruns the factorization from scratch.
+	attemptRestart attemptOutcome = iota
+	// attemptResume replays from the job's last known-clean checkpoint.
+	attemptResume
+)
 
 // DefaultRetryPolicy is the policy Scheduler uses when Config.Retry is the
 // zero value.

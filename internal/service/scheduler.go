@@ -23,6 +23,13 @@
 //     automatically rerun on a fresh injector-free system with capped
 //     exponential backoff; persistent corruption degrades gracefully to a
 //     CorruptError carrying the last report,
+//   - checkpoint-based resume: when the job enables mid-run checkpoints
+//     (ftla.Config.CheckpointEvery), retries prefer replaying from the
+//     job's last known-clean snapshot over restarting from scratch — a
+//     device-loss abort at step k resumes from the checkpoint on the
+//     surviving GPUs; only jobs without a usable checkpoint (none taken,
+//     silently corrupt result, or a failed resume) pay the full rerun
+//     (see RetryPolicy and attemptOutcome),
 //   - a factorization cache (LRU over matrix fingerprints) serving the
 //     factor-once/solve-many pattern without refactorization,
 //   - aggregate statistics: outcome histogram, retry/cache/pool counters,
@@ -38,6 +45,7 @@ import (
 	"time"
 
 	"ftla"
+	"ftla/internal/core"
 	"ftla/internal/hetsim"
 	"ftla/internal/matrix"
 	"ftla/internal/obs"
@@ -302,12 +310,16 @@ func (s *Scheduler) run(h *JobHandle) {
 		}
 		deadline(attempts, cause)
 	}
+	// resumedAttempts counts this job's attempts that replayed from a
+	// checkpoint instead of restarting (JobResult.Resumed).
+	resumedAttempts := 0
 	succeed := func(f *Factorization, attempts int, cacheHit bool) {
 		res := &JobResult{
 			Outcome:  f.Outcome,
 			Factors:  f,
 			Residual: f.Residual,
 			Attempts: attempts,
+			Resumed:  resumedAttempts,
 			CacheHit: cacheHit,
 			Wait:     wait,
 			Trace:    tr,
@@ -356,19 +368,45 @@ func (s *Scheduler) run(h *JobHandle) {
 	// place — the retry reruns on a rebuilt system with the surviving GPU
 	// count, so a job that lost GPU 3 of 4 completes on a 3-GPU platform.
 	sysCfg := spec.Config.SystemConfig()
+	// resumeCP is the job's latest known-clean checkpoint, captured
+	// synchronously on this goroutine as the running attempt takes
+	// snapshots. Checkpoints are host-side state: they survive the
+	// quarantine of the system that produced them, which is what lets a
+	// device-loss abort resume on the degraded platform.
+	var resumeCP *ftla.Checkpoint
 	for attempt := 1; ; attempt++ {
 		if jctx.Err() != nil {
 			expire(attempt-1, nil)
 			return
 		}
 		cfg := spec.Config
+		wasResume := false
 		if attempt > 1 {
-			// Complete restart: fresh pooled (Reset) system, no injector,
-			// no armed fault plans — the transient that corrupted or
-			// killed the previous attempt is gone; only the (possibly
-			// degraded) platform shape carries over.
+			// Retry: fresh pooled (Reset) system, no injector, no armed
+			// fault plans — the transient that corrupted or killed the
+			// previous attempt is gone; only the (possibly degraded)
+			// platform shape carries over. With a usable checkpoint the
+			// retry resumes from it (attemptResume); otherwise it restarts
+			// from scratch (attemptRestart).
 			cfg.Injector = nil
 			cfg.FailStop = nil
+			cfg.Resume = resumeCP
+			if resumeCP != nil {
+				wasResume = true
+				resumedAttempts++
+			}
+		}
+		if cfg.CheckpointEvery > 0 {
+			// Capture each snapshot as the attempt takes it, chaining any
+			// caller-supplied sink. OnCheckpoint runs on this goroutine
+			// (inside runDecomposition), so no synchronization is needed.
+			sink := spec.Config.OnCheckpoint
+			cfg.OnCheckpoint = func(cp *ftla.Checkpoint) {
+				resumeCP = cp
+				if sink != nil {
+					sink(cp)
+				}
+			}
 		}
 		actx, acancel := jctx, context.CancelFunc(func() {})
 		if s.cfg.AttemptTimeout > 0 {
@@ -437,10 +475,25 @@ func (s *Scheduler) run(h *JobHandle) {
 				}
 			default:
 				// Construction-time errors (bad dimensions, invalid
-				// options) are deterministic; retrying cannot help.
+				// options) are deterministic; retrying cannot help — except
+				// when this attempt was a resume, where the checkpoint
+				// itself may be the problem (e.g. it no longer matches the
+				// job's configuration): drop it and fall back to a complete
+				// restart, attempts permitting.
 				s.pool.release(sys)
-				fail(err)
-				return
+				if !wasResume {
+					fail(err)
+					return
+				}
+				resumeCP = nil
+				if jctx.Err() != nil {
+					expire(attempt, err)
+					return
+				}
+				if attempt >= s.cfg.Retry.MaxAttempts {
+					fail(err)
+					return
+				}
 			}
 		} else {
 			s.pool.release(sys)
@@ -451,6 +504,14 @@ func (s *Scheduler) run(h *JobHandle) {
 				succeed(f, attempt, false)
 				return
 			}
+			if f.Outcome == core.CorruptedResult {
+				// Silent corruption: detection missed the fault, so the
+				// run's checkpoints cannot be trusted either — the next
+				// attempt must restart from scratch. DetectedCorrupt keeps
+				// its checkpoints: they were verified clean before the
+				// corruption struck.
+				resumeCP = nil
+			}
 			if attempt >= s.cfg.Retry.MaxAttempts {
 				fail(&CorruptError{
 					Outcome: f.Outcome, Report: f.Report(),
@@ -458,6 +519,13 @@ func (s *Scheduler) run(h *JobHandle) {
 				})
 				return
 			}
+		}
+		// Classify the retry we are about to grant (see attemptOutcome):
+		// the total stays in retries so Retries == Restarts + Resumed.
+		if resumeCP != nil {
+			s.met.resumes.Inc()
+		} else {
+			s.met.restarts.Inc()
 		}
 		s.met.retries.Inc()
 		timer := time.NewTimer(s.cfg.Retry.Backoff(attempt, s.jitter()))

@@ -26,9 +26,21 @@ const (
 	// MetricJobsCanceled counts jobs whose context expired before or
 	// during service.
 	MetricJobsCanceled = "ftla_jobs_canceled_total"
-	// MetricJobRetries counts corruption-triggered complete restarts
-	// (attempts beyond each job's first).
+	// MetricJobRetries counts all attempts beyond each job's first,
+	// whatever form they take; it is always the sum of MetricJobRestarts
+	// and MetricJobResumes.
 	MetricJobRetries = "ftla_job_retries_total"
+	// MetricJobRestarts counts retries that reran the factorization from
+	// scratch: no checkpoint existed (CheckpointEvery unset, or the fault
+	// struck before the first snapshot), the previous attempt's result was
+	// silently corrupt (its checkpoints cannot be trusted), or a resume
+	// attempt itself failed.
+	MetricJobRestarts = "ftla_job_restarts_total"
+	// MetricJobResumes counts retries that resumed from the job's last
+	// known-clean checkpoint instead of restarting, replaying only the
+	// steps after it — the cheap path after a device loss or a detected
+	// uncorrectable corruption.
+	MetricJobResumes = "ftla_job_resumes_total"
 	// MetricJobOutcomes histograms completed jobs by the winning attempt's
 	// outcome class (label "outcome": fault-free, abft-fixed, ...).
 	MetricJobOutcomes = "ftla_job_outcomes_total"
@@ -88,9 +100,14 @@ type Stats struct {
 	Completed uint64 // finished with a JobResult
 	Failed    uint64 // finished with a non-cancellation error (incl. CorruptError)
 	Canceled  uint64 // context canceled/expired before or during service
-	// Retries counts corruption-triggered complete restarts across all jobs
-	// (attempts beyond each job's first).
-	Retries uint64
+	// Retries counts attempts beyond each job's first across all jobs,
+	// in either form; Retries == Restarts + Resumed always. Restarts are
+	// reruns from scratch; Resumed are replays from the job's last
+	// known-clean checkpoint (see MetricJobRestarts / MetricJobResumes
+	// for when each applies).
+	Retries  uint64
+	Restarts uint64
+	Resumed  uint64
 	// DeviceLost counts attempts aborted by fail-stop device faults;
 	// DeadlineExceeded counts jobs terminated by their Deadline budget;
 	// AbortedAttempts counts all aborted attempts (the abort-duration
@@ -138,6 +155,7 @@ type metrics struct {
 	submitted, rejected     *obs.Counter
 	completed, failed       *obs.Counter
 	canceled, retries       *obs.Counter
+	restarts, resumes       *obs.Counter
 	outcomes                *obs.CounterVec
 	cacheHits, cacheMisses  *obs.Counter
 	cacheEntries            *obs.Gauge
@@ -162,7 +180,9 @@ func newMetrics(reg *obs.Registry) *metrics {
 		completed: reg.Counter(MetricJobsCompleted, "Jobs finished with a JobResult."),
 		failed:    reg.Counter(MetricJobsFailed, "Jobs finished with a non-cancellation error."),
 		canceled:  reg.Counter(MetricJobsCanceled, "Jobs whose context expired before or during service."),
-		retries:   reg.Counter(MetricJobRetries, "Corruption-triggered complete restarts (attempts beyond the first)."),
+		retries:   reg.Counter(MetricJobRetries, "Attempts beyond each job's first (restarts + resumes)."),
+		restarts:  reg.Counter(MetricJobRestarts, "Retries that reran the factorization from scratch."),
+		resumes:   reg.Counter(MetricJobResumes, "Retries that resumed from the job's last checkpoint."),
 		outcomes: reg.CounterVec(MetricJobOutcomes,
 			"Completed jobs by winning-attempt outcome class (§X.B).", "outcome"),
 		cacheHits:    reg.Counter(MetricCacheHits, "Factorization-cache hits."),
@@ -217,6 +237,8 @@ func (m *metrics) snapshot() Stats {
 		Failed:           m.failed.Value(),
 		Canceled:         m.canceled.Value(),
 		Retries:          m.retries.Value(),
+		Restarts:         m.restarts.Value(),
+		Resumed:          m.resumes.Value(),
 		Outcomes:         m.outcomes.Values(),
 		CacheHits:        m.cacheHits.Value(),
 		CacheMisses:      m.cacheMisses.Value(),

@@ -39,6 +39,13 @@ go test -race -timeout 5m ./...
 # flakiness (pool probation, quarantine state, goroutine leaks).
 go test -race -timeout 5m -run 'Chaos|Storm' -count=2 ./...
 
+# Recovery gate: the checkpoint/rollback/resume suites — the bit-identity
+# invariant (a run killed by device loss and resumed from its checkpoint
+# equals an uninterrupted run on the same final device set) and the
+# rollback-instead-of-abort path — run a second time at -count=2 under
+# -race; resume replays are the newest state machine in the step runtime.
+go test -race -timeout 5m -run 'TestResume|TestRollback|TestCheckpoint' -count=2 ./internal/core
+
 # Schedule gate: the step-runtime and stream suites run a second time at
 # -count=2 — look-ahead interleavings are the newest concurrency in the
 # tree, and reuse across -count runs exercises stream/pool recycling.
