@@ -1,0 +1,168 @@
+package ftla
+
+import (
+	"fmt"
+
+	"ftla/internal/batch"
+	"ftla/internal/core"
+	"ftla/internal/fault"
+	"ftla/internal/hetsim"
+)
+
+// Batched decomposition API.
+//
+// CholeskyBatch, LUBatch, and QRBatch factorize many small same-shape
+// matrices in one dispatch: the inputs are packed into a strided slab and
+// a single ladder sweeps the whole slab per step, so panel pulls,
+// broadcasts, and verifications are issued once per step for the entire
+// batch instead of once per job. Each item's arithmetic is bit-identical
+// to a solo run of the same matrix under the same Config (the batch pin
+// tests assert this), so batching is purely a throughput decision.
+//
+// Errors come back at two levels: the per-item slice errs (item i failed —
+// its result slot is nil — while its siblings completed), and the
+// batch-level err for problems that void the whole dispatch (invalid or
+// unsupported options, mismatched shapes, a fail-stop abort). The batched
+// path rejects Config options that are inherently per-run — FailStop,
+// CheckpointEvery/OnCheckpoint/Resume, and Config.Injector — because they
+// cannot be shared across a slab; fault injection is instead per item via
+// the optional injs arguments on the *BatchOn variants, and attaching any
+// injector forces the serial schedule for the whole batch (the same rule
+// the solo runtime applies; results are bit-identical either way).
+
+// validateBatchCfg rejects Config fields the batched path cannot honor.
+func validateBatchCfg(cfg Config) error {
+	if cfg.Injector != nil {
+		return fmt.Errorf("ftla: batched runs take per-item injectors (the *BatchOn injs argument), not Config.Injector")
+	}
+	if len(cfg.FailStop) > 0 {
+		return fmt.Errorf("ftla: fail-stop plans are not supported in batched runs")
+	}
+	if cfg.Resume != nil || cfg.CheckpointEvery > 0 || cfg.OnCheckpoint != nil {
+		return fmt.Errorf("ftla: checkpoint/resume options are not supported in batched runs")
+	}
+	return nil
+}
+
+// packBatch normalizes cfg and packs the inputs into a checksummed slab.
+func packBatch(as []*Matrix, cfg Config) (*batch.Batch, core.Options, error) {
+	if err := validateBatchCfg(cfg); err != nil {
+		return nil, core.Options{}, err
+	}
+	_, opts := cfg.normalize()
+	b, err := batch.FromMatrices(as, opts.NB)
+	if err != nil {
+		return nil, core.Options{}, err
+	}
+	return b, opts, nil
+}
+
+// injSlice adapts the variadic per-item injector argument: absent means no
+// injection anywhere, otherwise it must name every item (nil entries mean
+// "no injection for this item").
+func injSlice(injs []*Injector, count int) ([]*fault.Injector, error) {
+	if len(injs) == 0 {
+		return nil, nil
+	}
+	if len(injs) != count {
+		return nil, fmt.Errorf("ftla: %d injectors for %d batch items (pass one per item, nil for none)", len(injs), count)
+	}
+	return injs, nil
+}
+
+// CholeskyBatch computes the protected Cholesky factorization of every
+// matrix in as — all symmetric positive definite, all the same order — in
+// one batched dispatch. results[i] and errs[i] are item i's outcome
+// (exactly one is non-nil); a non-nil err voids the whole batch and both
+// slices are nil.
+func CholeskyBatch(as []*Matrix, cfg Config) (results []*CholeskyResult, errs []error, err error) {
+	return CholeskyBatchOn(NewSystem(cfg), as, cfg)
+}
+
+// CholeskyBatchOn is CholeskyBatch on a caller-provided simulated system
+// (see CholeskyOn for the pooling contract), with optional per-item fault
+// injectors: pass either no injs at all, or exactly one per item (nil
+// entries inject nothing).
+func CholeskyBatchOn(sys *hetsim.System, as []*Matrix, cfg Config, injs ...*Injector) (results []*CholeskyResult, errs []error, err error) {
+	b, opts, err := packBatch(as, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	is, err := injSlice(injs, b.Count())
+	if err != nil {
+		return nil, nil, err
+	}
+	outs, ress, errs, err := core.CholeskyBatch(sys, b, opts, is)
+	if err != nil {
+		return nil, nil, err
+	}
+	results = make([]*CholeskyResult, b.Count())
+	for i := range outs {
+		if errs[i] == nil {
+			results[i] = &CholeskyResult{L: outs[i], Report: ress[i]}
+		}
+	}
+	return results, errs, nil
+}
+
+// LUBatch computes the protected LU factorization with partial pivoting of
+// every matrix in as in one batched dispatch; see CholeskyBatch for the
+// per-item/batch-level error contract.
+func LUBatch(as []*Matrix, cfg Config) (results []*LUResult, errs []error, err error) {
+	return LUBatchOn(NewSystem(cfg), as, cfg)
+}
+
+// LUBatchOn is LUBatch on a caller-provided simulated system, with
+// optional per-item fault injectors; see CholeskyBatchOn.
+func LUBatchOn(sys *hetsim.System, as []*Matrix, cfg Config, injs ...*Injector) (results []*LUResult, errs []error, err error) {
+	b, opts, err := packBatch(as, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	is, err := injSlice(injs, b.Count())
+	if err != nil {
+		return nil, nil, err
+	}
+	outs, pivs, ress, errs, err := core.LUBatch(sys, b, opts, is)
+	if err != nil {
+		return nil, nil, err
+	}
+	results = make([]*LUResult, b.Count())
+	for i := range outs {
+		if errs[i] == nil {
+			results[i] = &LUResult{Factors: outs[i], Pivots: pivs[i], Report: ress[i]}
+		}
+	}
+	return results, errs, nil
+}
+
+// QRBatch computes the protected Householder QR factorization of every
+// matrix in as in one batched dispatch; see CholeskyBatch for the
+// per-item/batch-level error contract.
+func QRBatch(as []*Matrix, cfg Config) (results []*QRResult, errs []error, err error) {
+	return QRBatchOn(NewSystem(cfg), as, cfg)
+}
+
+// QRBatchOn is QRBatch on a caller-provided simulated system, with
+// optional per-item fault injectors; see CholeskyBatchOn.
+func QRBatchOn(sys *hetsim.System, as []*Matrix, cfg Config, injs ...*Injector) (results []*QRResult, errs []error, err error) {
+	b, opts, err := packBatch(as, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	is, err := injSlice(injs, b.Count())
+	if err != nil {
+		return nil, nil, err
+	}
+	outs, taus, ress, errs, err := core.QRBatch(sys, b, opts, is)
+	if err != nil {
+		return nil, nil, err
+	}
+	results = make([]*QRResult, b.Count())
+	for i := range outs {
+		if errs[i] == nil {
+			results[i] = &QRResult{Factors: outs[i], Tau: taus[i], Report: ress[i]}
+		}
+	}
+	return results, errs, nil
+}

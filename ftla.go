@@ -264,6 +264,18 @@ func (c Config) normalize() (Config, core.Options) {
 	return c, opts
 }
 
+// Effective returns the configuration with every default applied — the
+// exact values a run with this Config uses (GPUs, NB, and the
+// protection/scheme upgrade included). Serving layers compare Effective
+// configurations to decide which queued jobs may share one batched
+// dispatch; comparing raw Configs instead would either miss equivalent
+// configurations (zero vs. explicit default) or wrongly conflate an
+// explicit no-protection request with the default upgrade.
+func (c Config) Effective() Config {
+	c, _ = c.normalize()
+	return c
+}
+
 // SystemConfig returns the hetsim.Config the Config selects — the platform
 // that Cholesky/LU/QR would construct. It is a comparable value, which lets
 // callers that pool simulated systems (internal/service) key pooled

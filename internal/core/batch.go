@@ -1,0 +1,387 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"ftla/internal/batch"
+	"ftla/internal/fault"
+	"ftla/internal/hetsim"
+	"ftla/internal/matrix"
+)
+
+// Batched drivers.
+//
+// CholeskyBatch, LUBatch, and QRBatch factorize every item of a
+// batch.Batch slab in one pass over the ladder: for each step k, each
+// stage (panel factor, commit, update, TMU, verification) sweeps across
+// all batch items before the next stage begins, so the per-step work of
+// the whole slab is issued together. Stages that move data over PCIe run
+// inside a hetsim transfer-coalescing window (System.CoalesceTransfers),
+// so a step's panel pulls, writebacks, and broadcasts pay the fixed
+// per-transfer latency once per link for the entire batch — the batched
+// analogue of a strided cudaMemcpy — which is where the serving layer's
+// jobs/sec win over solo dispatch comes from (see BENCH_batch.json).
+//
+// Per-item semantics:
+//
+//   - Arithmetic is bit-identical to a solo run of the same item: each
+//     item executes exactly the per-item ladder code of the solo driver on
+//     disjoint buffers; items interact only through the shared simulated
+//     clock. The batch bit-identity tests pin this across decompositions,
+//     schedules, and GPU counts.
+//   - Failure is isolated: an item whose driver errors (failed panel
+//     factorization, corrupted queue input) is flagged and its remaining
+//     stages are skipped while its siblings run to completion; the
+//     per-item error slice reports it. Only a fail-stop abort — rejected
+//     from batch options precisely for this reason — would take the whole
+//     dispatch down.
+//   - Fault injection is per item (the injs argument); attaching any
+//     injector forces the serial schedule for the whole batch, the same
+//     schedule-invariance rule the solo runtime applies (results are
+//     bit-identical either way).
+//   - Checkpointing, resume, and fail-stop plans are not supported in
+//     batched runs: they are per-run control flow that cannot be shared
+//     across a slab, and the serving layer's per-item fallback (retry the
+//     one bad item solo) covers their role. Options carrying them are
+//     rejected up front.
+//
+// Result caveats: Wall, SimMakespan, PCIeBytes, and Flops on a batched
+// item's Result describe the whole batch dispatch (the clock and counters
+// are system-wide), not the item alone; the verification/recovery counters
+// and outcome fields are per item as usual.
+
+// validateBatchOpts rejects option combinations the batched runners do not
+// support; see the package comment above.
+func validateBatchOpts(b *batch.Batch, opts Options, injs []*fault.Injector) error {
+	if b == nil || b.Count() < 1 {
+		return fmt.Errorf("core: empty batch")
+	}
+	if opts.NB != b.NB() {
+		return fmt.Errorf("core: batch block size %d != Options.NB %d", b.NB(), opts.NB)
+	}
+	if err := opts.Validate(b.N()); err != nil {
+		return err
+	}
+	if opts.Injector != nil {
+		return fmt.Errorf("core: batched runs take per-item injectors, not Options.Injector")
+	}
+	if opts.Resume != nil || opts.CheckpointEvery > 0 || opts.OnCheckpoint != nil {
+		return fmt.Errorf("core: checkpoint/resume options are not supported in batched runs")
+	}
+	if len(opts.FailStop) > 0 {
+		return fmt.Errorf("core: fail-stop plans are not supported in batched runs")
+	}
+	if injs != nil && len(injs) != b.Count() {
+		return fmt.Errorf("core: %d injectors for %d batch items", len(injs), b.Count())
+	}
+	return nil
+}
+
+// startBatch validates the batch, verifies the slab's queue-integrity
+// strips (items corrupted host-side since submission are flagged with a
+// per-item error and excluded from the run), and builds the per-item
+// engine + ladder pairs on the shared system, distributing every item's
+// data inside one transfer-coalescing window.
+func startBatch(decomp string, sys *hetsim.System, b *batch.Batch, opts Options,
+	injs []*fault.Injector, mk func(es *engineSys, a *matrix.Dense) ladder,
+) (ess []*engineSys, ls []ladder, ress []*Result, errs []error, err error) {
+	if err := validateBatchOpts(b, opts, injs); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	count := b.Count()
+	ess = make([]*engineSys, count)
+	ls = make([]ladder, count)
+	ress = make([]*Result, count)
+	errs = make([]error, count)
+	for _, i := range b.Verify(sys.CPU().Workers()) {
+		errs[i] = fmt.Errorf("core: batch item %d input corrupted since submission (slab checksum mismatch)", i)
+	}
+	opts.stageJournal = nil // the journal hook is a solo-run seam; per-item journals would interleave
+	sys.CoalesceTransfers(func() {
+		for i := 0; i < count; i++ {
+			if errs[i] != nil {
+				continue
+			}
+			iopts := opts
+			if injs != nil {
+				iopts.Injector = injs[i]
+			}
+			res := &Result{
+				N: b.N(), NB: opts.NB, GPUs: sys.NumGPUs(),
+				Mode: opts.Mode, Scheme: opts.Scheme, Kernel: opts.Kernel,
+			}
+			es := newEngine(decomp, sys, iopts, res)
+			ess[i], ls[i], ress[i] = es, mk(es, b.Item(i)), res
+		}
+	})
+	return ess, ls, ress, errs, nil
+}
+
+// runLadderBatch executes every live item's ladder under one shared
+// schedule: each stage of step k sweeps the batch before the next stage
+// runs, with transfer-bearing stages coalesced. It fills errs in place as
+// items fail and leaves siblings running. The look-ahead schedule is used
+// only when every item allows it (Lookahead >= 1 and no injector anywhere);
+// mirroring runLadder, the per-item arithmetic is identical under both.
+func runLadderBatch(sys *hetsim.System, ess []*engineSys, ls []ladder, errs []error) {
+	count := len(ls)
+	nbr := 0
+	depth := 1
+	for i := 0; i < count; i++ {
+		if errs[i] != nil {
+			continue
+		}
+		nbr = ls[i].steps()
+		if ess[i].overlapDepth() < 1 {
+			depth = 0
+		}
+	}
+	if nbr == 0 {
+		return // no live items
+	}
+	G := sys.NumGPUs()
+	var streams []*hetsim.Stream
+	defer func() {
+		for _, st := range streams {
+			if st != nil {
+				st.Close()
+			}
+		}
+	}()
+	// checkFailed harvests per-item driver errors after a stage sweep.
+	checkFailed := func() {
+		for i := 0; i < count; i++ {
+			if errs[i] == nil && ls[i] != nil {
+				if e := ls[i].failed(); e != nil {
+					errs[i] = e
+				}
+			}
+		}
+	}
+	// prefactored[i] marks that item i's panel for the upcoming step was
+	// already factorized by the look-ahead overlap of the previous step.
+	prefactored := make([]bool, count)
+	for k := 0; k < nbr; k++ {
+		sys.CoalesceTransfers(func() {
+			for i := 0; i < count; i++ {
+				if errs[i] == nil && !prefactored[i] {
+					ls[i].panelFactor(k)
+				}
+				prefactored[i] = false
+			}
+		})
+		checkFailed()
+		for i := 0; i < count; i++ {
+			if errs[i] == nil {
+				ls[i].panelPivot(k)
+			}
+		}
+		sys.CoalesceTransfers(func() {
+			for i := 0; i < count; i++ {
+				if errs[i] == nil {
+					ls[i].panelCommit(k)
+				}
+			}
+		})
+		checkFailed()
+		if k == nbr-1 {
+			break
+		}
+		sys.CoalesceTransfers(func() {
+			for i := 0; i < count; i++ {
+				if errs[i] == nil {
+					ls[i].panelUpdate(k)
+				}
+			}
+		})
+		for i := 0; i < count; i++ {
+			if errs[i] == nil {
+				ls[i].tmuBegin(k)
+			}
+		}
+		if depth >= 1 {
+			// Look-ahead: sweep the look-ahead column of every item
+			// synchronously, launch the slab's remaining trailing updates
+			// onto the per-GPU streams (one closure per GPU covering all
+			// items), and pull + factorize every item's next panel on the
+			// CPU — coalesced — while the GPUs run.
+			for i := 0; i < count; i++ {
+				if errs[i] != nil {
+					continue
+				}
+				for g := 0; g < G; g++ {
+					ls[i].tmuGPU(k, g, tmuLookahead)
+				}
+			}
+			if streams == nil {
+				streams = make([]*hetsim.Stream, G)
+				for g := 0; g < G; g++ {
+					streams[g] = sys.GPU(g).NewStream()
+				}
+			}
+			evs := make([]*hetsim.StreamEvent, G)
+			for g := 0; g < G; g++ {
+				g := g
+				streams[g].Launch("tmu-rest", func() {
+					for i := 0; i < count; i++ {
+						if errs[i] == nil {
+							ls[i].tmuGPU(k, g, tmuRest)
+						}
+					}
+				})
+				evs[g] = streams[g].Record()
+			}
+			sys.CoalesceTransfers(func() {
+				for i := 0; i < count; i++ {
+					if errs[i] == nil {
+						ls[i].panelFactor(k + 1)
+						prefactored[i] = true
+					}
+				}
+			})
+			for _, ev := range evs {
+				ev.Wait()
+			}
+		} else {
+			for i := 0; i < count; i++ {
+				if errs[i] != nil {
+					continue
+				}
+				for g := 0; g < G; g++ {
+					ls[i].tmuGPU(k, g, tmuAll)
+				}
+			}
+		}
+		for i := 0; i < count; i++ {
+			if errs[i] == nil {
+				ls[i].tmuFinish(k)
+			}
+		}
+		checkFailed()
+	}
+}
+
+// CholeskyBatch factorizes every item of the slab with the protected
+// blocked Cholesky driver in one batched dispatch (see the batched-driver
+// comment at the top of this file). It returns the per-item gathered
+// factors, reports, and errors — outs[i]/ress[i] are nil when errs[i] is
+// set — plus a batch-level error for invalid options or a fail-stop abort,
+// which voids the whole dispatch.
+func CholeskyBatch(sys *hetsim.System, b *batch.Batch, opts Options, injs []*fault.Injector) (outs []*matrix.Dense, ress []*Result, errs []error, err error) {
+	defer func() {
+		if e := hetsim.RecoverAbort(recover()); e != nil {
+			outs, ress, errs, err = nil, nil, nil, e
+		}
+	}()
+	start := time.Now()
+	ess, ls, ress, errs, berr := startBatch("cholesky", sys, b, opts, injs,
+		func(es *engineSys, a *matrix.Dense) ladder {
+			p := newProtected(es, a)
+			return &cholLadder{p: p, es: es, pl: planFor(es.opts.Scheme), step: make([]*cholStep, p.nbr)}
+		})
+	if berr != nil {
+		return nil, nil, nil, berr
+	}
+	runLadderBatch(sys, ess, ls, errs)
+	outs = make([]*matrix.Dense, b.Count())
+	sys.CoalesceTransfers(func() {
+		for i := range ls {
+			if errs[i] != nil {
+				ress[i] = nil
+				continue
+			}
+			outs[i] = ls[i].(*cholLadder).p.gather()
+		}
+	})
+	for i := range ls {
+		if errs[i] == nil {
+			ess[i].finishResult(start)
+		}
+	}
+	return outs, ress, errs, nil
+}
+
+// LUBatch is CholeskyBatch for the protected LU driver; pivs[i] is item
+// i's pivot sequence.
+func LUBatch(sys *hetsim.System, b *batch.Batch, opts Options, injs []*fault.Injector) (outs []*matrix.Dense, pivs [][]int, ress []*Result, errs []error, err error) {
+	defer func() {
+		if e := hetsim.RecoverAbort(recover()); e != nil {
+			outs, pivs, ress, errs, err = nil, nil, nil, nil, e
+		}
+	}()
+	start := time.Now()
+	ess, ls, ress, errs, berr := startBatch("lu", sys, b, opts, injs,
+		func(es *engineSys, a *matrix.Dense) ladder {
+			p := newProtected(es, a)
+			return &luLadder{
+				p: p, es: es, pl: planFor(es.opts.Scheme),
+				step: make([]*luStep, p.nbr),
+				piv:  make([]int, p.n),
+			}
+		})
+	if berr != nil {
+		return nil, nil, nil, nil, berr
+	}
+	runLadderBatch(sys, ess, ls, errs)
+	outs = make([]*matrix.Dense, b.Count())
+	pivs = make([][]int, b.Count())
+	sys.CoalesceTransfers(func() {
+		for i := range ls {
+			if errs[i] != nil {
+				ress[i] = nil
+				continue
+			}
+			lad := ls[i].(*luLadder)
+			outs[i], pivs[i] = lad.p.gather(), lad.piv
+		}
+	})
+	for i := range ls {
+		if errs[i] == nil {
+			ess[i].finishResult(start)
+		}
+	}
+	return outs, pivs, ress, errs, nil
+}
+
+// QRBatch is CholeskyBatch for the protected Householder QR driver;
+// taus[i] is item i's reflector coefficients.
+func QRBatch(sys *hetsim.System, b *batch.Batch, opts Options, injs []*fault.Injector) (outs []*matrix.Dense, taus [][]float64, ress []*Result, errs []error, err error) {
+	defer func() {
+		if e := hetsim.RecoverAbort(recover()); e != nil {
+			outs, taus, ress, errs, err = nil, nil, nil, nil, e
+		}
+	}()
+	start := time.Now()
+	ess, ls, ress, errs, berr := startBatch("qr", sys, b, opts, injs,
+		func(es *engineSys, a *matrix.Dense) ladder {
+			p := newProtected(es, a)
+			return &qrLadder{
+				p: p, es: es, pl: planFor(es.opts.Scheme),
+				step: make([]*qrStep, p.nbr),
+				tau:  make([]float64, p.n),
+			}
+		})
+	if berr != nil {
+		return nil, nil, nil, nil, berr
+	}
+	runLadderBatch(sys, ess, ls, errs)
+	outs = make([]*matrix.Dense, b.Count())
+	taus = make([][]float64, b.Count())
+	sys.CoalesceTransfers(func() {
+		for i := range ls {
+			if errs[i] != nil {
+				ress[i] = nil
+				continue
+			}
+			lad := ls[i].(*qrLadder)
+			outs[i], taus[i] = lad.p.gather(), lad.tau
+		}
+	})
+	for i := range ls {
+		if errs[i] == nil {
+			ess[i].finishResult(start)
+		}
+	}
+	return outs, taus, ress, errs, nil
+}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ftla/internal/batch"
+	"ftla/internal/checksum"
+	"ftla/internal/fault"
+	"ftla/internal/hetsim"
+	"ftla/internal/matrix"
+)
+
+func batchOpts(lookahead int) Options {
+	return Options{
+		NB: 16, Mode: Full, Scheme: NewScheme, Kernel: checksum.OptKernel,
+		Lookahead: lookahead,
+	}
+}
+
+// batchInputs builds count distinct well-conditioned inputs for a
+// decomposition, each from its own seed so no two items share data.
+func batchInputs(decomp string, count, n int) []*matrix.Dense {
+	ms := make([]*matrix.Dense, count)
+	for i := range ms {
+		rng := matrix.NewRNG(uint64(101 + 13*i))
+		switch decomp {
+		case "cholesky":
+			ms[i] = matrix.RandomSPD(n, rng)
+		case "lu":
+			ms[i] = matrix.RandomDiagDominant(n, rng)
+		default:
+			ms[i] = matrix.Random(n, n, rng)
+		}
+	}
+	return ms
+}
+
+// runSolo factorizes one matrix on a fresh system and returns the factor
+// plus the auxiliary output (pivots or tau).
+func runSolo(t *testing.T, decomp string, a *matrix.Dense, gpus int, opts Options) (*matrix.Dense, []int, []float64) {
+	t.Helper()
+	sys := testSystem(gpus)
+	switch decomp {
+	case "cholesky":
+		out, _, err := Cholesky(sys, a.Clone(), opts)
+		if err != nil {
+			t.Fatalf("solo cholesky: %v", err)
+		}
+		return out, nil, nil
+	case "lu":
+		out, piv, _, err := LU(sys, a.Clone(), opts)
+		if err != nil {
+			t.Fatalf("solo lu: %v", err)
+		}
+		return out, piv, nil
+	default:
+		out, tau, _, err := QR(sys, a.Clone(), opts)
+		if err != nil {
+			t.Fatalf("solo qr: %v", err)
+		}
+		return out, nil, tau
+	}
+}
+
+// runBatched factorizes the items as one batch on a fresh system and
+// returns per-item factors and auxiliary outputs, failing the test on any
+// batch-level or per-item error.
+func runBatched(t *testing.T, decomp string, ms []*matrix.Dense, gpus int, opts Options) ([]*matrix.Dense, [][]int, [][]float64) {
+	t.Helper()
+	b, err := batch.FromMatrices(ms, opts.NB)
+	if err != nil {
+		t.Fatalf("pack batch: %v", err)
+	}
+	sys := testSystem(gpus)
+	var (
+		outs []*matrix.Dense
+		pivs [][]int
+		taus [][]float64
+		errs []error
+	)
+	switch decomp {
+	case "cholesky":
+		outs, _, errs, err = CholeskyBatch(sys, b, opts, nil)
+	case "lu":
+		outs, pivs, _, errs, err = LUBatch(sys, b, opts, nil)
+	default:
+		outs, taus, _, errs, err = QRBatch(sys, b, opts, nil)
+	}
+	if err != nil {
+		t.Fatalf("batched %s: %v", decomp, err)
+	}
+	for i, e := range errs {
+		if e != nil {
+			t.Fatalf("batched %s item %d: %v", decomp, i, e)
+		}
+	}
+	return outs, pivs, taus
+}
+
+// The batched bit-identity pin: every item of a batched run is bit-for-bit
+// the factor the same matrix produces solo, across all three
+// decompositions, both schedules, and 1-3 GPUs. This is what makes
+// batching purely a throughput decision for the serving layer.
+func TestBatchBitIdentity(t *testing.T) {
+	const n, count = 64, 3
+	for _, decomp := range []string{"cholesky", "lu", "qr"} {
+		for _, lookahead := range []int{0, 1} {
+			for gpus := 1; gpus <= 3; gpus++ {
+				ms := batchInputs(decomp, count, n)
+				opts := batchOpts(lookahead)
+				outs, pivs, taus := runBatched(t, decomp, ms, gpus, opts)
+				for i := 0; i < count; i++ {
+					sout, spiv, stau := runSolo(t, decomp, ms[i], gpus, opts)
+					label := decomp
+					if d, r, c := sout.MaxAbsDiff(outs[i]); d != 0 {
+						t.Fatalf("%s gpus=%d lookahead=%d item %d: factor not bit-identical to solo: |Δ|=%g at (%d,%d)",
+							label, gpus, lookahead, i, d, r, c)
+					}
+					for j := range spiv {
+						if spiv[j] != pivs[i][j] {
+							t.Fatalf("%s gpus=%d lookahead=%d item %d: pivot %d differs: %d vs %d",
+								label, gpus, lookahead, i, j, spiv[j], pivs[i][j])
+						}
+					}
+					for j := range stau {
+						if stau[j] != taus[i][j] {
+							t.Fatalf("%s gpus=%d lookahead=%d item %d: tau %d differs: %g vs %g",
+								label, gpus, lookahead, i, j, stau[j], taus[i][j])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// A DRAM double-fault in one strip of item 1's first LU panel (the
+// detected-but-uncorrectable fixture from the service tests) must corrupt
+// only item 1: siblings complete bit-identical to their solo runs, and the
+// corrupted item itself still completes — flagged Unrecoverable — rather
+// than erroring the dispatch. Per-item fault containment is the core-level
+// half of the serving layer's retry-isolation contract.
+func TestBatchPerItemFaultContainment(t *testing.T) {
+	const n, count = 64, 3
+	ms := batchInputs("lu", count, n)
+	opts := batchOpts(1)
+	opts.Mode = SingleSide
+
+	inj := fault.NewInjector(99)
+	for _, row := range []int{1, 2} {
+		inj.Schedule(fault.Spec{
+			Kind: fault.OffChipMemory, Op: fault.PD, Part: fault.ReferencePart,
+			Iteration: 0, Row: row, Col: 0,
+		})
+	}
+
+	b, err := batch.FromMatrices(ms, opts.NB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := testSystem(2)
+	outs, pivs, ress, errs, err := LUBatch(sys, b, opts, []*fault.Injector{nil, inj, nil})
+	if err != nil {
+		t.Fatalf("batch-level error: %v", err)
+	}
+	for i, e := range errs {
+		if e != nil {
+			t.Fatalf("item %d errored: %v", i, e)
+		}
+	}
+	if !ress[1].Unrecoverable {
+		t.Fatal("injected item not flagged unrecoverable — fixture no longer corrupts")
+	}
+	for _, i := range []int{0, 2} {
+		if ress[i].Unrecoverable {
+			t.Fatalf("clean sibling %d flagged unrecoverable", i)
+		}
+		sout, spiv, _ := runSolo(t, "lu", ms[i], 2, opts)
+		if d, r, c := sout.MaxAbsDiff(outs[i]); d != 0 {
+			t.Fatalf("sibling %d not bit-identical to solo: |Δ|=%g at (%d,%d)", i, d, r, c)
+		}
+		for j := range spiv {
+			if spiv[j] != pivs[i][j] {
+				t.Fatalf("sibling %d pivot %d differs", i, j)
+			}
+		}
+	}
+}
+
+// An item whose slab bytes were corrupted while queued (between Encode and
+// dispatch) is caught by the slab integrity check and excluded with a
+// per-item error before the ladder runs; siblings are unaffected.
+func TestBatchCorruptQueueInputIsolated(t *testing.T) {
+	const n, count = 64, 3
+	ms := batchInputs("cholesky", count, n)
+	opts := batchOpts(0)
+	b, err := batch.FromMatrices(ms, opts.NB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one element of item 1 inside the slab, after the strips were
+	// encoded — simulated host-memory corruption in the serving queue.
+	b.Item(1).Set(5, 7, b.Item(1).At(5, 7)+1)
+
+	sys := testSystem(1)
+	outs, _, errs, err := CholeskyBatch(sys, b, opts, nil)
+	if err != nil {
+		t.Fatalf("batch-level error: %v", err)
+	}
+	if errs[1] == nil || !strings.Contains(errs[1].Error(), "corrupted") {
+		t.Fatalf("corrupt item error = %v, want slab-corruption error", errs[1])
+	}
+	if outs[1] != nil {
+		t.Fatal("corrupt item produced a factor")
+	}
+	for _, i := range []int{0, 2} {
+		if errs[i] != nil {
+			t.Fatalf("clean sibling %d errored: %v", i, errs[i])
+		}
+		sout, _, _ := runSolo(t, "cholesky", ms[i], 1, opts)
+		if d, r, c := sout.MaxAbsDiff(outs[i]); d != 0 {
+			t.Fatalf("sibling %d not bit-identical to solo: |Δ|=%g at (%d,%d)", i, d, r, c)
+		}
+	}
+}
+
+// Batched runs reject the per-run control-flow options (checkpointing,
+// resume, fail-stop, Options.Injector) and malformed injector slices.
+func TestBatchOptionValidation(t *testing.T) {
+	const n = 32
+	ms := batchInputs("cholesky", 2, n)
+	opts := batchOpts(0)
+	b, err := batch.FromMatrices(ms, opts.NB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		mut  func(o *Options) []*fault.Injector
+	}{
+		{"options-injector", func(o *Options) []*fault.Injector { o.Injector = fault.NewInjector(1); return nil }},
+		{"checkpoint", func(o *Options) []*fault.Injector { o.CheckpointEvery = 1; return nil }},
+		{"failstop", func(o *Options) []*fault.Injector {
+			o.FailStop = map[int]hetsim.FaultPlan{0: {}}
+			return nil
+		}},
+		{"short-injs", func(o *Options) []*fault.Injector { return make([]*fault.Injector, 1) }},
+	}
+	for _, tc := range cases {
+		o := opts
+		injs := tc.mut(&o)
+		sys := testSystem(1)
+		if _, _, _, err := CholeskyBatch(sys, b, o, injs); err == nil {
+			t.Fatalf("%s: batched run accepted unsupported options", tc.name)
+		}
+	}
+}

@@ -58,6 +58,13 @@ func PhaseBuckets() []float64 {
 	return ExpBuckets(1e-5, 3.1622776601683795, 13)
 }
 
+// BatchSizeBuckets returns the bucket bounds for batch-size histograms
+// (power-of-two sizes 1..128): coalescing schedulers batch in doublings,
+// so exponential buckets resolve every interesting size exactly.
+func BatchSizeBuckets() []float64 {
+	return ExpBuckets(1, 2, 8)
+}
+
 // ObservePhase records d of work attributed to phase in the default
 // registry. Unknown phases are dropped rather than minted, keeping the
 // label set closed.

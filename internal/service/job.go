@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ftla"
+	"ftla/internal/batch"
 	"ftla/internal/core"
 	"ftla/internal/obs"
 )
@@ -128,6 +129,37 @@ func (s *JobSpec) tol() float64 {
 	return 1e-9
 }
 
+// batchable reports whether the job may share a coalesced batched dispatch
+// with others of the same batchKey. Per-run control flow the batched
+// drivers cannot share — fail-stop plans, checkpointing, resume — and
+// per-job observation scopes (Trace, Deadline) keep a job on the solo
+// path. A fault Injector is batchable: the batched drivers carry injectors
+// per item, which is exactly what the retry-isolation contract exercises
+// (one injected item must not disturb its batchmates).
+func (s *JobSpec) batchable() bool {
+	c := s.Config
+	return len(c.FailStop) == 0 &&
+		c.CheckpointEvery == 0 && c.OnCheckpoint == nil && c.Resume == nil &&
+		!s.Trace && s.Deadline == 0
+}
+
+// batchKey identifies the coalescing bucket: jobs coalesce only when every
+// run-shaping parameter matches, because one batched ladder runs a single
+// (shape, protection, scheme, schedule, platform) configuration across the
+// whole slab. Built from the Effective configuration so zero-value and
+// explicit defaults land in the same bucket.
+func (s *JobSpec) batchKey() batch.Key {
+	eff := s.Config.Effective()
+	return batch.Key{
+		Decomp: s.Decomp.String(),
+		N:      s.A.Rows, NB: eff.NB,
+		Mode: int(eff.Protection), Scheme: int(eff.Scheme), Kernel: int(eff.Kernel),
+		Lookahead:             eff.Lookahead,
+		PeriodicTrailingCheck: eff.PeriodicTrailingCheck,
+		Sys:                   eff.SystemConfig(),
+	}
+}
+
 // Factorization is a completed, residual-verified factorization — the unit
 // the cache stores and Solve reuses. Exactly one of the three result fields
 // is set, per Decomp.
@@ -190,6 +222,11 @@ type JobResult struct {
 	// CacheHit reports that the factorization was served from the cache
 	// without running a decomposition.
 	CacheHit bool
+	// Coalesced is the number of jobs in the batched dispatch that served
+	// this job, 0 when it ran (or was cache-served) on the solo path. A job
+	// whose batch attempt failed and was retried solo keeps the batch size
+	// of the dispatch it started in.
+	Coalesced int
 	// Wait is queue time (submit → dispatch); Run is service time
 	// (dispatch → completion, including retries and backoff).
 	Wait, Run time.Duration
@@ -294,6 +331,14 @@ type JobHandle struct {
 	spec     JobSpec
 	ctx      context.Context
 	enqueued time.Time
+
+	// prior counts factorization attempts already spent on this job before
+	// run() takes over — a failed coalesced batch attempt that fell back to
+	// the solo path — so JobResult.Attempts stays truthful across the
+	// fallback. coalesced carries the originating dispatch's batch size
+	// into the solo result.
+	prior     int
+	coalesced int
 
 	done chan struct{}
 	mu   sync.Mutex

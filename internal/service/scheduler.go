@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"ftla"
+	"ftla/internal/batch"
 	"ftla/internal/core"
 	"ftla/internal/hetsim"
 	"ftla/internal/matrix"
@@ -72,6 +73,19 @@ type Config struct {
 	// retries (attempts permitting) instead of wedging a worker forever.
 	// Zero means attempts are bounded only by the job's Deadline/context.
 	AttemptTimeout time.Duration
+	// BatchMax caps how many queued jobs one coalesced batched dispatch may
+	// carry (default 16). 1 disables coalescing: every job takes the solo
+	// path. Only jobs whose specs agree on every run-shaping parameter
+	// (decomposition, shape, protection, scheme, schedule, platform) are
+	// coalesced, and only specs without per-run control flow (fail-stop
+	// plans, checkpointing, deadlines, traces) are eligible.
+	BatchMax int
+	// BatchLinger is how long a worker holds an eligible dispatch open
+	// waiting for batchmates after the queue runs dry (default 0: coalesce
+	// only jobs already queued at dispatch time). A nonzero linger trades
+	// that much added latency on the first job for larger batches under
+	// steady load.
+	BatchLinger time.Duration
 	// Seed seeds the scheduler's internal randomness — currently the
 	// backoff jitter (RetryPolicy.Backoff) — making retry timing
 	// reproducible in tests. Zero selects a fixed default seed; schedulers
@@ -96,6 +110,9 @@ func (c Config) normalize() Config {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
 	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 16
+	}
 	c.Retry = c.Retry.normalize()
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
@@ -112,6 +129,9 @@ type Scheduler struct {
 
 	rngMu sync.Mutex
 	rng   *matrix.RNG // backoff jitter source, seeded by Config.Seed
+
+	// start anchors the Stats.JobsPerSec throughput rate.
+	start time.Time
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -142,6 +162,7 @@ func New(cfg Config) *Scheduler {
 		cache: newFactorCache(cfg.CacheEntries, met),
 		met:   met,
 		rng:   matrix.NewRNG(seed),
+		start: time.Now(),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.wg.Add(cfg.Workers)
@@ -207,6 +228,9 @@ func (s *Scheduler) Close() {
 func (s *Scheduler) Stats() Stats {
 	st := s.met.snapshot()
 	st.Devices = s.pool.utilization()
+	if up := time.Since(s.start).Seconds(); up > 0 {
+		st.JobsPerSec = float64(st.Completed) / up
+	}
 	s.mu.Lock()
 	st.QueueDepth = s.queued
 	st.Running = s.running
@@ -218,6 +242,10 @@ func (s *Scheduler) Stats() Stats {
 // from Config.Registry, or the private registry normalize minted. Servers
 // expose it next to obs.Default for scraping.
 func (s *Scheduler) Registry() *obs.Registry { return s.cfg.Registry }
+
+// batchLingerPoll is how often a lingering worker rescans the queue for
+// batchmates (see Config.BatchLinger).
+const batchLingerPoll = 200 * time.Microsecond
 
 func (s *Scheduler) worker() {
 	defer s.wg.Done()
@@ -240,18 +268,71 @@ func (s *Scheduler) worker() {
 		}
 		s.queued--
 		s.running++
+		// Coalesce: sweep every queue (all priorities) for jobs that may
+		// share the leader's batched dispatch, then optionally linger for
+		// batchmates still arriving.
+		hs := []*JobHandle{h}
+		var key batch.Key
+		coalescing := s.cfg.BatchMax > 1 && h.spec.batchable()
+		if coalescing {
+			key = h.spec.batchKey()
+			hs = append(hs, s.gatherLocked(key, s.cfg.BatchMax-len(hs))...)
+		}
 		s.met.queueDepth.Set(int64(s.queued))
 		s.met.running.Set(int64(s.running))
 		s.mu.Unlock()
-		if s.beforeRun != nil {
-			s.beforeRun(h)
+		if coalescing && s.cfg.BatchLinger > 0 && len(hs) < s.cfg.BatchMax {
+			deadline := time.Now().Add(s.cfg.BatchLinger)
+			for {
+				time.Sleep(batchLingerPoll)
+				s.mu.Lock()
+				hs = append(hs, s.gatherLocked(key, s.cfg.BatchMax-len(hs))...)
+				closed := s.closed
+				s.met.queueDepth.Set(int64(s.queued))
+				s.met.running.Set(int64(s.running))
+				s.mu.Unlock()
+				if closed || len(hs) >= s.cfg.BatchMax || !time.Now().Before(deadline) {
+					break
+				}
+			}
 		}
-		s.run(h)
+		if s.beforeRun != nil {
+			for _, bh := range hs {
+				s.beforeRun(bh)
+			}
+		}
+		if len(hs) == 1 {
+			s.run(h)
+		} else {
+			s.runBatch(hs)
+		}
 		s.mu.Lock()
-		s.running--
+		s.running -= len(hs)
 		s.met.running.Set(int64(s.running))
 		s.mu.Unlock()
 	}
+}
+
+// gatherLocked removes up to max queued jobs whose specs match the batch
+// key — scanning highest priority first, submission order within each class
+// — and marks them running. The caller holds s.mu.
+func (s *Scheduler) gatherLocked(key batch.Key, max int) []*JobHandle {
+	var out []*JobHandle
+	for pri := numPriorities - 1; pri >= 0 && len(out) < max; pri-- {
+		q := s.queues[pri]
+		kept := q[:0]
+		for _, h := range q {
+			if len(out) < max && h.spec.batchable() && h.spec.batchKey() == key {
+				out = append(out, h)
+				s.queued--
+				s.running++
+				continue
+			}
+			kept = append(kept, h)
+		}
+		s.queues[pri] = kept
+	}
+	return out
 }
 
 // jitter draws one uniform variate in [0, 1) from the scheduler's seeded
@@ -298,7 +379,7 @@ func (s *Scheduler) run(h *JobHandle) {
 	deadline := func(attempts int, cause error) {
 		s.met.deadlineExceeded.Inc()
 		s.met.failed.Inc()
-		h.finish(nil, &DeadlineError{Deadline: spec.Deadline, Attempts: attempts, Cause: cause})
+		h.finish(nil, &DeadlineError{Deadline: spec.Deadline, Attempts: h.prior + attempts, Cause: cause})
 	}
 	// expire routes a job-budget expiry to the right terminal state: the
 	// caller's context going first means cancellation; otherwise the
@@ -315,14 +396,15 @@ func (s *Scheduler) run(h *JobHandle) {
 	resumedAttempts := 0
 	succeed := func(f *Factorization, attempts int, cacheHit bool) {
 		res := &JobResult{
-			Outcome:  f.Outcome,
-			Factors:  f,
-			Residual: f.Residual,
-			Attempts: attempts,
-			Resumed:  resumedAttempts,
-			CacheHit: cacheHit,
-			Wait:     wait,
-			Trace:    tr,
+			Outcome:   f.Outcome,
+			Factors:   f,
+			Residual:  f.Residual,
+			Attempts:  h.prior + attempts,
+			Resumed:   resumedAttempts,
+			CacheHit:  cacheHit,
+			Coalesced: h.coalesced,
+			Wait:      wait,
+			Trace:     tr,
 		}
 		if spec.B != nil {
 			x, err := f.Solve(spec.B)
@@ -455,7 +537,7 @@ func (s *Scheduler) run(h *JobHandle) {
 					return
 				}
 				if attempt >= s.cfg.Retry.MaxAttempts {
-					fail(&FailStopError{Attempts: attempt, Cause: err})
+					fail(&FailStopError{Attempts: h.prior + attempt, Cause: err})
 					return
 				}
 			case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
@@ -515,7 +597,7 @@ func (s *Scheduler) run(h *JobHandle) {
 			if attempt >= s.cfg.Retry.MaxAttempts {
 				fail(&CorruptError{
 					Outcome: f.Outcome, Report: f.Report(),
-					Attempts: attempt, Injected: injected(),
+					Attempts: h.prior + attempt, Injected: injected(),
 				})
 				return
 			}

@@ -76,6 +76,16 @@ const (
 	// ran before being aborted (device loss, hang reap, cancellation) —
 	// the work lost per abort.
 	MetricAttemptAbortSeconds = "ftla_attempt_abort_seconds"
+	// MetricBatchSize histograms the size of every coalesced batched
+	// dispatch (solo runs are not observed; a dispatch of size 1 never
+	// takes the batched path).
+	MetricBatchSize = "ftla_batch_size"
+	// MetricBatchJobsCoalesced counts jobs served through coalesced
+	// batched dispatches (the histogram's sample sum, as a counter).
+	MetricBatchJobsCoalesced = "ftla_batch_jobs_coalesced_total"
+	// MetricBatchDispatches counts coalesced batched dispatches issued
+	// (the histogram's sample count, as a counter).
+	MetricBatchDispatches = "ftla_batch_dispatches_total"
 	// MetricDeviceUtilization gauges each simulated device's overlap
 	// utilization (label "device"): aggregated busy seconds over aggregated
 	// logical makespan across every pooled system released so far. Under
@@ -132,6 +142,17 @@ type Stats struct {
 	SystemsCreated uint64
 	SystemsReused  uint64
 
+	// Batching. BatchDispatches counts coalesced dispatches;
+	// JobsCoalesced counts jobs they carried (mean batch size is the
+	// ratio). Jobs on the solo path appear in neither.
+	BatchDispatches uint64
+	JobsCoalesced   uint64
+
+	// JobsPerSec is completed jobs per wall second since the scheduler
+	// started — the serving-throughput headline the batched dispatch path
+	// exists to raise.
+	JobsPerSec float64
+
 	// Gauges.
 	QueueDepth int // jobs admitted, not yet dispatched
 	Running    int // jobs currently on a worker
@@ -167,6 +188,9 @@ type metrics struct {
 	quarantined             *obs.Gauge
 	abortSeconds            *obs.Histogram
 	deviceUtil              *obs.FloatGaugeVec
+	batchSize               *obs.Histogram
+	batchCoalesced          *obs.Counter
+	batchDispatches         *obs.Counter
 
 	mu              sync.Mutex
 	waitMax, runMax time.Duration
@@ -206,6 +230,12 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Wall-clock time an attempt ran before being aborted, seconds.", nil),
 		deviceUtil: reg.FloatGaugeVec(MetricDeviceUtilization,
 			"Per-device overlap utilization: busy seconds over logical makespan, aggregated across released systems.", "device"),
+		batchSize: reg.Histogram(MetricBatchSize,
+			"Size of each coalesced batched dispatch (jobs per dispatch).", obs.BatchSizeBuckets()),
+		batchCoalesced: reg.Counter(MetricBatchJobsCoalesced,
+			"Jobs served through coalesced batched dispatches."),
+		batchDispatches: reg.Counter(MetricBatchDispatches,
+			"Coalesced batched dispatches issued."),
 	}
 }
 
@@ -249,6 +279,8 @@ func (m *metrics) snapshot() Stats {
 		DeadlineExceeded: m.deadlineExceeded.Value(),
 		AbortedAttempts:  m.abortSeconds.Count(),
 		Quarantined:      int(m.quarantined.Value()),
+		BatchDispatches:  m.batchDispatches.Value(),
+		JobsCoalesced:    m.batchCoalesced.Value(),
 	}
 	if n := m.waitSeconds.Count(); n > 0 {
 		st.AvgWait = time.Duration(m.waitSeconds.Sum() / float64(n) * float64(time.Second))

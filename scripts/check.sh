@@ -56,3 +56,10 @@ go test -race -timeout 5m -run 'TestPipeline|TestStream' -count=2 ./internal/cor
 # so run it here without the detector. This is the only place the ≥15%
 # overlap-improvement acceptance criterion is checked.
 go test -timeout 5m -run 'TestPipelineLookaheadHidesPanelWork' ./internal/core
+
+# Batch-throughput gate: batched small-matrix serving must amortize
+# per-step transfer latency — simulated-clock throughput must rise
+# monotonically with batch size and reach >=2x solo throughput at batch
+# 16 (writes BENCH_batch.json). Run without -race for the same reason as
+# the makespan gate: the assertion is on simulated time, not wall time.
+go test -timeout 5m -run 'TestBatchThroughputGate' .
