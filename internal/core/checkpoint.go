@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 
-	"ftla/internal/hetsim"
 	"ftla/internal/matrix"
 	"ftla/internal/obs"
 )
@@ -133,22 +132,9 @@ func (p *protected) captureCheckpoint(next int) *Checkpoint {
 // checkpoint, but no data is shipped and no checksums are encoded —
 // restoreFrom fills everything from the snapshot.
 func allocProtectedFor(es *engineSys, cp *Checkpoint) *protected {
-	G := es.sys.NumGPUs()
 	p := &protected{es: es, n: cp.N, nb: cp.NB, nbr: cp.N / cp.NB, tol: cp.Tol}
-	p.local = make([]*hetsim.Buffer, G)
-	p.colChk = make([]*hetsim.Buffer, G)
-	p.rowChk = make([]*hetsim.Buffer, G)
-	p.nloc = make([]int, G)
-	for g := 0; g < G; g++ {
-		p.nloc[g] = (p.nbr - g + G - 1) / G
-		p.local[g] = es.sys.GPU(g).Alloc(p.n, p.nloc[g]*p.nb)
-		if es.opts.Mode != NoChecksum {
-			p.colChk[g] = es.sys.GPU(g).Alloc(2*p.nbr, p.nloc[g]*p.nb)
-		}
-		if es.opts.Mode == Full {
-			p.rowChk[g] = es.sys.GPU(g).Alloc(p.n, 2*p.nloc[g])
-		}
-	}
+	p.initCyclicLayout(es.sys.NumGPUs())
+	p.allocSlabs()
 	return p
 }
 

@@ -90,9 +90,10 @@ type cholLadder struct {
 	err  error
 }
 
-func (l *cholLadder) steps() int     { return l.p.nbr }
-func (l *cholLadder) failed() error  { return l.err }
-func (l *cholLadder) panelPivot(int) {}
+func (l *cholLadder) steps() int         { return l.p.nbr }
+func (l *cholLadder) failed() error      { return l.err }
+func (l *cholLadder) layout() *protected { return l.p }
+func (l *cholLadder) panelPivot(int)     {}
 
 // checkpoint snapshots the distributed state after step next-1; Cholesky
 // carries no per-step history beyond the matrix itself.
@@ -478,7 +479,7 @@ func (p *protected) cholTMURegions(k int, stages []stagePair) []fault.Region {
 	}
 	lb0 := p.trailStart(0, k+1)
 	if lb0 < p.nloc[0] {
-		bj := lb0*p.es.sys.NumGPUs() + 0
+		bj := p.globalBlock(0, lb0)
 		r0 := bj * p.nb
 		regs = append(regs, fault.Region{
 			Part: fault.UpdatePart,
@@ -520,7 +521,6 @@ func (p *protected) tmuRange(g, k int, sel tmuSel) (lb0, lb1 int) {
 //	rowChk pairs   −= L21[bj·nb:]·(c(L21) strip bj)ᵀ  (transposed-checksum
 //	                                                   trick of Fig. 2)
 func (p *protected) cholTMUOnGPU(g, k int, st stagePair, sel tmuSel) {
-	G := p.es.sys.NumGPUs()
 	gdev := p.es.sys.GPU(g)
 	nb := p.nb
 	o := k * nb
@@ -528,7 +528,7 @@ func (p *protected) cholTMUOnGPU(g, k int, st stagePair, sel tmuSel) {
 	full := p.es.opts.Mode == Full
 	lb0, lb1 := p.tmuRange(g, k, sel)
 	for lb := lb0; lb < lb1; lb++ {
-		bj := lb*G + g
+		bj := p.globalBlock(g, lb)
 		r0 := bj * nb
 		c := p.local[g].View(r0, lb*nb, p.n-r0, nb)
 		aStage := st.data.View(r0-(o+nb), 0, p.n-r0, nb)
@@ -539,7 +539,7 @@ func (p *protected) cholTMUOnGPU(g, k int, st stagePair, sel tmuSel) {
 	// load the stage independently and see clean values.
 	p.es.restoreOnChip()
 	for lb := lb0; lb < lb1; lb++ {
-		bj := lb*G + g
+		bj := p.globalBlock(g, lb)
 		r0 := bj * nb
 		aStage := st.data.View(r0-(o+nb), 0, p.n-r0, nb)
 		bBlk := st.data.View(r0-(o+nb), 0, nb, nb)

@@ -92,8 +92,9 @@ type luLadder struct {
 	err  error
 }
 
-func (l *luLadder) steps() int    { return l.p.nbr }
-func (l *luLadder) failed() error { return l.err }
+func (l *luLadder) steps() int         { return l.p.nbr }
+func (l *luLadder) failed() error      { return l.err }
+func (l *luLadder) layout() *protected { return l.p }
 
 // checkpoint snapshots the distributed state after step next-1 plus the
 // pivot history of the finished steps. Pivot entries beyond next·NB are
@@ -560,7 +561,7 @@ func (p *protected) luPURegions(k int, stages []stagePair) []fault.Region {
 		regs = append(regs, fault.Region{
 			Part: fault.UpdatePart,
 			M:    p.local[0].View(o, lb0*nb, nb, cols).UnsafeData(),
-			Row0: o, Col0: (lb0*p.es.sys.NumGPUs() + 0) * nb,
+			Row0: o, Col0: p.globalBlock(0, lb0) * nb,
 		})
 	}
 	return regs
@@ -583,12 +584,12 @@ func (p *protected) luTMURegions(k int, stages []stagePair) []fault.Region {
 			fault.Region{
 				Part: fault.ReferencePart,
 				M:    p.local[0].View(o, lb0*nb, nb, cols).UnsafeData(),
-				Row0: o, Col0: (lb0*p.es.sys.NumGPUs() + 0) * nb,
+				Row0: o, Col0: p.globalBlock(0, lb0) * nb,
 			},
 			fault.Region{
 				Part: fault.UpdatePart,
 				M:    p.local[0].View(o+nb, lb0*nb, p.n-o-nb, cols).UnsafeData(),
-				Row0: o + nb, Col0: (lb0*p.es.sys.NumGPUs() + 0) * nb,
+				Row0: o + nb, Col0: p.globalBlock(0, lb0) * nb,
 			})
 	}
 	return regs

@@ -123,16 +123,21 @@ type Options struct {
 	// CheckpointEvery, when > 0, snapshots the factorization state into a
 	// host-side Checkpoint after every CheckpointEvery-th ladder step whose
 	// verification passed — the snapshot is known-clean, so a later
-	// rollback restores verified state. 0 (the default) disables
+	// rollback restores verified state. 0 (the zero value) disables
 	// checkpointing entirely; behavior is then identical to a run without
-	// this option. The final step is never checkpointed (there is nothing
-	// left to resume).
+	// this option, and OnCheckpoint must be nil (Validate rejects the
+	// combination — a callback that can never fire is a configuration
+	// bug, not a no-op). Negative values are rejected. The final step is
+	// never checkpointed (there is nothing left to resume).
 	CheckpointEvery int
 	// OnCheckpoint, when non-nil, receives each checkpoint as it is taken,
-	// on the coordinating goroutine. The serving layer uses this to keep
-	// the latest checkpoint across a fail-stop abort; callers must treat
-	// the Checkpoint as immutable (the runtime may restore from it later
-	// in the same run).
+	// on the coordinating goroutine. It requires CheckpointEvery > 0:
+	// Validate rejects OnCheckpoint without a checkpoint interval. The
+	// serving layer uses this to keep the latest checkpoint across a
+	// fail-stop abort; callers must treat the Checkpoint as immutable (the
+	// runtime may restore from it later in the same run). nil (the zero
+	// value) simply means no observer — checkpoints are still taken and
+	// used for mid-run rollback.
 	OnCheckpoint func(*Checkpoint)
 	// Resume, when non-nil, starts the run from the checkpoint instead of
 	// from the input matrix: the state is restored onto the *current*
@@ -140,12 +145,55 @@ type Options struct {
 	// snapshot) and the ladder replays from Checkpoint.NextStep. The input
 	// matrix must still be the original A — it anchors the final residual
 	// check. A resumed run is bit-identical to an uninterrupted run on the
-	// same final device set.
+	// same final device set. nil (the zero value) starts from the input
+	// matrix. Resume composes freely with CheckpointEvery (a resumed run
+	// may take fresh checkpoints) but requires a checkpoint whose
+	// N/NB/Mode/Scheme match this configuration — the mismatch is rejected
+	// at run start, not here, because the order n is a run argument.
 	Resume *Checkpoint
+	// Rebalance configures dynamic repartitioning of trailing block
+	// columns across GPUs; see the Rebalance type. The zero value disables
+	// it (static block-column-cyclic layout for the whole run).
+	Rebalance Rebalance
 
 	// stageJournal, when non-nil, receives the runtime's canonical stage
 	// journal for the run (test hook; see runtime.go).
 	stageJournal *[]stageRec
+	// onRebalance, when non-nil, observes each applied rebalance: the
+	// ladder step it ran after and the global block columns that moved
+	// (test hook; see rebalance.go).
+	onRebalance func(step int, moved []int)
+}
+
+// Rebalance configures dynamic work repartitioning: the step runtime
+// measures each GPU's trailing-update time, EWMA-smooths a per-column
+// throughput estimate, and every Every steps re-apportions the remaining
+// trailing block columns proportionally to the estimated speeds, migrating
+// ownership of reassigned columns over simulated PCIe with their checksum
+// strips riding along (see DESIGN.md §10). Results are bit-identical to
+// the static layout: migration copies exact bits and every kernel's
+// per-column arithmetic is owner-independent.
+type Rebalance struct {
+	// Every is the rebalance interval in ladder steps; 0 (the zero value)
+	// disables rebalancing entirely and negative values are rejected by
+	// Validate. Rebalancing also stays off — regardless of Every — while a
+	// fault Injector is attached (injection windows address regions by the
+	// static layout) and on single-GPU systems (nothing to re-split).
+	Every int
+	// MinShare is the floor fraction of the remaining trailing columns
+	// every GPU keeps (rounded to whole columns, at least one while any
+	// remain), so a slow device keeps producing throughput samples and can
+	// earn width back when it recovers. 0 (the zero value) means no floor
+	// beyond that single column. Must be in [0, 1); Validate rejects the
+	// rest.
+	MinShare float64
+	// Suspect lists GPU indices believed slow before the run starts — the
+	// serving layer sets it when re-admitting a quarantined straggler on
+	// probation — and makes the runtime apply an initial rebalance before
+	// step one: suspects start at the MinShare floor instead of a full
+	// cyclic share, then earn width back through the normal estimator.
+	// Empty (the zero value) starts from the plain cyclic layout.
+	Suspect []int
 }
 
 // Validate normalizes and sanity-checks the options for order n.
@@ -161,6 +209,23 @@ func (o *Options) Validate(n int) error {
 	}
 	if o.Mode != NoChecksum && o.Scheme == NoCheck {
 		return fmt.Errorf("core: mode %v requires a checking scheme", o.Mode)
+	}
+	if o.CheckpointEvery < 0 {
+		return fmt.Errorf("core: CheckpointEvery %d must not be negative (0 disables checkpointing)", o.CheckpointEvery)
+	}
+	if o.OnCheckpoint != nil && o.CheckpointEvery <= 0 {
+		return fmt.Errorf("core: OnCheckpoint requires CheckpointEvery > 0 (the callback would never fire)")
+	}
+	if o.Rebalance.Every < 0 {
+		return fmt.Errorf("core: Rebalance.Every %d must not be negative (0 disables rebalancing)", o.Rebalance.Every)
+	}
+	if o.Rebalance.MinShare < 0 || o.Rebalance.MinShare >= 1 {
+		return fmt.Errorf("core: Rebalance.MinShare %v outside [0, 1)", o.Rebalance.MinShare)
+	}
+	for _, g := range o.Rebalance.Suspect {
+		if g < 0 {
+			return fmt.Errorf("core: Rebalance.Suspect holds negative GPU index %d", g)
+		}
 	}
 	return nil
 }
@@ -265,6 +330,12 @@ type Result struct {
 	// but uncorrectable corruption that was replayed from verified state
 	// instead of surrendering to a complete restart.
 	Rollbacks int
+	// Rebalances counts applied repartitionings (rounds that actually
+	// moved at least one column; Options.Rebalance.Every > 0).
+	Rebalances int
+	// MovedColumns counts block columns that migrated between GPUs across
+	// all rebalances of the run.
+	MovedColumns int
 }
 
 // OutcomeOf derives the run outcome given whether the final residual check

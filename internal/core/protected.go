@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"ftla/internal/checksum"
 	"ftla/internal/hetsim"
 	"ftla/internal/matrix"
@@ -8,11 +10,21 @@ import (
 )
 
 // protected is the distributed, checksum-encoded matrix state. The n×n
-// matrix is distributed over the GPUs in a 1-D block-column-cyclic layout
-// (block column bj lives on GPU bj mod G, as in MAGMA): each GPU stores a
-// compact n × localCols panel of its block columns, a column-checksum
-// matrix with one 2-row strip per block row, and (under Full mode) a
-// row-checksum matrix with one 2-column strip per local block column.
+// matrix is distributed over the GPUs in a 1-D block-column layout: each
+// GPU stores a compact n × localCols panel of its block columns, a
+// column-checksum matrix with one 2-row strip per block row, and (under
+// Full mode) a row-checksum matrix with one 2-column strip per local block
+// column.
+//
+// Ownership is table-backed rather than arithmetic. Runs start from the
+// MAGMA-style block-column-cyclic assignment (block column bj on GPU
+// bj mod G), but the rebalancer may migrate trailing block columns between
+// GPUs mid-run, so owner/localBlock lookups go through own/loc/blocks. The
+// one invariant every consumer relies on is that blocks[g] is sorted by
+// global block index: a GPU's trailing blocks (bj >= some k) are then
+// always a contiguous suffix of its local slab, which keeps every
+// range-based view ([trailStart, nloc)) valid no matter how columns have
+// been shuffled.
 type protected struct {
 	es  *engineSys
 	n   int
@@ -20,33 +32,91 @@ type protected struct {
 	nbr int // number of block rows == block columns
 	tol float64
 
-	local  []*hetsim.Buffer // [g] n × localCols(g)
-	colChk []*hetsim.Buffer // [g] 2·nbr × localCols(g)
-	rowChk []*hetsim.Buffer // [g] n × 2·localBlocks(g); nil when mode != Full
-	nloc   []int            // local block count per GPU
+	local  []*hetsim.Buffer // [g] n × capb(g)·nb
+	colChk []*hetsim.Buffer // [g] 2·nbr × capb(g)·nb
+	rowChk []*hetsim.Buffer // [g] n × 2·capb(g); nil when mode != Full
+	nloc   []int            // local block count per GPU (used prefix of the slab)
+
+	// Ownership tables. own[bj] is the GPU holding block column bj,
+	// loc[bj] its local block index there, and blocks[g] the sorted global
+	// block indices GPU g holds (len(blocks[g]) == nloc[g]).
+	own    []int
+	loc    []int
+	blocks [][]int
+	// capb is each GPU's slab capacity in blocks; nloc[g] <= capb[g].
+	// Static runs size slabs exactly; rebalancing runs reserve full width
+	// so migration never reallocates.
+	capb []int
 }
 
 // owner returns the GPU index holding block column bj.
-func (p *protected) owner(bj int) int { return bj % p.es.sys.NumGPUs() }
+func (p *protected) owner(bj int) int { return p.own[bj] }
 
 // localBlock returns the local block index of block column bj on its
 // owner.
-func (p *protected) localBlock(bj int) int { return bj / p.es.sys.NumGPUs() }
+func (p *protected) localBlock(bj int) int { return p.loc[bj] }
 
 // localOff returns the local column offset of block column bj on its
 // owner.
-func (p *protected) localOff(bj int) int { return p.localBlock(bj) * p.nb }
+func (p *protected) localOff(bj int) int { return p.loc[bj] * p.nb }
 
 // trailStart returns, for GPU g, the first local block index belonging to
-// block columns >= bj.
+// block columns >= bj. Because blocks[g] is sorted, the answer is a binary
+// search and the trailing blocks form a contiguous slab suffix.
 func (p *protected) trailStart(g, bj int) int {
-	// Smallest lb with lb*G + g >= bj.
-	G := p.es.sys.NumGPUs()
-	lb := (bj - g + G - 1) / G
-	if lb < 0 {
-		lb = 0
+	return sort.SearchInts(p.blocks[g], bj)
+}
+
+// globalBlock returns the global block-column index of GPU g's local
+// block lb — the inverse of localBlock.
+func (p *protected) globalBlock(g, lb int) int { return p.blocks[g][lb] }
+
+// initCyclicLayout fills the ownership tables with the block-column-cyclic
+// assignment (bj on GPU bj mod G) every run starts from.
+func (p *protected) initCyclicLayout(G int) {
+	p.own = make([]int, p.nbr)
+	p.loc = make([]int, p.nbr)
+	p.blocks = make([][]int, G)
+	p.nloc = make([]int, G)
+	for g := 0; g < G; g++ {
+		p.nloc[g] = (p.nbr - g + G - 1) / G
+		p.blocks[g] = make([]int, 0, p.nbr)
 	}
-	return lb
+	for bj := 0; bj < p.nbr; bj++ {
+		g := bj % G
+		p.own[bj] = g
+		p.loc[bj] = len(p.blocks[g])
+		p.blocks[g] = append(p.blocks[g], bj)
+	}
+}
+
+// allocSlabs allocates each GPU's data and checksum slabs. Rebalancing
+// runs (Options.Rebalance.Every > 0) allocate full-width slabs (nbr
+// blocks) so column migration is a shift-and-copy, never a realloc;
+// static runs size them to the cyclic share.
+func (p *protected) allocSlabs() {
+	es := p.es
+	G := es.sys.NumGPUs()
+	p.local = make([]*hetsim.Buffer, G)
+	p.colChk = make([]*hetsim.Buffer, G)
+	p.rowChk = make([]*hetsim.Buffer, G)
+	p.capb = make([]int, G)
+	for g := 0; g < G; g++ {
+		p.capb[g] = p.nloc[g]
+		if es.opts.Rebalance.Every > 0 {
+			p.capb[g] = p.nbr
+		}
+		if p.capb[g] == 0 {
+			p.capb[g] = 1 // never happens for nbr >= G; defensive
+		}
+		p.local[g] = es.sys.GPU(g).Alloc(p.n, p.capb[g]*p.nb)
+		if es.opts.Mode != NoChecksum {
+			p.colChk[g] = es.sys.GPU(g).Alloc(2*p.nbr, p.capb[g]*p.nb)
+		}
+		if es.opts.Mode == Full {
+			p.rowChk[g] = es.sys.GPU(g).Alloc(p.n, 2*p.capb[g])
+		}
+	}
 }
 
 // newProtected distributes a (resident on the CPU) across the GPUs and
@@ -62,23 +132,13 @@ func newProtected(es *engineSys, a *matrix.Dense) *protected {
 		p.tol = 1e-9
 	}
 
-	p.local = make([]*hetsim.Buffer, G)
-	p.colChk = make([]*hetsim.Buffer, G)
-	p.rowChk = make([]*hetsim.Buffer, G)
-	p.nloc = make([]int, G)
-	for g := 0; g < G; g++ {
-		p.nloc[g] = (p.nbr - g + G - 1) / G
-	}
+	p.initCyclicLayout(G)
+	p.allocSlabs()
 	cpu := es.sys.CPU()
 	for g := 0; g < G; g++ {
-		cols := p.nloc[g] * nb
-		if cols == 0 {
-			cols = nb // never happens for nbr >= G; defensive
-		}
-		p.local[g] = es.sys.GPU(g).Alloc(n, p.nloc[g]*nb)
 		// Ship each block column over PCIe.
 		for lb := 0; lb < p.nloc[g]; lb++ {
-			bj := lb*G + g
+			bj := p.blocks[g][lb]
 			src := cpu.AllocFrom(a.View(0, bj*nb, n, nb))
 			es.sys.Transfer(src, p.local[g].View(0, lb*nb, n, nb))
 		}
@@ -88,15 +148,15 @@ func newProtected(es *engineSys, a *matrix.Dense) *protected {
 		for g := 0; g < G; g++ {
 			gdev := es.sys.GPU(g)
 			lc := p.nloc[g] * nb
-			p.colChk[g] = gdev.Alloc(2*p.nbr, lc)
-			data := p.local[g]
-			cc := p.colChk[g]
+			// Encode over the used prefix only: rebalancing runs allocate
+			// wider slabs whose tail holds no blocks yet.
+			data := p.local[g].View(0, 0, n, lc)
+			cc := p.colChk[g].View(0, 0, 2*p.nbr, lc)
 			gdev.Run("encode-col", 4*float64(n*lc), func(w int) {
 				checksum.EncodeCol(es.opts.Kernel, w, data.Access(gdev), nb, cc.Access(gdev))
 			})
 			if es.opts.Mode == Full {
-				p.rowChk[g] = gdev.Alloc(n, 2*p.nloc[g])
-				rc := p.rowChk[g]
+				rc := p.rowChk[g].View(0, 0, n, 2*p.nloc[g])
 				gdev.Run("encode-row", 4*float64(n*lc), func(w int) {
 					checksum.EncodeRow(es.opts.Kernel, w, data.Access(gdev), nb, rc.Access(gdev))
 				})
@@ -105,6 +165,77 @@ func newProtected(es *engineSys, a *matrix.Dense) *protected {
 		stop()
 	}
 	return p
+}
+
+// migrateColumn moves ownership of block column bj to GPU dst: the
+// destination shifts its slab right to open a hole at the sorted insertion
+// point, the data column and its checksum strips travel over PCIe, the
+// source compacts its slab, and the ownership tables are updated. The
+// copies are bit-exact, so the column's ABFT protection (column-checksum
+// strip, row-checksum pair) survives the move unchanged. Callers batch
+// rounds of moves inside a hetsim.CoalesceTransfers window so a round
+// pays each link's PCIe latency once.
+func (p *protected) migrateColumn(bj, dst int) {
+	src := p.own[bj]
+	if src == dst {
+		return
+	}
+	nb, n := p.nb, p.n
+	sl := p.loc[bj]
+	full := p.es.opts.Mode == Full
+	chk := p.es.opts.Mode != NoChecksum
+
+	// Open a hole at dst's sorted insertion point: shift local blocks
+	// [idx, nloc) one block right. Device-local, zero flops.
+	idx := sort.SearchInts(p.blocks[dst], bj)
+	ddev := p.es.sys.GPU(dst)
+	if w := (p.nloc[dst] - idx) * nb; w > 0 {
+		copyWithin(ddev, p.local[dst].View(0, idx*nb, n, w), p.local[dst].View(0, (idx+1)*nb, n, w))
+		if chk {
+			copyWithin(ddev, p.colChk[dst].View(0, idx*nb, 2*p.nbr, w), p.colChk[dst].View(0, (idx+1)*nb, 2*p.nbr, w))
+		}
+		if full {
+			wp := 2 * (p.nloc[dst] - idx)
+			copyWithin(ddev, p.rowChk[dst].View(0, 2*idx, n, wp), p.rowChk[dst].View(0, 2*(idx+1), n, wp))
+		}
+	}
+
+	// Ship the column and its checksum strips into the hole.
+	p.es.transfer(p.local[src].View(0, sl*nb, n, nb), p.local[dst].View(0, idx*nb, n, nb))
+	if chk {
+		p.es.transfer(p.colChk[src].View(0, sl*nb, 2*p.nbr, nb), p.colChk[dst].View(0, idx*nb, 2*p.nbr, nb))
+	}
+	if full {
+		p.es.transfer(p.rowChk[src].View(0, 2*sl, n, 2), p.rowChk[dst].View(0, 2*idx, n, 2))
+	}
+
+	// Compact the source: shift local blocks (sl, nloc) one block left.
+	sdev := p.es.sys.GPU(src)
+	if w := (p.nloc[src] - sl - 1) * nb; w > 0 {
+		copyWithin(sdev, p.local[src].View(0, (sl+1)*nb, n, w), p.local[src].View(0, sl*nb, n, w))
+		if chk {
+			copyWithin(sdev, p.colChk[src].View(0, (sl+1)*nb, 2*p.nbr, w), p.colChk[src].View(0, sl*nb, 2*p.nbr, w))
+		}
+		if full {
+			wp := 2 * (p.nloc[src] - sl - 1)
+			copyWithin(sdev, p.rowChk[src].View(0, 2*(sl+1), n, wp), p.rowChk[src].View(0, 2*sl, n, wp))
+		}
+	}
+
+	// Update the tables: remove bj from src, insert into dst at idx.
+	p.blocks[src] = append(p.blocks[src][:sl], p.blocks[src][sl+1:]...)
+	p.nloc[src]--
+	for _, b := range p.blocks[src][sl:] {
+		p.loc[b]--
+	}
+	p.blocks[dst] = append(p.blocks[dst], 0)
+	copy(p.blocks[dst][idx+1:], p.blocks[dst][idx:])
+	p.blocks[dst][idx] = bj
+	p.nloc[dst]++
+	for i := idx; i < p.nloc[dst]; i++ {
+		p.loc[p.blocks[dst][i]] = i
+	}
+	p.own[bj] = dst
 }
 
 // gather copies the distributed matrix back to a CPU-resident dense

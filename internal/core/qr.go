@@ -93,10 +93,11 @@ type qrLadder struct {
 	err  error
 }
 
-func (l *qrLadder) steps() int      { return l.p.nbr }
-func (l *qrLadder) failed() error   { return l.err }
-func (l *qrLadder) panelPivot(int)  {}
-func (l *qrLadder) panelUpdate(int) {}
+func (l *qrLadder) steps() int         { return l.p.nbr }
+func (l *qrLadder) failed() error      { return l.err }
+func (l *qrLadder) layout() *protected { return l.p }
+func (l *qrLadder) panelPivot(int)     {}
+func (l *qrLadder) panelUpdate(int)    {}
 
 // checkpoint snapshots the distributed state after step next-1 plus the
 // Householder scalars of the finished steps. Entries beyond next·NB are
@@ -564,7 +565,7 @@ func (p *protected) qrTMURegions(k int, stages []stagePair) []fault.Region {
 		regs = append(regs, fault.Region{
 			Part: fault.UpdatePart,
 			M:    p.local[0].View(o, lb0*nb, p.n-o, cols).UnsafeData(),
-			Row0: o, Col0: (lb0*p.es.sys.NumGPUs() + 0) * nb,
+			Row0: o, Col0: p.globalBlock(0, lb0) * nb,
 		})
 	}
 	return regs

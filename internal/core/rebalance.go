@@ -1,0 +1,365 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"ftla/internal/obs"
+)
+
+// Dynamic work repartitioning (DESIGN.md §10).
+//
+// The static 1-D block-column-cyclic layout fixes each GPU's share of the
+// trailing matrix for the whole factorization, so a device that slows down
+// mid-run (the hetsim straggler fault, or genuinely heterogeneous device
+// speeds) inflates every trailing-update stage to its pace. The rebalancer
+// closes the loop the Heterogeneous-Solvers exemplar closes with its
+// per-iteration gpuProportion recompute: measure each GPU's trailing-update
+// time, EWMA-smooth a per-column cost estimate, and every
+// Options.Rebalance.Every steps re-apportion the remaining trailing block
+// columns proportionally to estimated speed, migrating ownership of
+// reassigned columns over simulated PCIe with their checksum strips riding
+// along (protected.migrateColumn).
+//
+// The decision pipeline is deterministic and schedule-invariant: samples
+// come from hetsim.Device.SimTime, which accumulates kernel time only
+// (transfers charge the PCIe link, not the device), so the serial and
+// look-ahead schedules — which run the identical TMU kernel set between the
+// two sampling points — feed the estimator identical inputs and reach
+// identical decisions. Results are bit-identical to the static layout
+// because migration copies exact bits and every kernel's per-column
+// arithmetic is owner-independent.
+
+// Rebalance instruments in the obs default registry.
+var (
+	rebalancesTotal = obs.Default().Counter(obs.MetricRebalances,
+		"Applied work repartitionings (rebalance rounds that moved at least one column).")
+	rebalanceMoved = obs.Default().Counter(obs.MetricRebalanceMoved,
+		"Block columns migrated between GPUs by the rebalancer, checksum strips riding along.")
+	deviceShare = obs.Default().FloatGaugeVec(obs.MetricDeviceShare,
+		"Per-GPU share of the remaining trailing block columns at the latest rebalance decision.",
+		"device")
+)
+
+// rebalancer is the optional ladder capability the step runtime probes for:
+// a ladder that exposes its protected layout can have its trailing columns
+// repartitioned. The batched drivers don't implement it (their slabs
+// interleave many small problems), so rebalancing is silently inert there.
+type rebalancer interface {
+	layout() *protected
+}
+
+// rebEWMA is the smoothing factor of the per-column cost estimator: the
+// newest sample and the history weigh equally, so a 4× straggler dominates
+// the estimate within ~two samples while one noisy step cannot.
+const rebEWMA = 0.5
+
+// rebDeadband is the estimate spread (max/min seconds-per-column) below
+// which the devices count as uniform and the apportionment snaps to equal
+// weights. Per-column costs differ slightly across GPUs even on identical
+// devices (Cholesky's trailing columns shrink with depth, so each GPU
+// averages over different heights); without the deadband that noise would
+// shuffle columns every round. A skewed *layout* is still corrected under
+// the deadband — equal weights re-apportion toward balance — only the
+// weights are snapped, not the decision.
+const rebDeadband = 1.25
+
+// rebMove reassigns block column bj to GPU dst.
+type rebMove struct {
+	bj  int
+	dst int
+}
+
+// rebState is the runtime's rebalancer: the EWMA per-column cost estimate
+// per GPU and the busy-time bracket of the in-flight sample.
+type rebState struct {
+	es    *engineSys
+	p     *protected
+	est   []float64 // EWMA seconds per trailing column; 0 = no sample yet
+	busy0 []float64 // device busy seconds at the last beginSample
+}
+
+func newRebState(es *engineSys, p *protected) *rebState {
+	G := es.sys.NumGPUs()
+	return &rebState{es: es, p: p, est: make([]float64, G), busy0: make([]float64, G)}
+}
+
+// beginSample brackets the start of step k's trailing update: record every
+// GPU's accumulated kernel time. Nil-safe (rebalancing off).
+func (rb *rebState) beginSample() {
+	if rb == nil {
+		return
+	}
+	for g := range rb.busy0 {
+		rb.busy0[g] = rb.es.sys.GPU(g).SimTime()
+	}
+}
+
+// endSample closes the bracket after step k's trailing update (post-join
+// under look-ahead) and folds each GPU's seconds-per-column into its EWMA
+// estimate. Nil-safe.
+func (rb *rebState) endSample(k int) {
+	if rb == nil {
+		return
+	}
+	p := rb.p
+	for g := range rb.est {
+		cols := p.nloc[g] - p.trailStart(g, k+1)
+		if cols <= 0 {
+			continue
+		}
+		delta := rb.es.sys.GPU(g).SimTime() - rb.busy0[g]
+		if delta <= 0 {
+			continue
+		}
+		sample := delta / float64(cols)
+		if rb.est[g] == 0 {
+			rb.est[g] = sample
+		} else {
+			rb.est[g] = (1-rebEWMA)*rb.est[g] + rebEWMA*sample
+		}
+	}
+}
+
+// minCols resolves the MinShare floor in whole columns for T remaining
+// trailing columns: at least one (a starved GPU must keep producing
+// samples to earn width back), at most an equal share.
+func (rb *rebState) minCols(T int) int {
+	G := len(rb.est)
+	m := int(math.Round(rb.es.opts.Rebalance.MinShare * float64(T)))
+	if m < 1 {
+		m = 1
+	}
+	if m > T/G {
+		m = T / G
+	}
+	if m < 0 {
+		m = 0
+	}
+	return m
+}
+
+// plan decides the rebalance after step k: apportion the T = nbr-(k+2)
+// remaining trailing columns (column k+1 is the next panel and stays put)
+// proportionally to estimated speed, and emit the moves that take the
+// current layout there. Returns nil when there is nothing to move.
+func (rb *rebState) plan(k int) []rebMove {
+	if rb == nil {
+		return nil
+	}
+	p := rb.p
+	G := len(rb.est)
+	bjLo := k + 2
+	T := p.nbr - bjLo
+	if T <= 0 {
+		return nil
+	}
+	cur := make([]int, G)
+	for g := 0; g < G; g++ {
+		cur[g] = p.nloc[g] - p.trailStart(g, bjLo)
+	}
+	weights := rb.weights()
+	tgt := apportion(T, weights, cur, rb.minCols(T))
+	for g := 0; g < G; g++ {
+		deviceShare.With(rb.es.sys.GPU(g).Name()).Set(float64(tgt[g]) / float64(T))
+	}
+	return rb.movesFor(tgt, cur)
+}
+
+// planSuspects builds the initial re-entry rebalance: before the first
+// step, GPUs listed in Options.Rebalance.Suspect are cut to the MinShare
+// floor and the rest of the trailing columns split evenly among the others.
+// Suspects earn width back through the normal estimator — their floor share
+// keeps the samples coming. Returns nil when no valid suspects are listed.
+func (rb *rebState) planSuspects(start int) []rebMove {
+	if rb == nil || len(rb.es.opts.Rebalance.Suspect) == 0 {
+		return nil
+	}
+	p := rb.p
+	G := len(rb.est)
+	bjLo := start + 1
+	T := p.nbr - bjLo
+	if T <= 0 {
+		return nil
+	}
+	sus := make([]bool, G)
+	nSus := 0
+	for _, g := range rb.es.opts.Rebalance.Suspect {
+		if g >= 0 && g < G && !sus[g] {
+			sus[g] = true
+			nSus++
+		}
+	}
+	if nSus == 0 || nSus >= G {
+		return nil // nobody healthy to shed load onto
+	}
+	cur := make([]int, G)
+	for g := 0; g < G; g++ {
+		cur[g] = p.nloc[g] - p.trailStart(g, bjLo)
+	}
+	minC := rb.minCols(T)
+	rest := T - nSus*minC
+	// Split rest evenly over the healthy GPUs (equal weights, preferring
+	// current owners so the health majority moves as little as possible).
+	hw := make([]float64, 0, G-nSus)
+	hcur := make([]int, 0, G-nSus)
+	for g := 0; g < G; g++ {
+		if !sus[g] {
+			hw = append(hw, 1)
+			hcur = append(hcur, cur[g])
+		}
+	}
+	htgt := apportion(rest, hw, hcur, 0)
+	tgt := make([]int, G)
+	hi := 0
+	for g := 0; g < G; g++ {
+		if sus[g] {
+			tgt[g] = minC
+		} else {
+			tgt[g] = htgt[hi]
+			hi++
+		}
+	}
+	for g := 0; g < G; g++ {
+		deviceShare.With(rb.es.sys.GPU(g).Name()).Set(float64(tgt[g]) / float64(T))
+	}
+	return rb.movesFor(tgt, cur)
+}
+
+// weights converts the cost estimates to apportionment weights: speed =
+// 1/cost. GPUs without a sample yet, or a spread inside the deadband,
+// collapse to equal weights.
+func (rb *rebState) weights() []float64 {
+	G := len(rb.est)
+	w := make([]float64, G)
+	mn, mx := math.Inf(1), 0.0
+	for g, e := range rb.est {
+		if e <= 0 {
+			for i := range w {
+				w[i] = 1
+			}
+			return w
+		}
+		w[g] = 1 / e
+		mn = math.Min(mn, e)
+		mx = math.Max(mx, e)
+	}
+	if mx/mn < rebDeadband {
+		for i := range w {
+			w[i] = 1
+		}
+	}
+	return w
+}
+
+// apportion distributes T whole columns over the GPUs proportionally to
+// weights by largest remainder, breaking ties toward the current owner
+// (larger cur first, then lower index) so a balanced layout under equal
+// weights maps to itself, then raises everyone to the minC floor by taking
+// from the largest targets. Deterministic throughout.
+func apportion(T int, weights []float64, cur []int, minC int) []int {
+	G := len(weights)
+	tgt := make([]int, G)
+	sum := 0.0
+	for _, w := range weights {
+		sum += w
+	}
+	if T <= 0 || sum <= 0 {
+		return tgt
+	}
+	type frac struct {
+		g   int
+		rem float64
+	}
+	fracs := make([]frac, G)
+	used := 0
+	for g, w := range weights {
+		exact := float64(T) * w / sum
+		tgt[g] = int(math.Floor(exact))
+		fracs[g] = frac{g, exact - float64(tgt[g])}
+		used += tgt[g]
+	}
+	sort.SliceStable(fracs, func(i, j int) bool {
+		if fracs[i].rem != fracs[j].rem {
+			return fracs[i].rem > fracs[j].rem
+		}
+		if cur[fracs[i].g] != cur[fracs[j].g] {
+			return cur[fracs[i].g] > cur[fracs[j].g]
+		}
+		return fracs[i].g < fracs[j].g
+	})
+	for i := 0; used < T; i++ {
+		tgt[fracs[i%G].g]++
+		used++
+	}
+	for raised := true; raised; {
+		raised = false
+		for g := 0; g < G; g++ {
+			if tgt[g] >= minC {
+				continue
+			}
+			donor := -1
+			for h := 0; h < G; h++ {
+				if tgt[h] > minC && (donor < 0 || tgt[h] > tgt[donor]) {
+					donor = h
+				}
+			}
+			if donor < 0 {
+				return tgt
+			}
+			tgt[donor]--
+			tgt[g]++
+			raised = true
+		}
+	}
+	return tgt
+}
+
+// movesFor turns a target apportionment into concrete moves: each donor
+// releases its highest-indexed trailing columns (the cheapest and
+// latest-needed), and receivers in ascending GPU order drain the pool from
+// the highest column down. Deterministic.
+func (rb *rebState) movesFor(tgt, cur []int) []rebMove {
+	p := rb.p
+	var pool []int
+	for g := range tgt {
+		for i := 0; i < cur[g]-tgt[g]; i++ {
+			pool = append(pool, p.blocks[g][p.nloc[g]-1-i])
+		}
+	}
+	if len(pool) == 0 {
+		return nil
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(pool)))
+	var moves []rebMove
+	pi := 0
+	for g := range tgt {
+		for i := 0; i < tgt[g]-cur[g]; i++ {
+			moves = append(moves, rebMove{bj: pool[pi], dst: g})
+			pi++
+		}
+	}
+	return moves
+}
+
+// apply executes a planned round of moves inside one coalesced-transfer
+// window (each PCIe link pays its latency once per round, as a real
+// batched cudaMemcpy would), updates the run counters and process
+// metrics, and notifies the test hook.
+func (rb *rebState) apply(k int, moves []rebMove) {
+	es := rb.es
+	moved := make([]int, 0, len(moves))
+	es.sys.CoalesceTransfers(func() {
+		for _, m := range moves {
+			rb.p.migrateColumn(m.bj, m.dst)
+			moved = append(moved, m.bj)
+		}
+	})
+	es.res.Rebalances++
+	es.res.MovedColumns += len(moves)
+	rebalancesTotal.Inc()
+	rebalanceMoved.Add(uint64(len(moves)))
+	if es.opts.onRebalance != nil {
+		es.opts.onRebalance(k, moved)
+	}
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"ftla/internal/checksum"
+	"ftla/internal/hetsim"
+	"ftla/internal/matrix"
+)
+
+// newRebalProtected is newTestProtected with rebalancing armed, so the
+// slabs are allocated at full capacity and migrateColumn has room to
+// receive columns on any GPU.
+func newRebalProtected(t *testing.T, n, nb, gpus int) (*protected, *matrix.Dense) {
+	t.Helper()
+	sys := testSystem(gpus)
+	rng := matrix.NewRNG(uint64(n + nb + gpus))
+	a := matrix.RandomDiagDominant(n, rng)
+	opts := Options{NB: nb, Mode: Full, Scheme: NewScheme, Rebalance: Rebalance{Every: 1}}
+	if err := opts.Validate(n); err != nil {
+		t.Fatal(err)
+	}
+	es := newEngine("test", sys, opts, &Result{})
+	return newProtected(es, a), a
+}
+
+// TestMigrateColumnPreservesLayout: after an arbitrary sequence of
+// migrations the ownership tables stay mutually consistent, each GPU's
+// block list stays sorted (the suffix invariant every range helper relies
+// on), and gather reproduces the original matrix bit-for-bit.
+func TestMigrateColumnPreservesLayout(t *testing.T) {
+	p, a := newRebalProtected(t, 96, 16, 3)
+	moves := []struct{ bj, dst int }{
+		{0, 2}, {5, 0}, {3, 0}, {3, 1}, {4, 1}, {0, 0}, {2, 2},
+	}
+	for _, m := range moves {
+		p.migrateColumn(m.bj, m.dst)
+	}
+	total := 0
+	for g := 0; g < 3; g++ {
+		total += p.nloc[g]
+		if len(p.blocks[g]) != p.nloc[g] {
+			t.Fatalf("GPU%d: len(blocks)=%d != nloc=%d", g, len(p.blocks[g]), p.nloc[g])
+		}
+		for i, bj := range p.blocks[g] {
+			if i > 0 && p.blocks[g][i-1] >= bj {
+				t.Fatalf("GPU%d block list not sorted: %v", g, p.blocks[g])
+			}
+			if p.own[bj] != g || p.loc[bj] != i {
+				t.Fatalf("tables disagree for block %d: own=%d loc=%d, want %d/%d",
+					bj, p.own[bj], p.loc[bj], g, i)
+			}
+		}
+	}
+	if total != p.nbr {
+		t.Fatalf("nloc sums to %d, want %d", total, p.nbr)
+	}
+	if !p.gather().Equal(a) {
+		t.Fatal("gather does not reproduce the matrix after migrations")
+	}
+}
+
+// TestMigrationPreservesABFT is the protection-survives-migration contract:
+// a just-migrated column's checksum strips still verify on the destination,
+// and a fault injected into the migrated data is detected and corrected
+// there — the strips rode along with the data, bit-exact.
+func TestMigrationPreservesABFT(t *testing.T) {
+	p, _ := newRebalProtected(t, 96, 16, 2)
+	// Move block column 4 from GPU0 to GPU1 (and another for slab churn).
+	p.migrateColumn(4, 1)
+	p.migrateColumn(1, 0)
+	if worst, _ := p.verifyTrailingCol(0, 0); worst != repairClean {
+		t.Fatal("checksums inconsistent right after migration")
+	}
+	g1 := p.es.sys.GPU(1)
+	data := p.local[1].Access(g1)
+	want := data.Clone()
+	// Corrupt one element inside the migrated column (block 4 lives at
+	// local offset loc[4]*nb on GPU1 now).
+	col := p.localOff(4) + 7
+	data.Set(11, col, data.At(11, col)+3.5)
+	worst, _ := p.verifyTrailingCol(0, 0)
+	if worst != repairCorrected {
+		t.Fatalf("corruption in migrated column: outcome %v, want corrected", worst)
+	}
+	if !p.es.res.Detected {
+		t.Fatal("corruption not recorded as detected")
+	}
+	if !data.EqualWithin(want, 1e-10) {
+		d, r, c := data.MaxAbsDiff(want)
+		t.Fatalf("repair off by %g at (%d,%d)", d, r, c)
+	}
+	// The row checksums moved too: every row of the migrated pair verifies.
+	for _, r := range []int{0, 11, 95} {
+		if !p.verifyRowQuick(1, r, 0) {
+			t.Fatalf("rowChk row %d inconsistent on destination after migration", r)
+		}
+	}
+}
+
+// TestRebalanceBitIdentityUniform is the correctness half of the dynamic
+// partitioning contract: with rebalancing forced to churn (a suspect GPU
+// starts at the floor share and, the devices being uniform, earns its
+// share back — migrations in both directions), every decomposition under
+// both schedules produces factors, pivots, and reflectors bit-identical
+// to the static-layout run on the same devices.
+func TestRebalanceBitIdentityUniform(t *testing.T) {
+	for _, decomp := range []string{"cholesky", "lu", "qr"} {
+		for _, lookahead := range []int{0, 1} {
+			for gpus := 1; gpus <= 3; gpus++ {
+				t.Run(fmt.Sprintf("%s/lookahead=%d/gpus=%d", decomp, lookahead, gpus), func(t *testing.T) {
+					a := pipelineInput(decomp, 128)
+					base := Options{NB: 16, Mode: Full, Scheme: NewScheme,
+						Kernel: checksum.OptKernel, Lookahead: lookahead}
+					bout, bpiv, btau, _, err := runDecomp(decomp, testSystem(gpus), a, base)
+					if err != nil {
+						t.Fatalf("static run: %v", err)
+					}
+					dyn := base
+					dyn.Rebalance = Rebalance{Every: 2, Suspect: []int{0}}
+					dout, dpiv, dtau, dres, err := runDecomp(decomp, testSystem(gpus), a, dyn)
+					if err != nil {
+						t.Fatalf("rebalancing run: %v", err)
+					}
+					if gpus >= 2 && dres.MovedColumns == 0 {
+						t.Fatal("suspect start moved no columns; the test exercised nothing")
+					}
+					if gpus < 2 && dres.Rebalances != 0 {
+						t.Fatal("rebalancer ran on a single-GPU system")
+					}
+					if d, r, c := bout.MaxAbsDiff(dout); d != 0 {
+						t.Fatalf("factor differs from static: |Δ|=%g at (%d,%d)", d, r, c)
+					}
+					for i := range bpiv {
+						if dpiv[i] != bpiv[i] {
+							t.Fatalf("pivot %d differs: %d vs %d", i, dpiv[i], bpiv[i])
+						}
+					}
+					for i := range btau {
+						if dtau[i] != btau[i] {
+							t.Fatalf("tau %d differs: %v vs %v", i, dtau[i], btau[i])
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestRebalanceCheckpointResume: rebalancing composes with mid-run
+// checkpoints — a checkpoint taken while the layout is skewed resumes on a
+// fresh system (rebalancing still on) to the same bits as an uninterrupted
+// static run, because checkpoints store per-block-column host state,
+// independent of which GPU held each column.
+func TestRebalanceCheckpointResume(t *testing.T) {
+	a := pipelineInput("lu", 128)
+	base := Options{NB: 16, Mode: Full, Scheme: NewScheme, Kernel: checksum.OptKernel}
+	bout, bpiv, _, err := LU(testSystem(2), a, base)
+	if err != nil {
+		t.Fatalf("static run: %v", err)
+	}
+
+	var last *Checkpoint
+	dyn := base
+	dyn.Rebalance = Rebalance{Every: 1, Suspect: []int{1}}
+	dyn.CheckpointEvery = 2
+	dyn.OnCheckpoint = func(cp *Checkpoint) { last = cp }
+	if _, _, res, err := LU(testSystem(2), a, dyn); err != nil {
+		t.Fatalf("rebalancing+checkpointing run: %v", err)
+	} else if res.MovedColumns == 0 || res.Checkpoints == 0 {
+		t.Fatalf("run moved %d columns, took %d checkpoints; want both > 0",
+			res.MovedColumns, res.Checkpoints)
+	}
+	if last == nil {
+		t.Fatal("no checkpoint captured")
+	}
+
+	resOpts := base
+	resOpts.Resume = last
+	resOpts.Rebalance = Rebalance{Every: 1}
+	rout, rpiv, _, err := LU(testSystem(2), a, resOpts)
+	if err != nil {
+		t.Fatalf("resume from step %d: %v", last.NextStep, err)
+	}
+	if d, r, c := bout.MaxAbsDiff(rout); d != 0 {
+		t.Fatalf("resumed factor differs from static: |Δ|=%g at (%d,%d)", d, r, c)
+	}
+	for i := range bpiv {
+		if rpiv[i] != bpiv[i] {
+			t.Fatalf("pivot %d differs after resume", i)
+		}
+	}
+}
+
+// TestRebalanceShedsStragglerLoad: the policy half — under a 4x straggler
+// the rebalancer strips the slow GPU down to the floor share and the run's
+// journal records rebalance stages; the straggler ends the run owning
+// fewer trailing columns than it started with.
+func TestRebalanceShedsStragglerLoad(t *testing.T) {
+	a := pipelineInput("cholesky", 192)
+	slow := map[int]hetsim.FaultPlan{1: {Mode: hetsim.FaultStraggler, Slowdown: 4}}
+	opts := Options{NB: 16, Mode: Full, Scheme: NewScheme, Kernel: checksum.OptKernel,
+		Lookahead: 1, FailStop: slow, Rebalance: Rebalance{Every: 2}}
+	var moved []int
+	opts.onRebalance = func(step int, cols []int) { moved = append(moved, cols...) }
+	_, res, err := Cholesky(testSystem(3), a, opts)
+	if err != nil {
+		t.Fatalf("straggler run: %v", err)
+	}
+	if res.Rebalances == 0 || res.MovedColumns == 0 {
+		t.Fatalf("rebalances=%d moved=%d; straggler provoked nothing", res.Rebalances, res.MovedColumns)
+	}
+	if len(moved) != res.MovedColumns {
+		t.Fatalf("onRebalance saw %d columns, Result says %d", len(moved), res.MovedColumns)
+	}
+}
+
+// TestRebalanceOptionValidation: the invalid knob combinations are
+// rejected up front, not discovered mid-run.
+func TestRebalanceOptionValidation(t *testing.T) {
+	base := func() Options { return Options{NB: 16, Mode: Full, Scheme: NewScheme} }
+	cases := []struct {
+		name string
+		mut  func(*Options)
+	}{
+		{"negative CheckpointEvery", func(o *Options) { o.CheckpointEvery = -1 }},
+		{"OnCheckpoint without interval", func(o *Options) { o.OnCheckpoint = func(*Checkpoint) {} }},
+		{"negative Rebalance.Every", func(o *Options) { o.Rebalance.Every = -2 }},
+		{"negative MinShare", func(o *Options) { o.Rebalance.MinShare = -0.1 }},
+		{"MinShare of 1", func(o *Options) { o.Rebalance.MinShare = 1 }},
+		{"MinShare above 1", func(o *Options) { o.Rebalance.MinShare = math.Inf(1) }},
+		{"negative suspect", func(o *Options) { o.Rebalance.Suspect = []int{0, -3} }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			o := base()
+			c.mut(&o)
+			if err := o.Validate(64); err == nil {
+				t.Fatal("Validate accepted the invalid combination")
+			}
+			a := matrix.RandomSPD(64, matrix.NewRNG(9))
+			if _, _, err := Cholesky(testSystem(2), a, o); err == nil {
+				t.Fatal("driver ran with the invalid combination")
+			}
+		})
+	}
+	// The valid shapes still pass.
+	o := base()
+	o.Rebalance = Rebalance{Every: 3, MinShare: 0.1, Suspect: []int{0}}
+	o.CheckpointEvery = 2
+	o.OnCheckpoint = func(*Checkpoint) {}
+	if err := o.Validate(64); err != nil {
+		t.Fatalf("Validate rejected a valid combination: %v", err)
+	}
+}

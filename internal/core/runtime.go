@@ -137,6 +137,7 @@ const (
 	stageTMUFinish   = "tmu-finish"
 	stageCheckpoint  = "checkpoint"
 	stageRollback    = "rollback"
+	stageRebalance   = "rebalance"
 )
 
 // stageRank orders stages within a step for journal canonicalization.
@@ -151,6 +152,7 @@ var stageRank = map[string]int{
 	stageTMUFinish:   6,
 	stageCheckpoint:  7,
 	stageRollback:    8,
+	stageRebalance:   9,
 }
 
 // maxRollbacksPerCheckpoint bounds how often the runtime will replay from
@@ -174,6 +176,44 @@ type stepRuntime struct {
 	// counts replays from it since it was taken.
 	lastCP    *Checkpoint
 	rollbacks int
+
+	// reb is the dynamic repartitioner, nil unless Options.Rebalance is
+	// armed, the ladder exposes its layout, no injector is attached, and
+	// the system holds at least two GPUs (see initRebalance).
+	reb *rebState
+}
+
+// initRebalance arms the rebalancer when the configuration and ladder
+// allow it: Rebalance.Every > 0, at least two GPUs (nothing to re-split
+// otherwise), no fault injector (injection windows address regions by the
+// static layout — the same reason overlapDepth forces the serial
+// schedule), and a ladder that exposes its protected layout (the batched
+// drivers don't).
+func (rt *stepRuntime) initRebalance() {
+	es := rt.es
+	if es.opts.Rebalance.Every <= 0 || es.inj != nil || es.sys.NumGPUs() < 2 {
+		return
+	}
+	rl, ok := rt.l.(rebalancer)
+	if !ok {
+		return
+	}
+	rt.reb = newRebState(es, rl.layout())
+}
+
+// maybeRebalance, called after step k's verification and checkpoint
+// bookkeeping, repartitions the remaining trailing columns when the
+// interval says so. The stage is journaled only when columns actually
+// move, so a decision that confirms the current layout leaves no trace.
+func (rt *stepRuntime) maybeRebalance(k int) {
+	if rt.reb == nil || (k+1)%rt.es.opts.Rebalance.Every != 0 {
+		return
+	}
+	moves := rt.reb.plan(k)
+	if len(moves) == 0 {
+		return
+	}
+	rt.stage(k, stageRebalance, func() { rt.reb.apply(k, moves) })
 }
 
 // overlapDepth resolves the effective look-ahead depth: the Lookahead
@@ -205,6 +245,13 @@ func runLadder(es *engineSys, l ladder) error {
 		rt.lastCP = cp
 		start = cp.NextStep
 	}
+	rt.initRebalance()
+	// A run entering with suspects (a quarantine-released straggler on
+	// probation) is repartitioned before the first step: the suspect
+	// starts at the floor share instead of a full cyclic one.
+	if moves := rt.reb.planSuspects(start); len(moves) > 0 {
+		rt.stage(start, stageRebalance, func() { rt.reb.apply(start, moves) })
+	}
 	for k := start; k < nbr; k++ {
 		if !rt.factored[k] {
 			rt.stage(k, stagePanelFactor, func() { l.panelFactor(k) })
@@ -225,6 +272,12 @@ func runLadder(es *engineSys, l ladder) error {
 		}
 		rt.stage(k, stagePanelUpdate, func() { l.panelUpdate(k) })
 		rt.stage(k, stageTMUBegin, func() { l.tmuBegin(k) })
+		// The rebalancer brackets the TMU with busy-time samples: device
+		// SimTime accumulates kernel work only, so the bracket captures
+		// the identical kernel set under both schedules (the look-ahead
+		// CPU panel factorization between launch and join charges no GPU
+		// time) and the estimator is schedule-invariant.
+		rt.reb.beginSample()
 		if rt.depth >= 1 {
 			// Look-ahead: update the next panel's column synchronously,
 			// launch the remainder onto per-GPU streams, factorize panel
@@ -247,6 +300,7 @@ func runLadder(es *engineSys, l ladder) error {
 				}
 			})
 		}
+		rt.reb.endSample(k)
 		rt.stage(k, stageTMUFinish, func() { l.tmuFinish(k) })
 		if err := l.failed(); err != nil {
 			return err
@@ -255,6 +309,7 @@ func runLadder(es *engineSys, l ladder) error {
 			continue
 		}
 		rt.maybeCheckpoint(k)
+		rt.maybeRebalance(k)
 	}
 	if es.opts.stageJournal != nil {
 		*es.opts.stageJournal = rt.canonicalJournal()

@@ -35,6 +35,17 @@ const (
 	// ladder steps a rollback discarded (distance from the failing step
 	// back to the checkpointed one, in steps).
 	MetricRollbackDepth = "ftla_rollback_depth_steps"
+	// MetricRebalances counts applied work repartitionings: rebalance
+	// rounds that migrated at least one trailing block column between
+	// GPUs (Options.Rebalance.Every > 0).
+	MetricRebalances = "ftla_rebalance_total"
+	// MetricRebalanceMoved counts block columns migrated between GPUs by
+	// the rebalancer, checksum strips riding along.
+	MetricRebalanceMoved = "ftla_rebalance_moved_columns"
+	// MetricDeviceShare is the per-device gauge family (label "device") of
+	// each GPU's share of the remaining trailing block columns as of the
+	// latest rebalance decision, in [0, 1].
+	MetricDeviceShare = "ftla_device_share"
 )
 
 // phaseHist holds the per-phase histograms of the default registry,

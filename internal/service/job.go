@@ -131,15 +131,16 @@ func (s *JobSpec) tol() float64 {
 
 // batchable reports whether the job may share a coalesced batched dispatch
 // with others of the same batchKey. Per-run control flow the batched
-// drivers cannot share — fail-stop plans, checkpointing, resume — and
-// per-job observation scopes (Trace, Deadline) keep a job on the solo
-// path. A fault Injector is batchable: the batched drivers carry injectors
-// per item, which is exactly what the retry-isolation contract exercises
-// (one injected item must not disturb its batchmates).
+// drivers cannot share — fail-stop plans, checkpointing, resume, dynamic
+// rebalancing — and per-job observation scopes (Trace, Deadline) keep a
+// job on the solo path. A fault Injector is batchable: the batched drivers
+// carry injectors per item, which is exactly what the retry-isolation
+// contract exercises (one injected item must not disturb its batchmates).
 func (s *JobSpec) batchable() bool {
 	c := s.Config
 	return len(c.FailStop) == 0 &&
 		c.CheckpointEvery == 0 && c.OnCheckpoint == nil && c.Resume == nil &&
+		c.Rebalance.Every == 0 &&
 		!s.Trace && s.Deadline == 0
 }
 

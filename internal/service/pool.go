@@ -49,6 +49,13 @@ type systemPool struct {
 	health map[*hetsim.System]int             // consecutive failures per live system
 	quar   map[hetsim.Config][]*hetsim.System // held-out systems per platform
 	grants map[hetsim.Config]int              // acquires since the last probe
+
+	// suspect remembers, for a system quarantined by a device fault, which
+	// GPU index was implicated — so the scheduler can hand the re-admitted
+	// probation probe to the rebalancer as a suspect (it re-enters the
+	// workforce with a floor share instead of full width; see
+	// ftla.RebalanceConfig.Suspect). -1/absent means no specific device.
+	suspect map[*hetsim.System]int
 }
 
 func newSystemPool(maxIdlePer int, met *metrics) *systemPool {
@@ -63,6 +70,7 @@ func newSystemPool(maxIdlePer int, met *metrics) *systemPool {
 		health:     make(map[*hetsim.System]int),
 		quar:       make(map[hetsim.Config][]*hetsim.System),
 		grants:     make(map[hetsim.Config]int),
+		suspect:    make(map[*hetsim.System]int),
 	}
 }
 
@@ -131,6 +139,35 @@ func (p *systemPool) quarantine(sys *hetsim.System) {
 	p.quarLocked(sys)
 	p.mu.Unlock()
 	p.met.quarantined.Add(1)
+}
+
+// quarantineSuspect is quarantine plus a note of which GPU index was
+// implicated in the fault. When the system is later re-admitted as a
+// probation probe, takeSuspect surfaces the index so the scheduler can
+// start the probe's run with that GPU at the rebalancer's floor share —
+// a recurring straggler then costs a sliver of throughput instead of a
+// blown makespan. gpu < 0 records no suspect (plain quarantine).
+func (p *systemPool) quarantineSuspect(sys *hetsim.System, gpu int) {
+	if gpu >= 0 {
+		p.mu.Lock()
+		p.suspect[sys] = gpu
+		p.mu.Unlock()
+	}
+	p.quarantine(sys)
+}
+
+// takeSuspect returns and clears the suspect GPU index recorded when sys
+// was last quarantined by a device fault, or -1. Callers invoke it on
+// every acquire: only a re-admitted probation probe can carry one.
+func (p *systemPool) takeSuspect(sys *hetsim.System) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	g, ok := p.suspect[sys]
+	if !ok {
+		return -1
+	}
+	delete(p.suspect, sys)
+	return g
 }
 
 // harvest folds the system's device utilization and logical makespan into

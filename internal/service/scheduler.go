@@ -40,6 +40,7 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -495,6 +496,16 @@ func (s *Scheduler) run(h *JobHandle) {
 			actx, acancel = context.WithTimeout(jctx, s.cfg.AttemptTimeout)
 		}
 		sys := s.pool.acquire(sysCfg)
+		if g := s.pool.takeSuspect(sys); g >= 0 && g < sysCfg.NumGPUs &&
+			sysCfg.NumGPUs > 1 && cfg.Injector == nil && cfg.Rebalance.Every == 0 {
+			// Probation probe carrying a suspect GPU: instead of trusting the
+			// repaired device with a full cyclic share, arm the rebalancer so
+			// the suspect re-enters at the MinShare floor and must earn width
+			// back through measured throughput. Jobs that configured their own
+			// rebalancing (or an injector, under which rebalancing is inert)
+			// keep their settings.
+			cfg.Rebalance = ftla.RebalanceConfig{Every: 1, Suspect: []int{g}}
+		}
 		// Bind the attempt context into the system: kernels and transfers
 		// gate on it, so cancellation, the job Deadline, and the attempt
 		// timeout all abort mid-factorization instead of after it.
@@ -528,7 +539,7 @@ func (s *Scheduler) run(h *JobHandle) {
 				if tr != nil {
 					tr.WallSpan("device-lost:"+name, "fault", attemptStart, aborted)
 				}
-				s.pool.quarantine(sys)
+				s.pool.quarantineSuspect(sys, gpuIndex(name))
 				if strings.HasPrefix(name, "GPU") && sysCfg.NumGPUs > 1 {
 					sysCfg.NumGPUs--
 				}
@@ -625,6 +636,20 @@ func (s *Scheduler) run(h *JobHandle) {
 
 // runDecomposition executes one attempt on the given system and classifies
 // its outcome from the report plus the service's own residual check.
+// gpuIndex parses the device index from a hetsim GPU name ("GPU2" → 2);
+// -1 for the CPU, the PCIe pseudo-device, or anything unparseable.
+func gpuIndex(name string) int {
+	rest, ok := strings.CutPrefix(name, "GPU")
+	if !ok {
+		return -1
+	}
+	g, err := strconv.Atoi(rest)
+	if err != nil || g < 0 {
+		return -1
+	}
+	return g
+}
+
 func runDecomposition(sys *hetsim.System, spec JobSpec, cfg ftla.Config) (*Factorization, error) {
 	tol := spec.tol()
 	switch spec.Decomp {

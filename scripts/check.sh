@@ -22,6 +22,11 @@ fi
 # every exported identifier there must carry a doc comment.
 go run ./scripts/doclint internal/obs internal/service
 
+# README lint: the config-reference and ftserve-flag tables in README.md
+# must cover every exported ftla.Config field and every registered flag
+# (regenerate the flag table with `go run ./cmd/ftserve -print-flags`).
+go run ./scripts/readmelint
+
 # Step-runtime lint: driver files must go through the runtime's es.kernel /
 # es.transfer wrappers (which carry stream routing, abort plumbing, and
 # stage spans) — never call the simulator directly. See DESIGN.md §8.
@@ -56,6 +61,15 @@ go test -race -timeout 5m -run 'TestPipeline|TestStream' -count=2 ./internal/cor
 # so run it here without the detector. This is the only place the ≥15%
 # overlap-improvement acceptance criterion is checked.
 go test -timeout 5m -run 'TestPipelineLookaheadHidesPanelWork' ./internal/core
+
+# Rebalance gate: dynamic partitioning must claw back >=40% of the
+# makespan inflation a 4x straggler causes, per decomposition, and be
+# bit-identical to the static layout on uniform devices (the identity
+# half lives in the core suite above). The assertion is on the simulated
+# clock, so it holds under -race — and the rebalance/migration path is
+# new concurrency worth running under the detector (writes
+# BENCH_rebalance.json).
+go test -race -timeout 5m -run 'TestRebalanceMakespanGate' .
 
 # Batch-throughput gate: batched small-matrix serving must amortize
 # per-step transfer latency — simulated-clock throughput must rise

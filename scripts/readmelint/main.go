@@ -1,0 +1,128 @@
+// Command readmelint keeps README.md's reference tables honest: it
+// extracts the exported fields of ftla.Config from the source (go/ast)
+// and the registered ftserve flag names from cmd/ftserve/main.go, then
+// fails when any of them is missing from the README — the generate-and-
+// diff companion to scripts/doclint, wired into scripts/check.sh so the
+// docs cannot drift behind the config surface again.
+//
+// Usage (from the repository root):
+//
+//	go run ./scripts/readmelint
+//
+// Exit status 1 lists each missing entry. The tables themselves are
+// regenerated with `go run ./cmd/ftserve -print-flags` /
+// `-print-endpoints`; the Config table is maintained by hand against
+// ftla.go's godoc.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+)
+
+func main() {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "readmelint: %v (run from the repository root)\n", err)
+		os.Exit(2)
+	}
+	doc := string(readme)
+
+	missing := 0
+	for _, field := range configFields("ftla.go") {
+		if !strings.Contains(doc, "`"+field+"`") {
+			fmt.Fprintf(os.Stderr, "readmelint: ftla.Config.%s missing from README.md (config reference table)\n", field)
+			missing++
+		}
+	}
+	for _, name := range flagNames("cmd/ftserve/main.go") {
+		if !strings.Contains(doc, "`-"+name+"`") {
+			fmt.Fprintf(os.Stderr, "readmelint: ftserve flag -%s missing from README.md (regenerate with `go run ./cmd/ftserve -print-flags`)\n", name)
+			missing++
+		}
+	}
+	if missing > 0 {
+		fmt.Fprintf(os.Stderr, "readmelint: %d reference-table entries missing\n", missing)
+		os.Exit(1)
+	}
+}
+
+// configFields returns the exported field names of `type Config struct`
+// in the given file.
+func configFields(path string) []string {
+	f := parse(path)
+	var fields []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		ts, ok := n.(*ast.TypeSpec)
+		if !ok || ts.Name.Name != "Config" {
+			return true
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		for _, fl := range st.Fields.List {
+			for _, name := range fl.Names {
+				if name.IsExported() {
+					fields = append(fields, name.Name)
+				}
+			}
+		}
+		return false
+	})
+	if len(fields) == 0 {
+		fmt.Fprintf(os.Stderr, "readmelint: no exported Config fields found in %s\n", path)
+		os.Exit(2)
+	}
+	return fields
+}
+
+// flagNames returns the first-argument string literals of every
+// flag.String/Int/Bool/... registration call in the given file.
+func flagNames(path string) []string {
+	f := parse(path)
+	var names []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) < 1 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || pkg.Name != "flag" {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Bool", "Int", "Int64", "Uint", "Uint64", "Float64", "String", "Duration":
+		default:
+			return true
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		names = append(names, strings.Trim(lit.Value, `"`))
+		return true
+	})
+	if len(names) == 0 {
+		fmt.Fprintf(os.Stderr, "readmelint: no flag registrations found in %s\n", path)
+		os.Exit(2)
+	}
+	return names
+}
+
+func parse(path string) *ast.File {
+	f, err := parser.ParseFile(token.NewFileSet(), path, nil, 0)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "readmelint: %v\n", err)
+		os.Exit(2)
+	}
+	return f
+}
