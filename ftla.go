@@ -160,6 +160,38 @@ const (
 	FailStraggler = hetsim.FaultStraggler
 )
 
+// LinkFaultPlan arms a communication fault on one simulated CPU<->GPU
+// PCIe link: silent payload corruption, dropped transfers, a flapping
+// link that heals after Count failures, or degraded bandwidth. The
+// reliable-transfer protocol the drivers use absorbs transient corruption
+// and flaps by checksummed retransmission; a link that exhausts its
+// retransmission budget aborts the run with a typed *LinkError, which the
+// serving layer treats like a device loss (quarantine + degraded
+// failover).
+type LinkFaultPlan = hetsim.LinkFaultPlan
+
+// Link fault modes for LinkFaultPlan.Mode.
+const (
+	// LinkCorrupt silently flips a bit of a transferred payload element.
+	LinkCorrupt = hetsim.LinkCorrupt
+	// LinkDrop fails the transfer with a typed *LinkError.
+	LinkDrop = hetsim.LinkDrop
+	// LinkFlap fails the next Count transfers on the link, then heals.
+	LinkFlap = hetsim.LinkFlap
+	// LinkDegrade multiplies the link's bandwidth cost by Factor.
+	LinkDegrade = hetsim.LinkDegrade
+)
+
+// LinkError is the typed error a factorization returns when a PCIe link
+// fault could not be absorbed by retransmission.
+type LinkError = hetsim.LinkError
+
+// ErrCheckpointIntegrity is wrapped by the error a resume (or mid-run
+// rollback) returns when the checkpoint's content no longer matches the
+// checksum taken at capture — a tampered or corrupted snapshot is
+// rejected, never replayed.
+var ErrCheckpointIntegrity = core.ErrCheckpointIntegrity
+
 // DeviceLostError is the typed error a factorization returns when a
 // simulated device fail-stops mid-run.
 type DeviceLostError = hetsim.DeviceLostError
@@ -205,6 +237,11 @@ type Config struct {
 	// else GPU id). A firing plan aborts the run with a typed
 	// DeviceLostError/DeviceHungError.
 	FailStop map[int]FailStopPlan
+	// LinkFault arms communication fault plans on the simulated PCIe
+	// links, keyed by GPU index (link i is the CPU<->GPUi path).
+	// Transient corruption/flaps are absorbed by checksummed
+	// retransmission; exhausted links abort with a typed *LinkError.
+	LinkFault map[int]LinkFaultPlan
 	// PeriodicTrailingCheck > 0 adds a full trailing verification every
 	// k-th iteration under NewScheme (§VII.B mitigation).
 	PeriodicTrailingCheck int
@@ -273,6 +310,7 @@ func (c Config) normalize() (Config, core.Options) {
 		Kernel:                c.Kernel,
 		Injector:              c.Injector,
 		FailStop:              c.FailStop,
+		LinkFault:             c.LinkFault,
 		PeriodicTrailingCheck: c.PeriodicTrailingCheck,
 		Lookahead:             c.Lookahead,
 		CheckpointEvery:       c.CheckpointEvery,

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	"ftla/internal/matrix"
 	"ftla/internal/obs"
@@ -19,7 +21,16 @@ var (
 	rollbackDepth = obs.Default().Histogram(obs.MetricRollbackDepth,
 		"Ladder steps discarded per rollback (failing step back to the checkpointed one).",
 		[]float64{1, 2, 4, 8, 16, 32, 64})
+	checkpointIntegrityFailures = obs.Default().Counter(obs.MetricCheckpointIntegrityFailures,
+		"Checkpoints rejected at resume/rollback because the content checksum no longer matched.")
 )
+
+// ErrCheckpointIntegrity reports a checkpoint whose content no longer
+// matches the checksum taken at capture: the snapshot was tampered with or
+// corrupted at rest, and resuming (or rolling back onto) it would silently
+// replay garbage. Wrapped by the resume/rollback rejection errors, so
+// errors.Is classifies them.
+var ErrCheckpointIntegrity = errors.New("core: checkpoint integrity check failed")
 
 // Checkpoint is a host-side snapshot of a factorization in flight, taken by
 // the step runtime immediately after step NextStep-1's verification passed —
@@ -63,6 +74,69 @@ type Checkpoint struct {
 	// Tau is the QR Householder scalar history, zero beyond the finished
 	// steps; nil for other decompositions.
 	Tau []float64
+	// Sum is the content checksum taken at capture over every payload the
+	// snapshot carries (data panels, checksum strips, pivot and reflector
+	// histories, and the resume step). Resume and mid-run rollback
+	// re-derive it and reject the checkpoint on a mismatch — a corrupted
+	// snapshot is surrendered as detected, never silently replayed.
+	Sum uint64
+}
+
+// contentSum re-derives the checkpoint's content checksum: a Fletcher-
+// style running pair over the bit patterns of everything a replay would
+// trust. Position-sensitive, so swapped panels change the value.
+func (cp *Checkpoint) contentSum() uint64 {
+	var s1, s2 uint64
+	add := func(b uint64) {
+		s1 += b
+		s2 += s1
+	}
+	addMat := func(m *matrix.Dense) {
+		if m == nil {
+			add(1)
+			return
+		}
+		for i := 0; i < m.Rows; i++ {
+			for _, v := range m.Row(i) {
+				add(math.Float64bits(v))
+			}
+		}
+	}
+	add(uint64(cp.NextStep))
+	for _, m := range cp.Data {
+		addMat(m)
+	}
+	for _, m := range cp.ColChk {
+		addMat(m)
+	}
+	for _, m := range cp.RowChk {
+		addMat(m)
+	}
+	for _, pv := range cp.Piv {
+		add(uint64(int64(pv)))
+	}
+	for _, t := range cp.Tau {
+		add(math.Float64bits(t))
+	}
+	return s1 ^ (s2<<1 | s2>>63)
+}
+
+// seal stores the content checksum. The runtime calls it once the driver
+// has finished populating the snapshot (captureCheckpoint leaves Piv/Tau
+// to the ladder) and before any OnCheckpoint hook can observe it —
+// whatever mutates the checkpoint afterwards is detectable.
+func (cp *Checkpoint) seal() { cp.Sum = cp.contentSum() }
+
+// verifyIntegrity checks the stored content checksum against a fresh
+// derivation, ticking the integrity-failure metric and returning an error
+// wrapping ErrCheckpointIntegrity on mismatch. Both resume (validateFor)
+// and mid-run rollback call it before trusting a snapshot.
+func (cp *Checkpoint) verifyIntegrity() error {
+	if cp.contentSum() != cp.Sum {
+		checkpointIntegrityFailures.Inc()
+		return fmt.Errorf("%w: stored %#x != derived content", ErrCheckpointIntegrity, cp.Sum)
+	}
+	return nil
 }
 
 // validateFor checks that the checkpoint can resume decomposition decomp of
@@ -87,7 +161,7 @@ func (cp *Checkpoint) validateFor(decomp string, n int, opts *Options) error {
 	case cp.Mode == Full && len(cp.RowChk) != len(cp.Data):
 		return fmt.Errorf("core: checkpoint missing row-checksum strips")
 	}
-	return nil
+	return cp.verifyIntegrity()
 }
 
 // captureCheckpoint snapshots the distributed state into a host-side

@@ -149,7 +149,8 @@ func (p *protected) verifyRepairColReport(workers int, data, chk *matrix.Dense, 
 
 // newEngine bundles the run state for the named decomposition, snapshots
 // the flop counter so the result can report the run's own work, and arms
-// any fail-stop fault plans of the options on the system's devices.
+// any fail-stop fault plans (devices) and link fault plans (PCIe links)
+// of the options on the system.
 func newEngine(decomp string, sys *hetsim.System, opts Options, res *Result) *engineSys {
 	for id, plan := range opts.FailStop {
 		switch {
@@ -157,6 +158,11 @@ func newEngine(decomp string, sys *hetsim.System, opts Options, res *Result) *en
 			sys.ArmFault(sys.CPU(), plan)
 		case id >= 0 && id < sys.NumGPUs():
 			sys.ArmFault(sys.GPU(id), plan)
+		}
+	}
+	for id, plan := range opts.LinkFault {
+		if id >= 0 && id < sys.NumGPUs() {
+			sys.ArmLinkFault(id, plan)
 		}
 	}
 	return &engineSys{decomp: decomp, sys: sys, opts: opts, res: res, inj: opts.Injector, startFlops: blas.Flops()}

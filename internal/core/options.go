@@ -111,6 +111,14 @@ type Options struct {
 	// ABFT checksums cannot repair a device that is gone; the serving
 	// layer's failover answers this class (see internal/service).
 	FailStop map[int]hetsim.FaultPlan
+	// LinkFault arms communication fault plans on the simulated PCIe
+	// links at the start of the run, keyed by GPU index (link i is the
+	// CPU<->GPUi path). Transient corruption and flaps are absorbed by
+	// the reliable-transfer protocol's retransmissions; a link whose
+	// faults exhaust the budget aborts the run with a typed
+	// hetsim.LinkError, which the serving layer classifies like a device
+	// loss (quarantine + degraded failover).
+	LinkFault map[int]hetsim.LinkFaultPlan
 	// Lookahead selects the step-runtime schedule: 0 (or negative) runs the
 	// legacy fully serial ladder; 1 enables MAGMA-style look-ahead — the
 	// CPU pulls and factorizes panel k+1 while the GPUs run step k's

@@ -140,7 +140,7 @@ func newProtected(es *engineSys, a *matrix.Dense) *protected {
 		for lb := 0; lb < p.nloc[g]; lb++ {
 			bj := p.blocks[g][lb]
 			src := cpu.AllocFrom(a.View(0, bj*nb, n, nb))
-			es.sys.Transfer(src, p.local[g].View(0, lb*nb, n, nb))
+			es.transfer(src, p.local[g].View(0, lb*nb, n, nb))
 		}
 	}
 	if es.opts.Mode != NoChecksum {
@@ -246,7 +246,7 @@ func (p *protected) gather() *matrix.Dense {
 	for bj := 0; bj < p.nbr; bj++ {
 		g := p.owner(bj)
 		dst := cpu.Alloc(p.n, p.nb)
-		p.es.sys.Transfer(p.local[g].View(0, p.localOff(bj), p.n, p.nb), dst)
+		p.es.transfer(p.local[g].View(0, p.localOff(bj), p.n, p.nb), dst)
 		out.View(0, bj*p.nb, p.n, p.nb).CopyFrom(dst.Access(cpu))
 	}
 	return out

@@ -329,6 +329,7 @@ func (rt *stepRuntime) maybeCheckpoint(k int) {
 	}
 	var cp *Checkpoint
 	rt.stage(k, stageCheckpoint, func() { cp = rt.l.checkpoint(k + 1) })
+	cp.seal()
 	rt.lastCP = cp
 	rt.rollbacks = 0
 	es.res.Checkpoints++
@@ -350,6 +351,15 @@ func (rt *stepRuntime) maybeCheckpoint(k int) {
 func (rt *stepRuntime) maybeRollback(k *int) bool {
 	es := rt.es
 	if !es.res.Unrecoverable || rt.lastCP == nil || rt.rollbacks >= maxRollbacksPerCheckpoint {
+		return false
+	}
+	if err := rt.lastCP.verifyIntegrity(); err != nil {
+		// The snapshot itself is damaged (tampered with, or corrupted at
+		// rest): replaying it would launder garbage into a "recovered" run.
+		// Drop it and let the unrecoverable verdict stand — the run
+		// completes as detected-corrupt and the serving layer's complete
+		// restart takes over.
+		rt.lastCP = nil
 		return false
 	}
 	cp := rt.lastCP
@@ -423,11 +433,16 @@ func (rt *stepRuntime) canonicalJournal() []stageRec {
 	return out
 }
 
-// transfer moves src to dst over PCIe. Drivers route all data movement
-// through the runtime (scripts/check.sh lints driver files for direct
-// sys.Transfer calls) so the schedule stays visible in one place.
+// transfer moves src to dst over PCIe via the reliable protocol: the
+// payload is checksummed at the source and verified on arrival, so a
+// corrupting or flapping link is absorbed by retransmission below the
+// factorization instead of feeding it damaged panels (see
+// hetsim.TransferReliable). All of internal/core routes data movement
+// through this wrapper (scripts/check.sh lints the package for direct
+// sys.Transfer calls) so the schedule and the reliability policy stay
+// visible in one place.
 func (es *engineSys) transfer(src, dst *hetsim.Buffer) {
-	es.sys.Transfer(src, dst)
+	es.sys.TransferReliable(src, dst)
 }
 
 // kernel executes a named kernel body on a device, charging flops to the

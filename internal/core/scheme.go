@@ -119,8 +119,8 @@ func (p *protected) verifyStages(stages []stagePair, countPer *int, blocksPerSta
 func (p *protected) rebroadcastFailed(src, srcChk *hetsim.Buffer, stages []stagePair, outs []repairOutcome) {
 	for g := range stages {
 		if outs[g] == repairFailed {
-			p.es.sys.Transfer(src, stages[g].data)
-			p.es.sys.Transfer(srcChk, stages[g].chk)
+			p.es.transfer(src, stages[g].data)
+			p.es.transfer(srcChk, stages[g].chk)
 			p.es.res.Counter.Rebroadcasts++
 		}
 	}

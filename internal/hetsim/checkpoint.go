@@ -8,13 +8,16 @@ import "ftla/internal/matrix"
 // gates and charging the communication clocks), never read out of device
 // memory behind the simulator's back. A CPU-resident buffer is cloned
 // host-side for free, matching a real host's memcpy. The returned matrix is
-// owned by the caller and shares no storage with the buffer.
+// owned by the caller and shares no storage with the buffer. The staging
+// copy uses the reliable protocol (TransferReliable): a snapshot damaged
+// in flight would poison every later rollback, so checkpoint traffic is
+// never left to a lucky wire.
 func (s *System) Checkpoint(src *Buffer) *matrix.Dense {
 	if src.dev == s.cpu {
 		return src.Access(s.cpu).Clone()
 	}
 	stage := s.cpu.Alloc(src.Rows(), src.Cols())
-	s.Transfer(src, stage)
+	s.TransferReliable(src, stage)
 	return stage.Access(s.cpu)
 }
 
@@ -29,5 +32,5 @@ func (s *System) Restore(snap *matrix.Dense, dst *Buffer) {
 		return
 	}
 	src := s.cpu.AllocFrom(snap)
-	s.Transfer(src, dst)
+	s.TransferReliable(src, dst)
 }

@@ -86,6 +86,9 @@ func (p FaultPlan) String() string {
 	case FaultNone:
 		return "none"
 	case FaultStraggler:
+		if p.Stall == 0 {
+			return fmt.Sprintf("straggler x%.1f after %d ops", p.Slowdown, p.AfterOps)
+		}
 		return fmt.Sprintf("straggler x%.1f +%v/op after %d ops", p.Slowdown, p.Stall, p.AfterOps)
 	default:
 		return fmt.Sprintf("%s after %d ops", p.Mode, p.AfterOps)

@@ -34,6 +34,9 @@ type Config struct {
 	// PCIeGBps and PCIeLatencyUS drive the simulated communication clock.
 	PCIeGBps      float64
 	PCIeLatencyUS float64
+	// MaxRetransmits caps TransferReliable's retransmission budget per
+	// transfer; 0 means DefaultMaxRetransmits.
+	MaxRetransmits int
 }
 
 // DefaultConfig returns a configuration shaped like the paper's testbed
@@ -111,6 +114,11 @@ type System struct {
 	clockMu   sync.Mutex
 	serial    timeline
 	linkAvail []float64
+
+	// Per-GPU link fault state (see linkfault.go), guarded by mu: the
+	// verdict is computed inside the transfer-accounting critical section
+	// so fault rates and the billed time stay consistent.
+	links []linkState
 }
 
 // New builds a simulated node from cfg.
@@ -124,7 +132,7 @@ func New(cfg Config) *System {
 	if cfg.GPUWorkers < 1 {
 		cfg.GPUWorkers = 1
 	}
-	s := &System{cfg: cfg, linkAvail: make([]float64, cfg.NumGPUs)}
+	s := &System{cfg: cfg, linkAvail: make([]float64, cfg.NumGPUs), links: make([]linkState, cfg.NumGPUs)}
 	s.cpu = &Device{kind: CPU, id: -1, workers: cfg.CPUWorkers, gflops: cfg.CPUGflops, sys: s}
 	for i := 0; i < cfg.NumGPUs; i++ {
 		s.gpus = append(s.gpus, &Device{kind: GPU, id: i, workers: cfg.GPUWorkers, gflops: cfg.GPUGflops, sys: s})
@@ -217,8 +225,8 @@ func (s *System) trace(op string, d *Device, flops, endAt, durSecs float64) {
 // Reset returns the system to a like-new state for the next run:
 // simulated clocks and PCIe byte counters zeroed, the recorded events
 // dropped, the per-run attachments — the transfer hook, the obs tracer,
-// and the bound abort context — cleared, and every armed FaultPlan
-// disarmed with crashed/hung devices revived (an aborted run must leave a
+// and the bound abort context — cleared, and every armed FaultPlan and
+// LinkFaultPlan disarmed with crashed/hung devices revived (an aborted run must leave a
 // Reset-safe system: the next job on a pooled, then-probed system starts
 // on a clean, fully populated node — see TestResetClearsFaultPlan). The
 // EnableTrace flag deliberately survives: it is configuration ("record my
@@ -238,6 +246,9 @@ func (s *System) Reset() {
 	s.tracer = nil
 	s.coalesceDepth = 0
 	s.coalescedLinks = nil
+	for i := range s.links {
+		s.links[i] = linkState{}
+	}
 	s.mu.Unlock()
 	s.boundCtx.Store(nil)
 	s.resetClock()
@@ -279,8 +290,26 @@ func (s *System) Transfer(src, dst *Buffer) {
 	s.transferGated(src, dst)
 }
 
-// transferGated is Transfer after the fail-stop gates have passed.
+// transferGated is Transfer after the fail-stop gates have passed. A
+// dropped transfer (armed link fault, see linkfault.go) aborts with the
+// typed *LinkError via the fail-stop panic plumbing — the raw transfer
+// path has no retransmission.
 func (s *System) transferGated(src, dst *Buffer) {
+	if err := s.transferAttempt(src, dst, true); err != nil {
+		panic(&abortPanic{err})
+	}
+}
+
+// transferAttempt executes one wire attempt: it computes the armed link
+// faults' verdict, bills simulated time (degrade inflates the bandwidth
+// term; a dropped transfer still pays for the wire it wasted), then
+// delivers — or corrupts, or drops — the payload. It returns a typed
+// *LinkError on a drop and nil otherwise. TransferReliable calls it in a
+// retransmission loop with runHook false (the fault-injection hook runs
+// once per transfer, after arrival verification — see
+// transferReliableGated); transferGated calls it once with the hook on
+// and panics on error.
+func (s *System) transferAttempt(src, dst *Buffer, runHook bool) error {
 	if src.dev == dst.dev {
 		panic("hetsim: Transfer within a single device; use device-local copies")
 	}
@@ -288,13 +317,17 @@ func (s *System) transferGated(src, dst *Buffer) {
 	if sm.Rows != dm.Rows || sm.Cols != dm.Cols {
 		panic(fmt.Sprintf("hetsim: Transfer shape mismatch %dx%d -> %dx%d", sm.Rows, sm.Cols, dm.Rows, dm.Cols))
 	}
-	dm.CopyFrom(sm)
 	bytes := 8 * sm.Rows * sm.Cols
 	s.mu.Lock()
+	verdict := s.linkFaultVerdict(src.dev, dst.dev)
+	corruptSeq := 0
+	if verdict.corrupt && verdict.link >= 0 {
+		corruptSeq = s.links[verdict.link].n
+	}
 	s.transferred += int64(bytes)
 	var dt float64
 	if s.cfg.PCIeGBps > 0 {
-		dt = float64(bytes) / (s.cfg.PCIeGBps * 1e9)
+		dt = float64(bytes) / (s.cfg.PCIeGBps * 1e9) * verdict.factor
 		link := [2]int{src.dev.id, dst.dev.id}
 		if s.coalesceDepth == 0 || !s.coalescedLinks[link] {
 			dt += s.cfg.PCIeLatencyUS / 1e6
@@ -305,6 +338,12 @@ func (s *System) transferGated(src, dst *Buffer) {
 		s.pcieSimSecs += dt
 	}
 	s.mu.Unlock()
+	if !verdict.drop {
+		dm.CopyFrom(sm)
+		if verdict.corrupt {
+			corruptPayload(dm, corruptSeq)
+		}
+	}
 
 	// Logical clock: the transfer occupies the PCIe link of each GPU
 	// endpoint and is ordered on the executing stream's timeline (the
@@ -345,9 +384,15 @@ func (s *System) transferGated(src, dst *Buffer) {
 		tr.SimSpan(src.dev.Name()+"->"+dst.dev.Name(), obs.PhasePCIe, "PCIe",
 			at, dt, map[string]float64{"bytes": float64(bytes)})
 	}
-	if hook != nil {
+	if verdict.drop {
+		// Nothing arrived, so the fault-injection hook has no payload to
+		// observe.
+		return &LinkError{Link: verdict.link, Op: "pcie", Mode: verdict.mode}
+	}
+	if runHook && hook != nil {
 		hook(src.dev, dst.dev, dm)
 	}
+	return nil
 }
 
 // CoalesceTransfers runs body inside a transfer-coalescing window: every

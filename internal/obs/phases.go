@@ -46,6 +46,17 @@ const (
 	// each GPU's share of the remaining trailing block columns as of the
 	// latest rebalance decision, in [0, 1].
 	MetricDeviceShare = "ftla_device_share"
+	// MetricTransferRetransmits counts PCIe retransmissions issued by the
+	// reliable-transfer protocol after a detected drop or checksum
+	// mismatch.
+	MetricTransferRetransmits = "ftla_transfer_retransmits_total"
+	// MetricLinkFaults counts armed link faults that fired (label "mode":
+	// corrupt, drop, flap, degrade).
+	MetricLinkFaults = "ftla_link_faults_total"
+	// MetricCheckpointIntegrityFailures counts checkpoints rejected at
+	// resume or rollback because their content checksum no longer matched
+	// (a tampered or corrupted snapshot is never replayed).
+	MetricCheckpointIntegrityFailures = "ftla_checkpoint_integrity_failures_total"
 )
 
 // phaseHist holds the per-phase histograms of the default registry,

@@ -14,7 +14,10 @@
 //     a device crash or hang quarantines its system (the pool's circuit
 //     breaker, with probation re-admission), degrades the platform to the
 //     surviving GPU count, and retries; persistent loss terminates with a
-//     typed *FailStopError,
+//     typed *FailStopError. An attempt aborted by a PCIe link fault that
+//     exhausted the reliable-transfer protocol's retransmissions
+//     (*hetsim.LinkError) is classified the same way — the link's GPU is
+//     quarantined and the platform degrades around it,
 //   - a retry policy acting on the paper's outcome taxonomy (§X.B): runs
 //     whose ABFT layer repaired everything online (fault-free, corrected,
 //     locally restarted) succeed with the recovery recorded in the report;
@@ -473,6 +476,7 @@ func (s *Scheduler) run(h *JobHandle) {
 			// from scratch (attemptRestart).
 			cfg.Injector = nil
 			cfg.FailStop = nil
+			cfg.LinkFault = nil
 			cfg.Resume = resumeCP
 			if resumeCP != nil {
 				wasResume = true
@@ -523,7 +527,31 @@ func (s *Scheduler) run(h *JobHandle) {
 			aborted := time.Since(attemptStart)
 			var lost *hetsim.DeviceLostError
 			var hung *hetsim.DeviceHungError
+			var link *hetsim.LinkError
 			switch {
+			case errors.As(err, &link):
+				// PCIe link fault the reliable-transfer protocol could not
+				// absorb: the link's GPU is suspect exactly like a lost
+				// device (a flaky connector and a dying card are
+				// indistinguishable from the host side). Quarantine the
+				// system, degrade to the surviving GPU count, and retry.
+				s.met.linkLost.Inc()
+				s.met.abortSeconds.Observe(aborted.Seconds())
+				if tr != nil {
+					tr.WallSpan("link-lost:GPU"+strconv.Itoa(link.Link), "fault", attemptStart, aborted)
+				}
+				s.pool.quarantineSuspect(sys, link.Link)
+				if sysCfg.NumGPUs > 1 {
+					sysCfg.NumGPUs--
+				}
+				if jctx.Err() != nil {
+					expire(attempt, err)
+					return
+				}
+				if attempt >= s.cfg.Retry.MaxAttempts {
+					fail(&FailStopError{Attempts: h.prior + attempt, Cause: err})
+					return
+				}
 			case errors.As(err, &lost), errors.As(err, &hung):
 				// Fail-stop fault: the system is unsafe to reuse as-is.
 				// Quarantine it, degrade the platform if a GPU died, and

@@ -65,6 +65,10 @@ const (
 	// MetricDeviceLost counts attempts aborted by a fail-stop device fault
 	// (crash or deadline-reaped hang) — the failures ABFT cannot repair.
 	MetricDeviceLost = "ftla_device_lost_total"
+	// MetricLinkLost counts attempts aborted by a PCIe link fault the
+	// reliable-transfer protocol could not absorb (retransmission budget
+	// exhausted); the link's GPU is quarantined like a lost device.
+	MetricLinkLost = "ftla_link_lost_total"
 	// MetricJobsDeadlineExceeded counts jobs terminated with a
 	// *DeadlineError (JobSpec.Deadline budget exhausted).
 	MetricJobsDeadlineExceeded = "ftla_jobs_deadline_exceeded_total"
@@ -119,10 +123,12 @@ type Stats struct {
 	Restarts uint64
 	Resumed  uint64
 	// DeviceLost counts attempts aborted by fail-stop device faults;
+	// LinkLost counts attempts aborted by unabsorbed PCIe link faults;
 	// DeadlineExceeded counts jobs terminated by their Deadline budget;
 	// AbortedAttempts counts all aborted attempts (the abort-duration
 	// histogram's sample count).
 	DeviceLost       uint64
+	LinkLost         uint64
 	DeadlineExceeded uint64
 	AbortedAttempts  uint64
 	// Quarantined gauges systems currently held out by the pool's circuit
@@ -184,6 +190,7 @@ type metrics struct {
 	queueDepth, running     *obs.Gauge
 	waitSeconds, runSeconds *obs.Histogram
 	deviceLost              *obs.Counter
+	linkLost                *obs.Counter
 	deadlineExceeded        *obs.Counter
 	quarantined             *obs.Gauge
 	abortSeconds            *obs.Histogram
@@ -222,6 +229,8 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Service time of completed jobs (dispatch to terminal, incl. retries), seconds.", nil),
 		deviceLost: reg.Counter(MetricDeviceLost,
 			"Attempts aborted by fail-stop device faults (crash or reaped hang)."),
+		linkLost: reg.Counter(MetricLinkLost,
+			"Attempts aborted by PCIe link faults that exhausted retransmission."),
 		deadlineExceeded: reg.Counter(MetricJobsDeadlineExceeded,
 			"Jobs terminated by their JobSpec.Deadline budget."),
 		quarantined: reg.Gauge(MetricPoolQuarantined,
@@ -276,6 +285,7 @@ func (m *metrics) snapshot() Stats {
 		SystemsCreated:   m.sysCreated.Value(),
 		SystemsReused:    m.sysReused.Value(),
 		DeviceLost:       m.deviceLost.Value(),
+		LinkLost:         m.linkLost.Value(),
 		DeadlineExceeded: m.deadlineExceeded.Value(),
 		AbortedAttempts:  m.abortSeconds.Count(),
 		Quarantined:      int(m.quarantined.Value()),

@@ -1,0 +1,182 @@
+package ftla
+
+// Link-fault recovery gate (scripts/check.sh runs TestLinkFaultRecovery*
+// with -race -count=2): with a fixed-rate corruption plan armed on one of
+// three links, the reliable-transfer protocol must carry at least 90% of
+// jobs to completion with no job-level retry — the direct API has none, so
+// completing at all means every fault was absorbed in-protocol — and every
+// completed factor must be bit-identical to a clean run. A wrong-but-
+// finished factor is the one outcome this layer exists to rule out.
+
+import (
+	"errors"
+	"testing"
+
+	"ftla/internal/obs"
+)
+
+// gateInput builds the canonical well-conditioned input for each driver.
+func gateInput(decomp string, n int, seed uint64) *Matrix {
+	switch decomp {
+	case "cholesky":
+		return RandomSPD(n, seed)
+	case "lu":
+		return RandomDiagDominant(n, seed)
+	default:
+		return Random(n, n, seed)
+	}
+}
+
+// gateRun dispatches one decomposition and returns the factor payload and
+// auxiliary output for bit comparison.
+func gateRun(decomp string, a *Matrix, cfg Config) (*Matrix, []int, []float64, error) {
+	switch decomp {
+	case "cholesky":
+		r, err := Cholesky(a, cfg)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return r.L, nil, nil, nil
+	case "lu":
+		r, err := LU(a, cfg)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return r.Factors, r.Pivots, nil, nil
+	default:
+		r, err := QR(a, cfg)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return r.Factors, nil, r.Tau, nil
+	}
+}
+
+// TestLinkFaultRecoveryGate is the check.sh recovery gate across all three
+// decompositions.
+func TestLinkFaultRecoveryGate(t *testing.T) {
+	const jobsPerDecomp = 8
+	before := obs.Default().Snapshot()
+	total, completed := 0, 0
+	for _, decomp := range []string{"cholesky", "lu", "qr"} {
+		base := Config{GPUs: 3, NB: 32}
+		a := gateInput(decomp, 128, 17)
+		cleanF, cleanPiv, cleanTau, err := gateRun(decomp, a, base)
+		if err != nil {
+			t.Fatalf("%s: clean baseline failed: %v", decomp, err)
+		}
+
+		for j := 0; j < jobsPerDecomp; j++ {
+			total++
+			cfg := base
+			// Fixed-rate corruption on link 1 of 3, with the onset swept
+			// across jobs so the firings land in different phases.
+			cfg.LinkFault = map[int]LinkFaultPlan{
+				1: {Mode: LinkCorrupt, AfterTransfers: 3 * j, Every: 6},
+			}
+			f, piv, tau, err := gateRun(decomp, a, cfg)
+			if err != nil {
+				// A job may legitimately lose the link (budget exhausted);
+				// what it may never do is finish wrong. The 90% floor below
+				// bounds how often this branch is tolerable.
+				var le *LinkError
+				if !errors.As(err, &le) {
+					t.Errorf("%s job %d: untyped failure %v", decomp, j, err)
+				}
+				continue
+			}
+			completed++
+			if d, r, c := cleanF.MaxAbsDiff(f); d != 0 {
+				t.Errorf("%s job %d: silently wrong factor under link corruption: |Δ|=%g at (%d,%d)",
+					decomp, j, d, r, c)
+			}
+			for i := range cleanPiv {
+				if piv[i] != cleanPiv[i] {
+					t.Errorf("%s job %d: pivot %d differs under link corruption", decomp, j, i)
+					break
+				}
+			}
+			for i := range cleanTau {
+				if tau[i] != cleanTau[i] {
+					t.Errorf("%s job %d: tau %d differs under link corruption", decomp, j, i)
+					break
+				}
+			}
+		}
+	}
+	if completed*10 < total*9 {
+		t.Fatalf("recovery rate %d/%d below the 90%% gate", completed, total)
+	}
+	d := obs.Default().Snapshot().Diff(before)
+	if d.CounterValue(obs.MetricTransferRetransmits) == 0 {
+		t.Fatal("gate ran with zero retransmissions: the armed corruption never fired")
+	}
+	t.Logf("gate: %d/%d completed, %d retransmits, %d link faults fired",
+		completed, total, d.CounterValue(obs.MetricTransferRetransmits),
+		d.CounterValue(obs.Key(obs.MetricLinkFaults, "mode", "corrupt")))
+}
+
+// TestLinkFaultRecoveryGateExhaustion pins the other side of the gate: a
+// link fault the protocol cannot absorb (a flap longer than the
+// retransmission budget) surfaces as a typed *LinkError at the public API,
+// never as a wrong result or an untyped failure.
+func TestLinkFaultRecoveryGateExhaustion(t *testing.T) {
+	cfg := Config{GPUs: 3, NB: 32}
+	cfg.LinkFault = map[int]LinkFaultPlan{
+		1: {Mode: LinkFlap, Count: 20},
+	}
+	_, err := LU(RandomDiagDominant(128, 23), cfg)
+	var le *LinkError
+	if !errors.As(err, &le) {
+		t.Fatalf("err = %v, want *LinkError", err)
+	}
+	if le.Link != 1 || le.Retries == 0 {
+		t.Fatalf("LinkError = %+v, want Link=1 with exhausted retries", le)
+	}
+}
+
+// TestReliableTransferBitIdentityPin extends the bit-identity pins to the
+// reliable-transfer path: with no link faults armed, routing every panel
+// broadcast, migration, and checkpoint through TransferReliable changes
+// nothing — both schedules and every GPU count produce the same bits, and
+// zero retransmissions are issued.
+func TestReliableTransferBitIdentityPin(t *testing.T) {
+	before := obs.Default().Snapshot()
+	for _, decomp := range []string{"cholesky", "lu", "qr"} {
+		a := gateInput(decomp, 96, 29)
+		var ref *Matrix
+		var refPiv []int
+		var refTau []float64
+		for gpus := 1; gpus <= 3; gpus++ {
+			for _, lookahead := range []int{0, 1} {
+				cfg := Config{GPUs: gpus, NB: 16, Lookahead: lookahead}
+				f, piv, tau, err := gateRun(decomp, a, cfg)
+				if err != nil {
+					t.Fatalf("%s gpus=%d lookahead=%d: %v", decomp, gpus, lookahead, err)
+				}
+				if ref == nil {
+					ref, refPiv, refTau = f, piv, tau
+					continue
+				}
+				if d, r, c := ref.MaxAbsDiff(f); d != 0 {
+					t.Fatalf("%s gpus=%d lookahead=%d: factor differs from reference: |Δ|=%g at (%d,%d)",
+						decomp, gpus, lookahead, d, r, c)
+				}
+				for i := range refPiv {
+					if piv[i] != refPiv[i] {
+						t.Fatalf("%s gpus=%d lookahead=%d: pivot %d differs", decomp, gpus, lookahead, i)
+					}
+				}
+				for i := range refTau {
+					if tau[i] != refTau[i] {
+						t.Fatalf("%s gpus=%d lookahead=%d: tau %d differs", decomp, gpus, lookahead, i)
+					}
+				}
+			}
+		}
+	}
+	d := obs.Default().Snapshot().Diff(before)
+	if got := d.CounterValue(obs.MetricTransferRetransmits); got != 0 {
+		t.Fatalf("clean runs issued %d retransmissions, want 0", got)
+	}
+}

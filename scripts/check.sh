@@ -37,6 +37,16 @@ if grep -nE 'sys\.Transfer\(|\.Run\(' $drivers; then
     exit 1
 fi
 
+# Reliable-transfer lint: ALL of internal/core must move data through the
+# reliable path (es.transfer / sys.TransferReliable*), never the raw
+# sys.Transfer/sys.TransferCtx — a raw call is a hole in the link-fault
+# protection the factorization depends on. See RESILIENCE.md.
+if grep -rnE 'sys\.Transfer\(|sys\.TransferCtx\(' internal/core/; then
+    echo "internal/core must use the reliable-transfer path (es.transfer /" >&2
+    echo "sys.TransferReliable), never raw sys.Transfer/sys.TransferCtx" >&2
+    exit 1
+fi
+
 go test -race -timeout 5m ./...
 
 # Chaos gate: the fail-stop/graceful-degradation suites (see RESILIENCE.md)
@@ -70,6 +80,14 @@ go test -timeout 5m -run 'TestPipelineLookaheadHidesPanelWork' ./internal/core
 # new concurrency worth running under the detector (writes
 # BENCH_rebalance.json).
 go test -race -timeout 5m -run 'TestRebalanceMakespanGate' .
+
+# Link-fault recovery gate: with fixed-rate corruption armed on 1 of 3
+# links, >=90% of jobs across all three decompositions must complete with
+# no job-level retry and every completed factor must be bit-identical to a
+# clean run (zero silent corruption); exhausted links must surface typed
+# *LinkError. -count=2 shakes out state leaking between runs through the
+# process-global metrics and pooled systems.
+go test -race -timeout 5m -run 'TestLinkFaultRecoveryGate' -count=2 .
 
 # Batch-throughput gate: batched small-matrix serving must amortize
 # per-step transfer latency — simulated-clock throughput must rise
