@@ -1,0 +1,138 @@
+// Cluster-scaling study: what the node-aware topology costs and what the
+// coded redundancy buys. For each node count the same factorization runs
+// once clean and once with a whole-node loss absorbed mid-run by parity
+// reconstruction; the simulated clock (deterministic on any host, see
+// DESIGN.md §5.9) gives exact makespans, and the transfer accounting
+// splits out the inter-node traffic the parity maintenance adds.
+// BenchmarkClusterScaling regenerates BENCH_cluster.json.
+package ftla
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+)
+
+// clusterBench shapes the study: 4 GPUs spread over 1, 2, or 4 nodes, a
+// compute-bound order (nominal GPU rate dialed down as in the rebalance
+// study) so topology effects are visible against real work, and a slow
+// inter-node interconnect so the parity traffic has a price.
+const (
+	clusterBenchN      = 256
+	clusterBenchNB     = 32
+	clusterBenchGPUs   = 4
+	clusterBenchGflops = 1
+)
+
+// runClusterCase runs one Cholesky on the given topology and returns the
+// simulated makespan plus the run's report. loseNode arms a whole-node
+// loss two epochs in (reconstructed from parity; only valid for nodes > 1).
+func runClusterCase(t testing.TB, nodes int, loseNode bool) (float64, *Report) {
+	t.Helper()
+	cfg := Config{GPUs: clusterBenchGPUs, NB: clusterBenchNB, Lookahead: 1, Nodes: nodes}
+	if loseNode {
+		cfg.NodeFault = map[int]NodeFaultPlan{1: {AfterEpochs: 2}}
+	}
+	sc := cfg.SystemConfig()
+	sc.GPUGflops = clusterBenchGflops
+	cfg.System = &sc
+	sys := NewSystem(cfg)
+	r, err := CholeskyOn(sys, RandomSPD(clusterBenchN, 81), cfg)
+	if err != nil {
+		t.Fatalf("cholesky (nodes=%d loseNode=%v): %v", nodes, loseNode, err)
+	}
+	return sys.TimelineMakespan(), r.Report
+}
+
+// clusterBenchRow is one BENCH_cluster.json record.
+type clusterBenchRow struct {
+	Nodes               int     `json:"nodes"`
+	GPUs                int     `json:"gpus"`
+	N                   int     `json:"n"`
+	NB                  int     `json:"nb"`
+	CleanSimSeconds     float64 `json:"clean_sim_seconds"`
+	CleanInternodeBytes int64   `json:"clean_internode_bytes"`
+	LossSimSeconds      float64 `json:"node_loss_sim_seconds"`
+	LossInternodeBytes  int64   `json:"node_loss_internode_bytes"`
+	Reconstructions     int     `json:"reconstructions"`
+	WallSeconds         float64 `json:"wall_seconds"`
+}
+
+// collectClusterRows measures clean and node-loss runs at 1, 2, and 4
+// nodes and writes BENCH_cluster.json. The 1-node row has no loss leg: a
+// flat topology carries no parity to reconstruct from.
+func collectClusterRows(t testing.TB) []clusterBenchRow {
+	rows := make([]clusterBenchRow, 0, 3)
+	for _, nodes := range []int{1, 2, 4} {
+		t0 := time.Now()
+		mk, rep := runClusterCase(t, nodes, false)
+		row := clusterBenchRow{
+			Nodes: nodes, GPUs: clusterBenchGPUs, N: clusterBenchN, NB: clusterBenchNB,
+			CleanSimSeconds: mk, CleanInternodeBytes: rep.InternodeBytes,
+		}
+		if nodes > 1 {
+			lmk, lrep := runClusterCase(t, nodes, true)
+			row.LossSimSeconds = lmk
+			row.LossInternodeBytes = lrep.InternodeBytes
+			row.Reconstructions = lrep.Reconstructions
+		}
+		row.WallSeconds = time.Since(t0).Seconds()
+		rows = append(rows, row)
+	}
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal BENCH_cluster.json: %v", err)
+	}
+	if err := os.WriteFile("BENCH_cluster.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatalf("write BENCH_cluster.json: %v", err)
+	}
+	return rows
+}
+
+// BenchmarkClusterScaling regenerates BENCH_cluster.json: simulated
+// makespan and inter-node traffic at 1, 2, and 4 nodes, clean and with a
+// mid-run whole-node loss absorbed by parity reconstruction.
+func BenchmarkClusterScaling(b *testing.B) {
+	var rows []clusterBenchRow
+	for i := 0; i < b.N; i++ {
+		rows = collectClusterRows(b)
+	}
+	for _, r := range rows {
+		if r.Nodes > 1 && r.CleanSimSeconds > 0 {
+			b.ReportMetric(r.LossSimSeconds/r.CleanSimSeconds,
+				"nodes"+itoa(r.Nodes)+"-loss-makespan-ratio")
+		}
+	}
+}
+
+// itoa avoids pulling strconv into the bench for a single-digit label.
+func itoa(n int) string { return string(rune('0' + n)) }
+
+// TestClusterScalingSanity pins the study's structural claims so the
+// benchmark rows stay meaningful: a flat run moves no inter-node bytes,
+// multi-node runs do (clean and lossy both — parity maintenance before the
+// loss, the reconstruction burst at it), and the loss run actually
+// reconstructs. No makespan direction is pinned: losing a node halves the
+// fleet but also stops the parity refresh (and its slow inter-node
+// traffic), so either side can win depending on the interconnect.
+func TestClusterScalingSanity(t *testing.T) {
+	for _, nodes := range []int{2, 4} {
+		_, rep := runClusterCase(t, nodes, false)
+		if rep.InternodeBytes == 0 {
+			t.Fatalf("nodes=%d: clean run moved no inter-node bytes", nodes)
+		}
+		_, lrep := runClusterCase(t, nodes, true)
+		if lrep.Reconstructions == 0 || lrep.NodesLost != 1 {
+			t.Fatalf("nodes=%d: loss run NodesLost/Reconstructions = %d/%d",
+				nodes, lrep.NodesLost, lrep.Reconstructions)
+		}
+		if lrep.InternodeBytes == 0 {
+			t.Fatalf("nodes=%d: loss run moved no inter-node bytes", nodes)
+		}
+	}
+	_, rep := runClusterCase(t, 1, false)
+	if rep.InternodeBytes != 0 {
+		t.Fatalf("flat run counted %d inter-node bytes", rep.InternodeBytes)
+	}
+}

@@ -186,6 +186,17 @@ const (
 // fault could not be absorbed by retransmission.
 type LinkError = hetsim.LinkError
 
+// NodeFaultPlan arms a whole-node loss on a multi-node topology
+// (Config.NodeFault): every GPU of the node fail-stops at once at a
+// ladder-step boundary. With the cluster layer's erasure-coded redundancy
+// the run rebuilds the lost columns from the survivors and continues
+// degraded; a second loss (r=1) aborts with a typed *NodeLostError.
+type NodeFaultPlan = hetsim.NodeFaultPlan
+
+// NodeLostError is the typed error a factorization returns when a
+// whole-node loss could not be absorbed by the coded redundancy.
+type NodeLostError = hetsim.NodeLostError
+
 // ErrCheckpointIntegrity is wrapped by the error a resume (or mid-run
 // rollback) returns when the checkpoint's content no longer matches the
 // checksum taken at capture — a tampered or corrupted snapshot is
@@ -242,6 +253,17 @@ type Config struct {
 	// Transient corruption/flaps are absorbed by checksummed
 	// retransmission; exhausted links abort with a typed *LinkError.
 	LinkFault map[int]LinkFaultPlan
+	// Nodes > 1 spreads the GPUs round-robin over that many cluster nodes
+	// behind a slower inter-node interconnect (GPUs must be divisible by
+	// Nodes). Multi-node runs maintain erasure-coded parity columns across
+	// nodes so a whole-node loss is reconstructed in place and the run
+	// continues degraded, bit-identical to an uninterrupted run. The
+	// default (0 or 1) is the flat single-box topology, bit-identical to
+	// every earlier release.
+	Nodes int
+	// NodeFault arms whole-node loss plans, keyed by node index. Requires
+	// Nodes > 1.
+	NodeFault map[int]NodeFaultPlan
 	// PeriodicTrailingCheck > 0 adds a full trailing verification every
 	// k-th iteration under NewScheme (§VII.B mitigation).
 	PeriodicTrailingCheck int
@@ -311,6 +333,7 @@ func (c Config) normalize() (Config, core.Options) {
 		Injector:              c.Injector,
 		FailStop:              c.FailStop,
 		LinkFault:             c.LinkFault,
+		NodeFault:             c.NodeFault,
 		PeriodicTrailingCheck: c.PeriodicTrailingCheck,
 		Lookahead:             c.Lookahead,
 		CheckpointEvery:       c.CheckpointEvery,
@@ -339,10 +362,14 @@ func (c Config) Effective() Config {
 // instances by platform.
 func (c Config) SystemConfig() hetsim.Config {
 	c, _ = c.normalize()
+	sc := hetsim.DefaultConfig(c.GPUs)
 	if c.System != nil {
-		return *c.System
+		sc = *c.System
 	}
-	return hetsim.DefaultConfig(c.GPUs)
+	if c.Nodes > 1 {
+		sc.Nodes = c.Nodes
+	}
+	return sc
 }
 
 // NewSystem builds the simulated platform cfg selects. Most callers never

@@ -209,6 +209,9 @@ func allocProtectedFor(es *engineSys, cp *Checkpoint) *protected {
 	p := &protected{es: es, n: cp.N, nb: cp.NB, nbr: cp.N / cp.NB, tol: cp.Tol}
 	p.initCyclicLayout(es.sys.NumGPUs())
 	p.allocSlabs()
+	if es.sys.Nodes() > 1 {
+		p.coded = newCodedState(p)
+	}
 	return p
 }
 
@@ -227,5 +230,10 @@ func (p *protected) restoreFrom(cp *Checkpoint) {
 		if cp.RowChk != nil {
 			sys.Restore(cp.RowChk[bj], p.rowChk[g].View(0, 2*p.localBlock(bj), p.n, 2))
 		}
+	}
+	// Checkpoints carry no parity; a restore (rollback or cross-run resume)
+	// re-encodes it from the restored data while the redundancy is live.
+	if p.coded != nil && !p.coded.spent {
+		p.coded.refresh(0)
 	}
 }

@@ -314,6 +314,9 @@ func (l *cholLadder) panelUpdate(k int) {
 	doBroadcast := func() {
 		es.withCommContext(k, fault.PU, o+nb, o, func() {
 			for g := 0; g < G; g++ {
+				if !p.gpuLive(g) {
+					continue
+				}
 				if g == gk {
 					copyWithin(gdevK, pnl, st.stages[g].data)
 					if chk {
@@ -331,7 +334,7 @@ func (l *cholLadder) panelUpdate(k int) {
 	doBroadcast()
 	if pl.afterPUBcast && chk {
 		outs, corrupted := p.verifyStages(st.stages, &res.Counter.PUAfter, nbr-k-1)
-		if corrupted == G && G > 1 {
+		if live := p.liveGPUs(); corrupted == live && live > 1 {
 			// Every GPU received a corrupted panel: the sender (PU) is
 			// implicated — local in-memory restart of PU and a fresh
 			// broadcast (§VII.C).
@@ -474,8 +477,9 @@ func (p *protected) cholProductCheck(pm, snapChk *matrix.Dense) bool {
 // diagonal-and-below portion of GPU0's first trailing block column.
 func (p *protected) cholTMURegions(k int, stages []stagePair) []fault.Region {
 	o := k * p.nb
-	regs := []fault.Region{
-		{Part: fault.ReferencePart, M: stages[0].data.UnsafeData(), Row0: o + p.nb, Col0: o},
+	var regs []fault.Region
+	if stages[0].data != nil {
+		regs = append(regs, fault.Region{Part: fault.ReferencePart, M: stages[0].data.UnsafeData(), Row0: o + p.nb, Col0: o})
 	}
 	lb0 := p.trailStart(0, k+1)
 	if lb0 < p.nloc[0] {
@@ -567,6 +571,9 @@ func (p *protected) cholHeuristicAfterTMU(k int, stages []stagePair) {
 	nb := p.nb
 	o := k * nb
 	for g := 0; g < G; g++ {
+		if stages[g].data == nil {
+			continue
+		}
 		gdev := p.es.sys.GPU(g)
 		sd := stages[g].data.Access(gdev)
 		out, fixed := p.verifyRepairColReport(gdev.Workers(), sd, stages[g].chk.Access(gdev), nil)

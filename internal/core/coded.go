@@ -1,0 +1,309 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"strconv"
+
+	"ftla/internal/checksum"
+	"ftla/internal/hetsim"
+	"ftla/internal/obs"
+)
+
+// Coded redundancy columns (DESIGN.md §11).
+//
+// ABFT checksums repair corrupted *values*; a whole-node loss removes every
+// block column the node's GPUs held, and no column checksum can rebuild a
+// column that is gone. The cluster layer therefore maintains an erasure
+// code *across nodes*: every group of k = Nodes-1 consecutive data block
+// columns carries one parity column (r = 1) stored on the one node that
+// owns none of the group's members, so any single node loss removes at most
+// one column per group and the survivors plus parity rebuild it exactly.
+//
+// The code is XOR over the IEEE-754 bit patterns of the elements
+// (math.Float64bits) — a [k+1, k] erasure code over GF(2^64). Unlike a
+// floating-point sum code it is closed under reconstruction with *zero*
+// rounding error, which is what makes the node-loss-then-reconstruct run
+// bit-identical to an uninterrupted one (the acceptance pin of PR 9).
+//
+// Placement. Block columns start block-cyclic (bj on GPU bj mod G) and
+// nodes are round-robin (GPU g on node g mod Nodes), so the members of
+// group t — columns [t·k, t·k+k) — land on k *distinct* consecutive node
+// residues, and the parity GPU pg = (t·k + Nodes − 1) mod G lives on
+// exactly the residue the members miss. Two consequences the rest of the
+// file leans on: every member→parity movement crosses nodes (and must go
+// through engineSys.netTransfer — scripts/check.sh lints this file against
+// the intra-node wrapper), and a node loss never takes a member *and* its
+// parity. Rebalancing migration would break the node-disjointness, so the
+// step runtime keeps the rebalancer off on multi-node topologies.
+//
+// Maintenance. Parity is refreshed at the end of every ladder step for all
+// groups still holding a column >= k (full height: §VII.B repair paths may
+// rewrite any row of a trailing column), and finalized groups — whose
+// columns only change under LU row interchanges — track the swaps exactly
+// by swapping the same parity rows. A rollback restores data from the
+// checkpoint and re-encodes all parity (checkpoints do not carry it).
+//
+// Reconstruction. At a node-loss epoch the runtime calls reconstructNode:
+// each lost column is rebuilt bit-exactly by XOR-ing the surviving members
+// of its group into the parity copy, adopted into the parity GPU's slab at
+// its sorted position, and its checksum strips are re-encoded from the
+// rebuilt data (bit-different from the incrementally maintained strips, but
+// exactly consistent — every later verification passes, and the final
+// factors read only data). With r = 1 the redundancy is spent after one
+// loss; a second loss surfaces hetsim.NodeLostError to the serving layer.
+
+// reconstructionsTotal counts block columns rebuilt from parity after a
+// node loss, labeled by the lost node, in the obs default registry.
+var reconstructionsTotal = obs.Default().CounterVec(obs.MetricReconstructions,
+	"Block columns rebuilt from erasure-coded parity after a node loss, labeled by node.", "node")
+
+// parityGroup is one erasure-code group: data block columns
+// [first, last] and their parity column on GPU pg.
+type parityGroup struct {
+	first, last int
+	pg          int
+	buf         *hetsim.Buffer // n × nb parity column, resident on pg
+}
+
+// codedState is the cross-node redundancy attached to a protected layout on
+// multi-node topologies (nil on flat systems).
+type codedState struct {
+	p      *protected
+	kk     int // data columns per parity group = Nodes-1
+	groups []parityGroup
+	// stage is a lazily allocated per-parity-GPU staging column for
+	// member shipments (reused across groups; transfers inside one
+	// coalesced window complete in order).
+	stage map[int]*hetsim.Buffer
+	// spent marks the redundancy consumed: a node loss happened (whether
+	// the lost node held members or parity, r=1 cannot absorb another) and
+	// parity maintenance stops.
+	spent bool
+}
+
+// newCodedState builds the parity groups for p's layout. Requires at least
+// two nodes; callers gate on that.
+func newCodedState(p *protected) *codedState {
+	nodes := p.es.sys.Nodes()
+	G := p.es.sys.NumGPUs()
+	kk := nodes - 1
+	cs := &codedState{p: p, kk: kk, stage: make(map[int]*hetsim.Buffer)}
+	for first := 0; first < p.nbr; first += kk {
+		last := first + kk - 1
+		if last >= p.nbr {
+			last = p.nbr - 1
+		}
+		pg := (first + nodes - 1) % G
+		cs.groups = append(cs.groups, parityGroup{
+			first: first,
+			last:  last,
+			pg:    pg,
+			buf:   p.es.sys.GPU(pg).Alloc(p.n, p.nb),
+		})
+	}
+	return cs
+}
+
+// stageBuf returns the reusable staging column on GPU g.
+func (cs *codedState) stageBuf(g int) *hetsim.Buffer {
+	if b, ok := cs.stage[g]; ok {
+		return b
+	}
+	b := cs.p.es.sys.GPU(g).Alloc(cs.p.n, cs.p.nb)
+	cs.stage[g] = b
+	return b
+}
+
+// xorInto folds src into dst element-wise over the float bit patterns, both
+// resident on dev.
+func (cs *codedState) xorInto(dev *hetsim.Device, dst, src *hetsim.Buffer) {
+	cs.p.es.kernel(dev, "parity-xor", float64(cs.p.n*cs.p.nb), func(int) {
+		d, s := dst.Access(dev), src.Access(dev)
+		for i := 0; i < d.Rows; i++ {
+			dr, sr := d.Row(i), s.Row(i)
+			for j := range dr {
+				dr[j] = math.Float64frombits(math.Float64bits(dr[j]) ^ math.Float64bits(sr[j]))
+			}
+		}
+	})
+}
+
+// memberView returns the current device-resident column of block column bj.
+func (cs *codedState) memberView(bj int) *hetsim.Buffer {
+	p := cs.p
+	return p.local[p.owner(bj)].View(0, p.localOff(bj), p.n, p.nb)
+}
+
+// refreshGroup recomputes group t's parity from its members' current
+// contents: the first member is copied over the wire onto the parity
+// column, the rest are staged and XOR-ed in. Every shipment is cross-node
+// by the placement invariant.
+func (cs *codedState) refreshGroup(t int) {
+	g := &cs.groups[t]
+	p := cs.p
+	pgdev := p.es.sys.GPU(g.pg)
+	for bj := g.first; bj <= g.last; bj++ {
+		if bj == g.first {
+			p.es.netTransfer(cs.memberView(bj), g.buf)
+			continue
+		}
+		stage := cs.stageBuf(g.pg)
+		p.es.netTransfer(cs.memberView(bj), stage)
+		cs.xorInto(pgdev, g.buf, stage)
+	}
+}
+
+// refresh re-encodes the parity of every group still holding a column
+// >= k, inside one coalesced-transfer window so a round pays each link's
+// latency once. refresh(0) is the initial full encode.
+func (cs *codedState) refresh(k int) {
+	if cs.spent {
+		return
+	}
+	cs.p.es.sys.CoalesceTransfers(func() {
+		for t := range cs.groups {
+			if cs.groups[t].last >= k {
+				cs.refreshGroup(t)
+			}
+		}
+	})
+}
+
+// swapRows mirrors an LU row interchange onto the parity of every group
+// whose members all lie in [bjLo, bjHi): XOR is row-local, so swapping the
+// same rows keeps the parity exact. Partially covered groups are left
+// stale — they are active by construction (the swap ranges [0,k) and
+// [k+1,nbr) only straddle the group holding the pivot column) and the
+// end-of-step refresh rewrites them.
+func (cs *codedState) swapRows(r1, r2, bjLo, bjHi int) {
+	if cs.spent {
+		return
+	}
+	for t := range cs.groups {
+		g := &cs.groups[t]
+		if g.first < bjLo || g.last >= bjHi {
+			continue
+		}
+		dev := cs.p.es.sys.GPU(g.pg)
+		buf := g.buf
+		cs.p.es.kernel(dev, "parity-swap", float64(cs.p.nb), func(int) {
+			m := buf.Access(dev)
+			a, b := m.Row(r1), m.Row(r2)
+			for j := range a {
+				a[j], b[j] = b[j], a[j]
+			}
+		})
+	}
+}
+
+// reconstructNode rebuilds every block column the lost node's GPUs held
+// and retires the redundancy (r = 1). It returns how many columns were
+// rebuilt. The caller (the step runtime's node-loss stage) guarantees the
+// parity is fresh: losses fire only at epoch boundaries, after the
+// previous step's refresh.
+func (cs *codedState) reconstructNode(node int) int {
+	p := cs.p
+	sys := p.es.sys
+	cs.spent = true
+	G := sys.NumGPUs()
+	var lost []int
+	for g := 0; g < G; g++ {
+		if sys.NodeOf(g) == node {
+			lost = append(lost, p.blocks[g]...)
+		}
+	}
+	sort.Ints(lost)
+	sys.CoalesceTransfers(func() {
+		for _, bj := range lost {
+			cs.rebuildColumn(bj)
+		}
+	})
+	if len(lost) > 0 {
+		reconstructionsTotal.With(strconv.Itoa(node)).Add(uint64(len(lost)))
+	}
+	return len(lost)
+}
+
+// rebuildColumn recovers lost block column bj on its group's parity GPU:
+// recon = parity XOR (XOR of surviving members), which is bit-exactly the
+// lost column, then adopts it into the parity GPU's slab.
+func (cs *codedState) rebuildColumn(bj int) {
+	p := cs.p
+	t := bj / cs.kk
+	g := &cs.groups[t]
+	pgdev := p.es.sys.GPU(g.pg)
+	recon := pgdev.Alloc(p.n, p.nb)
+	copyWithin(pgdev, g.buf, recon)
+	for m := g.first; m <= g.last; m++ {
+		if m == bj {
+			continue
+		}
+		stage := cs.stageBuf(g.pg)
+		p.es.netTransfer(cs.memberView(m), stage)
+		cs.xorInto(pgdev, recon, stage)
+	}
+	cs.adopt(bj, g.pg, recon)
+}
+
+// adopt inserts the rebuilt column recon (resident on GPU dst) into dst's
+// slab at bj's sorted position, re-encodes its checksum strips from the
+// data, and rewrites the ownership tables. Unlike migrateColumn the source
+// slab is never compacted — its device is gone — so the source-side update
+// is bookkeeping only.
+func (cs *codedState) adopt(bj, dst int, recon *hetsim.Buffer) {
+	p := cs.p
+	es := p.es
+	nb, n := p.nb, p.n
+	src := p.own[bj]
+	sl := p.loc[bj]
+	chk := es.opts.Mode != NoChecksum
+	full := es.opts.Mode == Full
+	ddev := es.sys.GPU(dst)
+
+	// Open a hole at the sorted insertion point (device-local shift).
+	idx := sort.SearchInts(p.blocks[dst], bj)
+	if w := (p.nloc[dst] - idx) * nb; w > 0 {
+		copyWithin(ddev, p.local[dst].View(0, idx*nb, n, w), p.local[dst].View(0, (idx+1)*nb, n, w))
+		if chk {
+			copyWithin(ddev, p.colChk[dst].View(0, idx*nb, 2*p.nbr, w), p.colChk[dst].View(0, (idx+1)*nb, 2*p.nbr, w))
+		}
+		if full {
+			wp := 2 * (p.nloc[dst] - idx)
+			copyWithin(ddev, p.rowChk[dst].View(0, 2*idx, n, wp), p.rowChk[dst].View(0, 2*(idx+1), n, wp))
+		}
+	}
+	copyWithin(ddev, recon, p.local[dst].View(0, idx*nb, n, nb))
+
+	// Certified re-encode: the maintained strips died with the node; fresh
+	// strips from the rebuilt data verify exactly clean.
+	if chk {
+		data := p.local[dst].View(0, idx*nb, n, nb)
+		cc := p.colChk[dst].View(0, idx*nb, 2*p.nbr, nb)
+		es.kernel(ddev, "encode-col", 4*float64(n*nb), func(w int) {
+			checksum.EncodeCol(es.opts.Kernel, w, data.Access(ddev), nb, cc.Access(ddev))
+		})
+	}
+	if full {
+		data := p.local[dst].View(0, idx*nb, n, nb)
+		rc := p.rowChk[dst].View(0, 2*idx, n, 2)
+		es.kernel(ddev, "encode-row", 4*float64(n*nb), func(w int) {
+			checksum.EncodeRow(es.opts.Kernel, w, data.Access(ddev), nb, rc.Access(ddev))
+		})
+	}
+
+	// Tables: remove bj from the dead source, insert into dst at idx.
+	p.blocks[src] = append(p.blocks[src][:sl], p.blocks[src][sl+1:]...)
+	p.nloc[src]--
+	for _, b := range p.blocks[src][sl:] {
+		p.loc[b]--
+	}
+	p.blocks[dst] = append(p.blocks[dst], 0)
+	copy(p.blocks[dst][idx+1:], p.blocks[dst][idx:])
+	p.blocks[dst][idx] = bj
+	p.nloc[dst]++
+	for i := idx; i < p.nloc[dst]; i++ {
+		p.loc[p.blocks[dst][i]] = i
+	}
+	p.own[bj] = dst
+}

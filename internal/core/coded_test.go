@@ -1,0 +1,200 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"ftla/internal/checksum"
+	"ftla/internal/hetsim"
+)
+
+// clusterSystem builds a multi-node test topology: gpus GPUs spread
+// round-robin over nodes, with a deliberately slow inter-node interconnect
+// so cross-node traffic is visible in the accounting.
+func clusterSystem(gpus, nodes int) *hetsim.System {
+	cfg := hetsim.DefaultConfig(gpus)
+	cfg.CPUWorkers = 1
+	cfg.GPUWorkers = 2
+	cfg.Nodes = nodes
+	cfg.InterGBps = 1.0
+	cfg.InterLatencyUS = 100.0
+	return hetsim.New(cfg)
+}
+
+// runPipelineOn is runPipeline against a caller-built system (the cluster
+// tests need topology control; everything else matches).
+func runPipelineOn(t *testing.T, decomp string, n int, sys *hetsim.System, opts Options) pipelineRun {
+	t.Helper()
+	a := pipelineInput(decomp, n)
+	var pr pipelineRun
+	opts.stageJournal = &pr.journal
+	var err error
+	switch decomp {
+	case "cholesky":
+		pr.out, pr.res, err = Cholesky(sys, a, opts)
+	case "lu":
+		pr.out, pr.pivots, pr.res, err = LU(sys, a, opts)
+	case "qr":
+		pr.out, pr.tau, pr.res, err = QR(sys, a, opts)
+	default:
+		t.Fatalf("unknown decomposition %q", decomp)
+	}
+	if err != nil {
+		t.Fatalf("%s (lookahead=%d) failed: %v", decomp, opts.Lookahead, err)
+	}
+	return pr
+}
+
+// TestClusterSingleNodeBitIdentical pins the refactor's zero-cost promise:
+// a topology declared with Nodes=1 is the flat single-box system — same
+// canonical journal (no parity or node-loss stages), bit-identical factors,
+// pivots, and tau, identical counters and traffic, and no inter-node bytes
+// — across all three decompositions, both schedules, and 1–3 GPUs.
+func TestClusterSingleNodeBitIdentical(t *testing.T) {
+	for _, decomp := range []string{"cholesky", "lu", "qr"} {
+		for _, gpus := range []int{1, 2, 3} {
+			for _, lookahead := range []int{0, 1} {
+				opts := Options{NB: 16, Mode: Full, Scheme: NewScheme,
+					Kernel: checksum.OptKernel, Lookahead: lookahead}
+				flat := runPipelineOn(t, decomp, 96, testSystem(gpus), opts)
+				oneNode := runPipelineOn(t, decomp, 96, clusterSystem(gpus, 1), opts)
+				label := decomp + "/1-node"
+				comparePipelineRuns(t, label, flat, oneNode)
+				if oneNode.res.InternodeBytes != 0 {
+					t.Fatalf("%s: single-node run counted %d inter-node bytes",
+						label, oneNode.res.InternodeBytes)
+				}
+				for _, rec := range oneNode.journal {
+					if rec.Name == stageParity || rec.Name == stageNodeLoss {
+						t.Fatalf("%s: cluster stage %v journaled on a single-node topology", label, rec)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestClusterNodeLossReconstructBitIdentical is the tentpole acceptance
+// pin: killing a whole node mid-run on a 3-node topology is absorbed by the
+// erasure-coded parity — no checkpoint, no restart — and the finished
+// factors (plus pivots/tau) are bit-identical to the uninterrupted run on
+// the same topology.
+func TestClusterNodeLossReconstructBitIdentical(t *testing.T) {
+	configs := []struct {
+		mode   Mode
+		scheme Scheme
+	}{
+		{NoChecksum, NoCheck},
+		{SingleSide, PostOp},
+		{Full, NewScheme},
+	}
+	for _, decomp := range []string{"cholesky", "lu", "qr"} {
+		for _, lookahead := range []int{0, 1} {
+			for _, cfg := range configs {
+				label := decomp + "/" + cfg.mode.String() + "/node-loss"
+				opts := Options{NB: 16, Mode: cfg.mode, Scheme: cfg.scheme,
+					Kernel: checksum.OptKernel, Lookahead: lookahead}
+				clean := runPipelineOn(t, decomp, 96, clusterSystem(3, 3), opts)
+
+				opts.NodeFault = map[int]hetsim.NodeFaultPlan{1: {AfterEpochs: 2}}
+				lossy := runPipelineOn(t, decomp, 96, clusterSystem(3, 3), opts)
+
+				if lossy.res.NodesLost != 1 {
+					t.Fatalf("%s: NodesLost = %d, want 1", label, lossy.res.NodesLost)
+				}
+				if lossy.res.Reconstructions != 2 {
+					// Node 1 holds GPU1, which owns block columns 1 and 4 of 6.
+					t.Fatalf("%s: Reconstructions = %d, want 2", label, lossy.res.Reconstructions)
+				}
+				if clean.res.NodesLost != 0 || clean.res.Reconstructions != 0 {
+					t.Fatalf("%s: clean run reported node events: %+v", label, clean.res)
+				}
+				if clean.res.InternodeBytes <= 0 {
+					t.Fatalf("%s: parity maintenance moved no inter-node bytes", label)
+				}
+				if d, r, c := clean.out.MaxAbsDiff(lossy.out); d != 0 {
+					t.Fatalf("%s: factors not bit-identical after reconstruction: |Δ|=%g at (%d,%d)",
+						label, d, r, c)
+				}
+				for i := range clean.pivots {
+					if clean.pivots[i] != lossy.pivots[i] {
+						t.Fatalf("%s: pivots differ at %d: %d vs %d",
+							label, i, clean.pivots[i], lossy.pivots[i])
+					}
+				}
+				for i := range clean.tau {
+					if clean.tau[i] != lossy.tau[i] {
+						t.Fatalf("%s: tau differs at %d: %v vs %v",
+							label, i, clean.tau[i], lossy.tau[i])
+					}
+				}
+				if lossy.res.Rollbacks != 0 || lossy.res.Checkpoints != 0 {
+					t.Fatalf("%s: reconstruction leaned on checkpoints: %+v", label, lossy.res)
+				}
+				found := false
+				for _, rec := range lossy.journal {
+					if rec.Name == stageNodeLoss {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("%s: no node-loss stage journaled", label)
+				}
+			}
+		}
+	}
+}
+
+// TestClusterSecondNodeLossSurfacesTypedError: r=1 redundancy absorbs one
+// loss; a second one must surface hetsim.NodeLostError to the caller (the
+// serving layer's failover ladder), not panic or silently corrupt.
+func TestClusterSecondNodeLossSurfacesTypedError(t *testing.T) {
+	opts := Options{NB: 16, Mode: Full, Scheme: NewScheme, Kernel: checksum.OptKernel,
+		NodeFault: map[int]hetsim.NodeFaultPlan{
+			1: {AfterEpochs: 1},
+			2: {AfterEpochs: 2},
+		}}
+	sys := clusterSystem(3, 3)
+	out, res, err := Cholesky(sys, pipelineInput("cholesky", 96), opts)
+	if out != nil || res != nil {
+		t.Fatal("second node loss still returned a result")
+	}
+	var lost *hetsim.NodeLostError
+	if !errors.As(err, &lost) {
+		t.Fatalf("err = %v, want NodeLostError", err)
+	}
+	if lost.Node != 2 || lost.GPUs != 1 {
+		t.Fatalf("NodeLostError = %+v, want node 2 with 1 GPU", lost)
+	}
+}
+
+// TestClusterParityPlacementDisjoint verifies the placement invariant the
+// erasure code rests on: no parity column shares a node with any member of
+// its group, so a single node loss never removes a member and its parity.
+func TestClusterParityPlacementDisjoint(t *testing.T) {
+	for _, tc := range []struct{ gpus, nodes, n int }{
+		{2, 2, 96}, {3, 3, 96}, {4, 2, 128}, {6, 3, 192},
+	} {
+		sys := clusterSystem(tc.gpus, tc.nodes)
+		a := pipelineInput("cholesky", tc.n)
+		opts := Options{NB: 16, Mode: SingleSide, Scheme: PostOp, Kernel: checksum.OptKernel}
+		if err := opts.Validate(tc.n); err != nil {
+			t.Fatal(err)
+		}
+		res := &Result{}
+		es := newEngine("cholesky", sys, opts, res)
+		p := newProtected(es, a)
+		if p.coded == nil {
+			t.Fatalf("gpus=%d nodes=%d: no coded state on a multi-node topology", tc.gpus, tc.nodes)
+		}
+		for _, g := range p.coded.groups {
+			pnode := sys.NodeOf(g.pg)
+			for bj := g.first; bj <= g.last; bj++ {
+				if sys.NodeOf(p.owner(bj)) == pnode {
+					t.Fatalf("gpus=%d nodes=%d: group [%d,%d] parity on GPU%d shares node %d with member %d",
+						tc.gpus, tc.nodes, g.first, g.last, g.pg, pnode, bj)
+				}
+			}
+		}
+	}
+}

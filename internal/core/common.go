@@ -165,6 +165,11 @@ func newEngine(decomp string, sys *hetsim.System, opts Options, res *Result) *en
 			sys.ArmLinkFault(id, plan)
 		}
 	}
+	for node, plan := range opts.NodeFault {
+		if node >= 0 && node < sys.Nodes() {
+			sys.ArmNodeFault(node, plan)
+		}
+	}
 	return &engineSys{decomp: decomp, sys: sys, opts: opts, res: res, inj: opts.Injector, startFlops: blas.Flops()}
 }
 
@@ -198,6 +203,7 @@ func (es *engineSys) finishResult(start time.Time) {
 	res.Wall = time.Since(start)
 	res.SimMakespan = es.sys.TimelineMakespan()
 	res.PCIeBytes = es.sys.BytesTransferred()
+	res.InternodeBytes = es.sys.InternodeBytes()
 	res.Flops = blas.Flops() - es.startFlops
 	factor := res.Wall - res.EncodeT - res.VerifyT - res.RecoverT
 	if factor < 0 {

@@ -288,6 +288,9 @@ func (l *luLadder) panelCommit(k int) {
 				es.transfer(st.cpuChk, p.colChkView(k, k, p.nbr))
 			}
 			for g := 0; g < G; g++ {
+				if !p.gpuLive(g) {
+					continue
+				}
 				if g == gk {
 					copyWithin(sys.GPU(gk), panelDev, st.stages[g].data)
 					if chk {
@@ -305,7 +308,7 @@ func (l *luLadder) panelCommit(k int) {
 	doBroadcast()
 	if pl.afterPDBcast && chk {
 		outs, corrupted := p.verifyStages(st.stages, &res.Counter.PDAfter, strips)
-		if corrupted == G && G > 1 {
+		if live := p.liveGPUs(); corrupted == live && live > 1 {
 			// §VII.C: every GPU corrupted implicates the sender side —
 			// conservative local restart of the broadcast from the
 			// certified CPU copy.
@@ -347,6 +350,9 @@ func (l *luLadder) panelUpdate(k int) {
 		// after the post-broadcast check would otherwise corrupt the
 		// row-panel TRSM consistently with its checksum TRSM.
 		for g := 0; g < G; g++ {
+			if st.stages[g].data == nil {
+				continue
+			}
 			gdev := sys.GPU(g)
 			l11d := st.stages[g].data.View(0, 0, nb, nb).Access(gdev)
 			l11c := st.stages[g].chk.View(0, 0, 2, nb).Access(gdev)
@@ -552,8 +558,9 @@ func (p *protected) luProductCheck(pm, snapshot *matrix.Dense, lpiv []int) bool 
 func (p *protected) luPURegions(k int, stages []stagePair) []fault.Region {
 	nb := p.nb
 	o := k * nb
-	regs := []fault.Region{
-		{Part: fault.ReferencePart, M: stages[0].data.UnsafeData().View(0, 0, nb, nb), Row0: o, Col0: o},
+	var regs []fault.Region
+	if stages[0].data != nil {
+		regs = append(regs, fault.Region{Part: fault.ReferencePart, M: stages[0].data.UnsafeData().View(0, 0, nb, nb), Row0: o, Col0: o})
 	}
 	lb0 := p.trailStart(0, k+1)
 	if lb0 < p.nloc[0] {
@@ -573,9 +580,9 @@ func (p *protected) luPURegions(k int, stages []stagePair) []fault.Region {
 func (p *protected) luTMURegions(k int, stages []stagePair) []fault.Region {
 	nb := p.nb
 	o := k * nb
-	st := stages[0].data
-	regs := []fault.Region{
-		{Part: fault.ReferencePart, M: st.UnsafeData().View(nb, 0, st.Rows()-nb, nb), Row0: o + nb, Col0: o},
+	var regs []fault.Region
+	if st := stages[0].data; st != nil {
+		regs = append(regs, fault.Region{Part: fault.ReferencePart, M: st.UnsafeData().View(nb, 0, st.Rows()-nb, nb), Row0: o + nb, Col0: o})
 	}
 	lb0 := p.trailStart(0, k+1)
 	if lb0 < p.nloc[0] {
@@ -725,6 +732,9 @@ func (p *protected) luHeuristicAfterTMU(k int, stages []stagePair) {
 	o := k * nb
 	G := p.es.sys.NumGPUs()
 	for g := 0; g < G; g++ {
+		if stages[g].data == nil {
+			continue
+		}
 		gdev := p.es.sys.GPU(g)
 		// L21 stage copy (full panel stage; only rows >= o+nb feed TMU).
 		out, fixed := p.verifyRepairColReport(gdev.Workers(), stages[g].data.Access(gdev), stages[g].chk.Access(gdev), nil)

@@ -119,6 +119,15 @@ type Options struct {
 	// hetsim.LinkError, which the serving layer classifies like a device
 	// loss (quarantine + degraded failover).
 	LinkFault map[int]hetsim.LinkFaultPlan
+	// NodeFault arms whole-node loss plans on the topology's nodes at the
+	// start of the run, keyed by node index. A plan fires at a ladder-step
+	// epoch boundary and takes down every GPU the node hosts at once. On a
+	// multi-node run the erasure-coded redundancy columns rebuild the lost
+	// block columns from the survivors and the run continues degraded,
+	// bit-identical to an uninterrupted run; when no redundancy remains
+	// (flat system, or a second loss) the run aborts with a typed
+	// hetsim.NodeLostError for the serving layer's failover ladder.
+	NodeFault map[int]hetsim.NodeFaultPlan
 	// Lookahead selects the step-runtime schedule: 0 (or negative) runs the
 	// legacy fully serial ladder; 1 enables MAGMA-style look-ahead — the
 	// CPU pulls and factorizes panel k+1 while the GPUs run step k's
@@ -344,6 +353,15 @@ type Result struct {
 	// MovedColumns counts block columns that migrated between GPUs across
 	// all rebalances of the run.
 	MovedColumns int
+	// NodesLost counts whole-node losses that fired during the run
+	// (absorbed by reconstruction or not).
+	NodesLost int
+	// Reconstructions counts block columns rebuilt from erasure-coded
+	// parity after a node loss.
+	Reconstructions int
+	// InternodeBytes is the traffic that crossed the inter-node
+	// interconnect (a subset of PCIeBytes' total), 0 on flat systems.
+	InternodeBytes int64
 }
 
 // OutcomeOf derives the run outcome given whether the final residual check

@@ -44,9 +44,31 @@ type protected struct {
 	loc    []int
 	blocks [][]int
 	// capb is each GPU's slab capacity in blocks; nloc[g] <= capb[g].
-	// Static runs size slabs exactly; rebalancing runs reserve full width
-	// so migration never reallocates.
+	// Static runs size slabs exactly; rebalancing and multi-node runs
+	// reserve full width so migration/adoption never reallocates.
 	capb []int
+
+	// coded is the cross-node erasure redundancy (see coded.go), nil on
+	// flat single-node systems.
+	coded *codedState
+}
+
+// gpuLive reports whether GPU g is still serving — not fail-stopped and
+// not taken down by a node loss. Per-GPU loops that unconditionally touch
+// devices or broadcast stages gate on it after a reconstruction.
+func (p *protected) gpuLive(g int) bool { return !p.es.sys.GPU(g).Lost() }
+
+// liveGPUs counts the GPUs still serving. The §VII.C sender-implication
+// comparisons ("corrupted on *every* GPU implicates the sender") use this
+// instead of the raw GPU count once a node is gone.
+func (p *protected) liveGPUs() int {
+	n := 0
+	for g := 0; g < p.es.sys.NumGPUs(); g++ {
+		if p.gpuLive(g) {
+			n++
+		}
+	}
+	return n
 }
 
 // owner returns the GPU index holding block column bj.
@@ -91,9 +113,10 @@ func (p *protected) initCyclicLayout(G int) {
 }
 
 // allocSlabs allocates each GPU's data and checksum slabs. Rebalancing
-// runs (Options.Rebalance.Every > 0) allocate full-width slabs (nbr
-// blocks) so column migration is a shift-and-copy, never a realloc;
-// static runs size them to the cyclic share.
+// runs (Options.Rebalance.Every > 0) and multi-node runs allocate
+// full-width slabs (nbr blocks) so column migration — or the adoption of
+// reconstructed columns after a node loss — is a shift-and-copy, never a
+// realloc; static flat runs size them to the cyclic share.
 func (p *protected) allocSlabs() {
 	es := p.es
 	G := es.sys.NumGPUs()
@@ -103,7 +126,7 @@ func (p *protected) allocSlabs() {
 	p.capb = make([]int, G)
 	for g := 0; g < G; g++ {
 		p.capb[g] = p.nloc[g]
-		if es.opts.Rebalance.Every > 0 {
+		if es.opts.Rebalance.Every > 0 || es.sys.Nodes() > 1 {
 			p.capb[g] = p.nbr
 		}
 		if p.capb[g] == 0 {
@@ -163,6 +186,10 @@ func newProtected(es *engineSys, a *matrix.Dense) *protected {
 			}
 		}
 		stop()
+	}
+	if es.sys.Nodes() > 1 {
+		p.coded = newCodedState(p)
+		p.coded.refresh(0)
 	}
 	return p
 }
@@ -328,6 +355,9 @@ func (p *protected) swapRows(r1, r2, bjLo, bjHi int) {
 				}
 			}
 		})
+	}
+	if p.coded != nil {
+		p.coded.swapRows(r1, r2, bjLo, bjHi)
 	}
 }
 

@@ -262,6 +262,9 @@ func (l *qrLadder) panelCommit(k int) {
 				es.transfer(st.cpuChk, p.colChkView(k, k, p.nbr))
 			}
 			for g := 0; g < G; g++ {
+				if !p.gpuLive(g) {
+					continue
+				}
 				if st.cvStage[g] == nil {
 					st.cvStage[g] = sys.GPU(g).Alloc(chkRows, nb)
 					st.tStage[g] = sys.GPU(g).Alloc(nb, nb)
@@ -287,7 +290,7 @@ func (l *qrLadder) panelCommit(k int) {
 	doBroadcast()
 	if pl.afterPDBcast && chk {
 		outs, corrupted := p.verifyStages(st.stages, &res.Counter.PDAfter, strips)
-		if corrupted == G && G > 1 {
+		if live := p.liveGPUs(); corrupted == live && live > 1 {
 			res.Counter.LocalRestarts++
 			doBroadcast()
 		} else if corrupted > 0 {
@@ -305,6 +308,9 @@ func (l *qrLadder) panelCommit(k int) {
 		// Validate T on every GPU with the probe; recompute locally
 		// from the (verified) stage V on failure.
 		for g := 0; g < G; g++ {
+			if st.stages[g].data == nil {
+				continue
+			}
 			gdev := sys.GPU(g)
 			sd := st.stages[g].data.Access(gdev)
 			td := st.tStage[g].Access(gdev)
@@ -555,9 +561,9 @@ func (p *protected) qrOrthoProbe(panel, tmat *matrix.Dense) bool {
 func (p *protected) qrTMURegions(k int, stages []stagePair) []fault.Region {
 	nb := p.nb
 	o := k * nb
-	st := stages[0].data
-	regs := []fault.Region{
-		{Part: fault.ReferencePart, M: st.UnsafeData().View(nb, 0, st.Rows()-nb, nb), Row0: o + nb, Col0: o},
+	var regs []fault.Region
+	if st := stages[0].data; st != nil {
+		regs = append(regs, fault.Region{Part: fault.ReferencePart, M: st.UnsafeData().View(nb, 0, st.Rows()-nb, nb), Row0: o + nb, Col0: o})
 	}
 	lb0 := p.trailStart(0, k+1)
 	if lb0 < p.nloc[0] {
@@ -659,6 +665,9 @@ func (p *protected) qrHeuristicAfterTMU(k int, stages []stagePair, cvStage, tSta
 		p.es.res.Counter.TMUAfter += cols / nb
 	}
 	for g := 0; g < G; g++ {
+		if stages[g].data == nil {
+			continue
+		}
 		gdev := p.es.sys.GPU(g)
 		sd := stages[g].data.Access(gdev)
 		corruptCopy := sd.Clone()

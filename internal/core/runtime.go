@@ -128,6 +128,7 @@ func (s stageRec) String() string { return fmt.Sprintf("%s[%d]", s.Name, s.Step)
 // step's verification concluded).
 const (
 	stageResume      = "resume"
+	stageNodeLoss    = "node-loss"
 	stagePanelFactor = "panel-factor"
 	stagePanelPivot  = "panel-pivot"
 	stagePanelCommit = "panel-commit"
@@ -135,6 +136,7 @@ const (
 	stageTMUBegin    = "tmu-begin"
 	stageTMU         = "tmu"
 	stageTMUFinish   = "tmu-finish"
+	stageParity      = "parity"
 	stageCheckpoint  = "checkpoint"
 	stageRollback    = "rollback"
 	stageRebalance   = "rebalance"
@@ -142,7 +144,8 @@ const (
 
 // stageRank orders stages within a step for journal canonicalization.
 var stageRank = map[string]int{
-	stageResume:      -1,
+	stageResume:      -2,
+	stageNodeLoss:    -1,
 	stagePanelFactor: 0,
 	stagePanelPivot:  1,
 	stagePanelCommit: 2,
@@ -150,9 +153,10 @@ var stageRank = map[string]int{
 	stageTMUBegin:    4,
 	stageTMU:         5,
 	stageTMUFinish:   6,
-	stageCheckpoint:  7,
-	stageRollback:    8,
-	stageRebalance:   9,
+	stageParity:      7,
+	stageCheckpoint:  8,
+	stageRollback:    9,
+	stageRebalance:   10,
 }
 
 // maxRollbacksPerCheckpoint bounds how often the runtime will replay from
@@ -181,17 +185,22 @@ type stepRuntime struct {
 	// armed, the ladder exposes its layout, no injector is attached, and
 	// the system holds at least two GPUs (see initRebalance).
 	reb *rebState
+
+	// coded is the cross-node erasure redundancy of the ladder's layout,
+	// nil on flat systems or for ladders that expose no layout.
+	coded *codedState
 }
 
 // initRebalance arms the rebalancer when the configuration and ladder
 // allow it: Rebalance.Every > 0, at least two GPUs (nothing to re-split
 // otherwise), no fault injector (injection windows address regions by the
 // static layout — the same reason overlapDepth forces the serial
-// schedule), and a ladder that exposes its protected layout (the batched
-// drivers don't).
+// schedule), a flat single-node topology (migration would break the
+// node-disjoint placement the erasure code relies on; see coded.go), and
+// a ladder that exposes its protected layout (the batched drivers don't).
 func (rt *stepRuntime) initRebalance() {
 	es := rt.es
-	if es.opts.Rebalance.Every <= 0 || es.inj != nil || es.sys.NumGPUs() < 2 {
+	if es.opts.Rebalance.Every <= 0 || es.inj != nil || es.sys.NumGPUs() < 2 || es.sys.Nodes() > 1 {
 		return
 	}
 	rl, ok := rt.l.(rebalancer)
@@ -214,6 +223,38 @@ func (rt *stepRuntime) maybeRebalance(k int) {
 		return
 	}
 	rt.stage(k, stageRebalance, func() { rt.reb.apply(k, moves) })
+}
+
+// maybeParity, run after step k's verification concluded clean, re-encodes
+// the parity of every group still holding trailing columns (see
+// codedState.refresh). Journaled as its own stage so serial and look-ahead
+// schedules compare equal.
+func (rt *stepRuntime) maybeParity(k int) {
+	if rt.coded == nil || rt.coded.spent {
+		return
+	}
+	rt.stage(k, stageParity, func() { rt.coded.refresh(k) })
+}
+
+// handleNodeLoss reacts to a fired node fault: when the layout carries live
+// erasure redundancy, the lost columns are rebuilt from parity and the run
+// continues degraded on the surviving nodes; otherwise the typed
+// NodeLostError surfaces to the driver boundary (the serving layer's
+// failover ladder takes over). Counted on Result either way.
+func (rt *stepRuntime) handleNodeLoss(node int) error {
+	es := rt.es
+	es.res.NodesLost++
+	if rt.coded == nil || rt.coded.spent {
+		gpus := 0
+		for g := 0; g < es.sys.NumGPUs(); g++ {
+			if es.sys.NodeOf(g) == node {
+				gpus++
+			}
+		}
+		return &hetsim.NodeLostError{Node: node, GPUs: gpus, Op: "reconstruct"}
+	}
+	rt.es.res.Reconstructions += rt.coded.reconstructNode(node)
+	return nil
 }
 
 // overlapDepth resolves the effective look-ahead depth: the Lookahead
@@ -246,6 +287,9 @@ func runLadder(es *engineSys, l ladder) error {
 		start = cp.NextStep
 	}
 	rt.initRebalance()
+	if rl, ok := l.(rebalancer); ok {
+		rt.coded = rl.layout().coded
+	}
 	// A run entering with suspects (a quarantine-released straggler on
 	// probation) is repartitioned before the first step: the suspect
 	// starts at the floor share instead of a full cyclic one.
@@ -253,6 +297,17 @@ func runLadder(es *engineSys, l ladder) error {
 		rt.stage(start, stageRebalance, func() { rt.reb.apply(start, moves) })
 	}
 	for k := start; k < nbr; k++ {
+		// Node-loss epoch boundary: streams are joined and device state is
+		// quiescent here, so a fired whole-node fault is absorbed by
+		// erasure-coded reconstruction (or surfaces as the typed error when
+		// no redundancy remains) before any stage touches the dead GPUs.
+		if node := es.sys.NodeEpoch(); node >= 0 {
+			var nerr error
+			rt.stage(k, stageNodeLoss, func() { nerr = rt.handleNodeLoss(node) })
+			if nerr != nil {
+				return nerr
+			}
+		}
 		if !rt.factored[k] {
 			rt.stage(k, stagePanelFactor, func() { l.panelFactor(k) })
 			if err := l.failed(); err != nil {
@@ -308,6 +363,7 @@ func runLadder(es *engineSys, l ladder) error {
 		if rt.maybeRollback(&k) {
 			continue
 		}
+		rt.maybeParity(k)
 		rt.maybeCheckpoint(k)
 		rt.maybeRebalance(k)
 	}
@@ -385,9 +441,12 @@ func (rt *stepRuntime) stage(k int, name string, fn func()) {
 	rt.es.sys.Tracer().WallSpan(fmt.Sprintf("%s:%s[%d]", rt.es.decomp, name, k), "stage", t0, time.Since(t0))
 }
 
-// launchRest enqueues every GPU's remaining trailing-update slice onto its
-// stream and returns the per-stream completion events. The TMU stage was
-// already journaled by the synchronous look-ahead slice.
+// launchRest enqueues every live GPU's remaining trailing-update slice onto
+// its stream and returns the per-stream completion events. The TMU stage
+// was already journaled by the synchronous look-ahead slice. GPUs taken
+// down by a node loss are skipped — their slices are empty (the
+// reconstruction emptied their ownership tables) and launching on a dead
+// device would abort the run the redundancy just saved.
 func (rt *stepRuntime) launchRest(k int) []*hetsim.StreamEvent {
 	G := rt.es.sys.NumGPUs()
 	if rt.streams == nil {
@@ -396,11 +455,14 @@ func (rt *stepRuntime) launchRest(k int) []*hetsim.StreamEvent {
 			rt.streams[g] = rt.es.sys.GPU(g).NewStream()
 		}
 	}
-	evs := make([]*hetsim.StreamEvent, G)
+	evs := make([]*hetsim.StreamEvent, 0, G)
 	for g := 0; g < G; g++ {
+		if rt.es.sys.GPU(g).Lost() {
+			continue
+		}
 		g := g
 		rt.streams[g].Launch("tmu-rest", func() { rt.l.tmuGPU(k, g, tmuRest) })
-		evs[g] = rt.streams[g].Record()
+		evs = append(evs, rt.streams[g].Record())
 	}
 	return evs
 }
@@ -442,6 +504,16 @@ func (rt *stepRuntime) canonicalJournal() []stageRec {
 // sys.Transfer calls) so the schedule and the reliability policy stay
 // visible in one place.
 func (es *engineSys) transfer(src, dst *hetsim.Buffer) {
+	es.sys.TransferReliable(src, dst)
+}
+
+// netTransfer is the cross-node counterpart of transfer: the movement of
+// parity shipments and reconstruction traffic between *nodes* of the
+// topology. It rides the same reliable protocol (the simulator classifies
+// the link tier by the endpoints), but cross-node motion in the coded
+// redundancy layer must route through this wrapper so it stays auditable —
+// scripts/check.sh lints coded.go against the intra-node wrapper.
+func (es *engineSys) netTransfer(src, dst *hetsim.Buffer) {
 	es.sys.TransferReliable(src, dst)
 }
 

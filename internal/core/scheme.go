@@ -82,11 +82,15 @@ type stagePair struct {
 }
 
 // allocStages allocates a (rows × cols) panel stage plus a (chkRows × cols)
-// checksum stage on every GPU.
+// checksum stage on every live GPU; GPUs taken down by a node loss keep a
+// zero stagePair, which every stage consumer skips.
 func (p *protected) allocStages(rows, chkRows, cols int) []stagePair {
 	G := p.es.sys.NumGPUs()
 	out := make([]stagePair, G)
 	for g := 0; g < G; g++ {
+		if !p.gpuLive(g) {
+			continue
+		}
 		out[g] = stagePair{
 			data: p.es.sys.GPU(g).Alloc(rows, cols),
 			chk:  p.es.sys.GPU(g).Alloc(chkRows, cols),
@@ -103,6 +107,9 @@ func (p *protected) allocStages(rows, chkRows, cols int) []stagePair {
 func (p *protected) verifyStages(stages []stagePair, countPer *int, blocksPerStage int) (outs []repairOutcome, corrupted int) {
 	outs = make([]repairOutcome, len(stages))
 	for g := range stages {
+		if stages[g].data == nil {
+			continue
+		}
 		gdev := p.es.sys.GPU(g)
 		out := p.verifyRepairCol(gdev.Workers(), stages[g].data.Access(gdev), stages[g].chk.Access(gdev), nil)
 		outs[g] = out

@@ -43,6 +43,7 @@ func (k Kind) String() string {
 type Device struct {
 	kind    Kind
 	id      int // 0-based among GPUs; -1 for the CPU
+	node    int // node index of the topology; 0 for the CPU and flat systems
 	workers int
 	gflops  float64 // nominal throughput for the simulated clock
 
@@ -72,10 +73,24 @@ func (d *Device) Kind() Kind { return d.kind }
 // ID returns the GPU index, or -1 for the CPU.
 func (d *Device) ID() int { return d.id }
 
-// Name returns a human-readable device name such as "GPU2" or "CPU".
+// Index returns the device's structured GPU index (-1 for the CPU) — the
+// identity consumers should classify on instead of parsing Name, which is
+// a display string that changes shape with the topology ("GPU2" on a flat
+// system, "N1/GPU2" on a multi-node one).
+func (d *Device) Index() int { return d.id }
+
+// Node returns the node the device lives on (0 for the CPU, which
+// coordinates from node 0, and for every device of a flat system).
+func (d *Device) Node() int { return d.node }
+
+// Name returns a human-readable device name: "CPU", "GPU2" on a flat
+// single-node system, or "N1/GPU2" on a multi-node topology.
 func (d *Device) Name() string {
 	if d.kind == CPU {
 		return "CPU"
+	}
+	if d.sys != nil && d.sys.cfg.nodes() > 1 {
+		return fmt.Sprintf("N%d/GPU%d", d.node, d.id)
 	}
 	return fmt.Sprintf("GPU%d", d.id)
 }

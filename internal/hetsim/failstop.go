@@ -99,10 +99,16 @@ func (p FaultPlan) String() string {
 // gone and every further operation on it fails with this error until the
 // system is Reset.
 type DeviceLostError struct {
-	// Device is the lost device's name ("GPU2", "CPU").
+	// Device is the lost device's name ("GPU2", "N1/GPU2", "CPU").
 	Device string
 	// Op is the kernel or transfer that observed the loss.
 	Op string
+	// GPU is the structured GPU index of the lost device (-1 for the CPU):
+	// the identity consumers should classify on, rather than parsing the
+	// Device display name.
+	GPU int
+	// Node is the node the lost device lived on (0 on flat systems).
+	Node int
 }
 
 // Error describes the loss.
@@ -117,6 +123,10 @@ type DeviceHungError struct {
 	// Device is the hung device's name; Op the operation that hung.
 	Device string
 	Op     string
+	// GPU is the structured GPU index of the hung device (-1 for the CPU)
+	// and Node the node it lived on — see DeviceLostError.
+	GPU  int
+	Node int
 	// Cause is the bound context's error (nil when no context was bound
 	// and the hang degraded to an immediate failure).
 	Cause error
@@ -218,7 +228,7 @@ func (d *Device) gateCtx(ctx context.Context, op string) {
 	d.fmu.Lock()
 	if d.lost {
 		d.fmu.Unlock()
-		panic(&abortPanic{&DeviceLostError{Device: d.Name(), Op: op}})
+		panic(&abortPanic{&DeviceLostError{Device: d.Name(), Op: op, GPU: d.id, Node: d.node}})
 	}
 	p := d.plan
 	triggered := false
@@ -251,15 +261,15 @@ func (d *Device) gateCtx(ctx context.Context, op string) {
 	}
 	switch p.Mode {
 	case FaultCrash:
-		panic(&abortPanic{&DeviceLostError{Device: d.Name(), Op: op}})
+		panic(&abortPanic{&DeviceLostError{Device: d.Name(), Op: op, GPU: d.id, Node: d.node}})
 	case FaultHang:
 		if done == nil {
 			// No deadline to rescue us; fail fast instead of deadlocking
 			// the host process.
-			panic(&abortPanic{&DeviceHungError{Device: d.Name(), Op: op}})
+			panic(&abortPanic{&DeviceHungError{Device: d.Name(), Op: op, GPU: d.id, Node: d.node}})
 		}
 		<-done
-		panic(&abortPanic{&DeviceHungError{Device: d.Name(), Op: op, Cause: ctx.Err()}})
+		panic(&abortPanic{&DeviceHungError{Device: d.Name(), Op: op, GPU: d.id, Node: d.node, Cause: ctx.Err()}})
 	case FaultStraggler:
 		if p.Stall > 0 {
 			if done == nil {

@@ -14,8 +14,9 @@ import (
 // obs default registry is the aggregate view; per-system figures come
 // from BytesTransferred/PCIeSimTime).
 var (
-	pcieBytes     = obs.Default().Counter(obs.MetricPCIeBytes, "Total simulated PCIe traffic in bytes.")
-	pcieTransfers = obs.Default().Counter(obs.MetricPCIeTransfers, "Simulated PCIe transfers executed.")
+	pcieBytes      = obs.Default().Counter(obs.MetricPCIeBytes, "Total simulated PCIe traffic in bytes.")
+	pcieTransfers  = obs.Default().Counter(obs.MetricPCIeTransfers, "Simulated PCIe transfers executed.")
+	internodeBytes = obs.Default().Counter(obs.MetricInternodeBytes, "Total simulated inter-node interconnect traffic in bytes.")
 )
 
 // Config describes the simulated node. The zero value is not valid; use
@@ -37,6 +38,53 @@ type Config struct {
 	// MaxRetransmits caps TransferReliable's retransmission budget per
 	// transfer; 0 means DefaultMaxRetransmits.
 	MaxRetransmits int
+	// Nodes partitions the GPUs into that many nodes: groups of devices
+	// behind a slower inter-node interconnect. GPU g lives on node
+	// g % Nodes (round-robin, so a block-cyclic column layout spreads
+	// consecutive columns across nodes), the CPU coordinates from node 0,
+	// and NumGPUs must be a multiple of Nodes. 0 or 1 selects the flat
+	// single-box system, whose behavior is bit-identical to a topology-free
+	// configuration.
+	Nodes int
+	// InterGBps and InterLatencyUS drive the inter-node interconnect
+	// clock: transfers whose endpoints live on different nodes are billed
+	// at this slower tier instead of the PCIe tier. Zero selects
+	// DefaultInterGBps/DefaultInterLatencyUS when Nodes > 1; both are
+	// ignored on a single-node system.
+	InterGBps      float64
+	InterLatencyUS float64
+}
+
+// Inter-node interconnect defaults, applied when Nodes > 1 and the
+// corresponding Config field is zero: a network an order of magnitude
+// slower and higher-latency than the intra-node PCIe fabric.
+const (
+	DefaultInterGBps      = 2.5
+	DefaultInterLatencyUS = 120.0
+)
+
+// nodes resolves the node count (0 means the flat single-node system).
+func (c Config) nodes() int {
+	if c.Nodes < 1 {
+		return 1
+	}
+	return c.Nodes
+}
+
+// interGBps and interLatencyUS resolve the inter-node interconnect tier
+// without mutating the Config (which serves as a comparable pool key).
+func (c Config) interGBps() float64 {
+	if c.InterGBps > 0 {
+		return c.InterGBps
+	}
+	return DefaultInterGBps
+}
+
+func (c Config) interLatencyUS() float64 {
+	if c.InterLatencyUS > 0 {
+		return c.InterLatencyUS
+	}
+	return DefaultInterLatencyUS
 }
 
 // DefaultConfig returns a configuration shaped like the paper's testbed
@@ -94,7 +142,8 @@ type System struct {
 
 	mu           sync.Mutex
 	pcieSimSecs  float64
-	transferred  int64 // total bytes moved over PCIe
+	transferred  int64 // total bytes moved over PCIe (both tiers)
+	internode    int64 // bytes moved over the inter-node interconnect
 	events       []Event
 	traceEnabled bool
 	hook         TransferHook
@@ -119,12 +168,25 @@ type System struct {
 	// verdict is computed inside the transfer-accounting critical section
 	// so fault rates and the billed time stay consistent.
 	links []linkState
+
+	// Whole-node fault state (see nodefault.go), guarded by nodeMu: armed
+	// plans keyed by node index, the epoch counter NodeEpoch advances, and
+	// which nodes have been lost.
+	nodeMu    sync.Mutex
+	nodePlans map[int]NodeFaultPlan
+	nodeEpoch int
+	nodesLost []bool
 }
 
-// New builds a simulated node from cfg.
+// New builds a simulated cluster from cfg: one coordinating CPU plus
+// NumGPUs GPUs spread round-robin over cfg.Nodes nodes (the flat
+// single-node system when Nodes <= 1).
 func New(cfg Config) *System {
 	if cfg.NumGPUs < 1 {
 		panic("hetsim: NumGPUs must be >= 1")
+	}
+	if nodes := cfg.nodes(); nodes > 1 && cfg.NumGPUs%nodes != 0 {
+		panic(fmt.Sprintf("hetsim: NumGPUs (%d) must be a multiple of Nodes (%d)", cfg.NumGPUs, nodes))
 	}
 	if cfg.CPUWorkers < 1 {
 		cfg.CPUWorkers = 1
@@ -132,13 +194,25 @@ func New(cfg Config) *System {
 	if cfg.GPUWorkers < 1 {
 		cfg.GPUWorkers = 1
 	}
-	s := &System{cfg: cfg, linkAvail: make([]float64, cfg.NumGPUs), links: make([]linkState, cfg.NumGPUs)}
+	s := &System{
+		cfg:       cfg,
+		linkAvail: make([]float64, cfg.NumGPUs),
+		links:     make([]linkState, cfg.NumGPUs),
+		nodesLost: make([]bool, cfg.nodes()),
+	}
 	s.cpu = &Device{kind: CPU, id: -1, workers: cfg.CPUWorkers, gflops: cfg.CPUGflops, sys: s}
 	for i := 0; i < cfg.NumGPUs; i++ {
-		s.gpus = append(s.gpus, &Device{kind: GPU, id: i, workers: cfg.GPUWorkers, gflops: cfg.GPUGflops, sys: s})
+		s.gpus = append(s.gpus, &Device{kind: GPU, id: i, node: i % cfg.nodes(), workers: cfg.GPUWorkers, gflops: cfg.GPUGflops, sys: s})
 	}
 	return s
 }
+
+// Nodes returns the node count of the topology (1 for the flat system).
+func (s *System) Nodes() int { return s.cfg.nodes() }
+
+// NodeOf returns the node GPU g lives on (g % Nodes; the CPU coordinates
+// from node 0).
+func (s *System) NodeOf(g int) int { return g % s.cfg.nodes() }
 
 // CPU returns the host device.
 func (s *System) CPU() *Device { return s.cpu }
@@ -241,6 +315,7 @@ func (s *System) Reset() {
 	s.mu.Lock()
 	s.pcieSimSecs = 0
 	s.transferred = 0
+	s.internode = 0
 	s.events = nil
 	s.hook = nil
 	s.tracer = nil
@@ -250,6 +325,13 @@ func (s *System) Reset() {
 		s.links[i] = linkState{}
 	}
 	s.mu.Unlock()
+	s.nodeMu.Lock()
+	s.nodePlans = nil
+	s.nodeEpoch = 0
+	for i := range s.nodesLost {
+		s.nodesLost[i] = false
+	}
+	s.nodeMu.Unlock()
 	s.boundCtx.Store(nil)
 	s.resetClock()
 	s.cpu.resetSim()
@@ -267,11 +349,20 @@ func (s *System) PCIeSimTime() float64 {
 	return s.pcieSimSecs
 }
 
-// BytesTransferred returns the total bytes moved over PCIe.
+// BytesTransferred returns the total bytes moved over PCIe (both tiers).
 func (s *System) BytesTransferred() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.transferred
+}
+
+// InternodeBytes returns the bytes moved over the inter-node interconnect
+// (the cross-node subset of BytesTransferred); always zero on a flat
+// single-node system.
+func (s *System) InternodeBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.internode
 }
 
 // Transfer copies the contents of src into dst over the PCIe fabric. The
@@ -318,6 +409,14 @@ func (s *System) transferAttempt(src, dst *Buffer, runHook bool) error {
 		panic(fmt.Sprintf("hetsim: Transfer shape mismatch %dx%d -> %dx%d", sm.Rows, sm.Cols, dm.Rows, dm.Cols))
 	}
 	bytes := 8 * sm.Rows * sm.Cols
+	// Link-tier selection: endpoints on different nodes cross the slower
+	// inter-node interconnect; everything else (including CPU<->GPU on node
+	// 0, and every transfer on a flat system) stays on the PCIe tier.
+	crossNode := s.cfg.nodes() > 1 && src.dev.node != dst.dev.node
+	gbps, latUS := s.cfg.PCIeGBps, s.cfg.PCIeLatencyUS
+	if crossNode {
+		gbps, latUS = s.cfg.interGBps(), s.cfg.interLatencyUS()
+	}
 	s.mu.Lock()
 	verdict := s.linkFaultVerdict(src.dev, dst.dev)
 	corruptSeq := 0
@@ -325,12 +424,15 @@ func (s *System) transferAttempt(src, dst *Buffer, runHook bool) error {
 		corruptSeq = s.links[verdict.link].n
 	}
 	s.transferred += int64(bytes)
+	if crossNode {
+		s.internode += int64(bytes)
+	}
 	var dt float64
-	if s.cfg.PCIeGBps > 0 {
-		dt = float64(bytes) / (s.cfg.PCIeGBps * 1e9) * verdict.factor
+	if gbps > 0 {
+		dt = float64(bytes) / (gbps * 1e9) * verdict.factor
 		link := [2]int{src.dev.id, dst.dev.id}
 		if s.coalesceDepth == 0 || !s.coalescedLinks[link] {
-			dt += s.cfg.PCIeLatencyUS / 1e6
+			dt += latUS / 1e6
 			if s.coalesceDepth > 0 {
 				s.coalescedLinks[link] = true
 			}
@@ -379,6 +481,9 @@ func (s *System) transferAttempt(src, dst *Buffer, runHook bool) error {
 	s.mu.Unlock()
 	pcieBytes.Add(uint64(bytes))
 	pcieTransfers.Inc()
+	if crossNode {
+		internodeBytes.Add(uint64(bytes))
+	}
 	obs.ObservePhaseSeconds(obs.PhasePCIe, dt)
 	if tr != nil {
 		tr.SimSpan(src.dev.Name()+"->"+dst.dev.Name(), obs.PhasePCIe, "PCIe",

@@ -57,6 +57,17 @@ const (
 	// resume or rollback because their content checksum no longer matched
 	// (a tampered or corrupted snapshot is never replayed).
 	MetricCheckpointIntegrityFailures = "ftla_checkpoint_integrity_failures_total"
+	// MetricNodeLost counts whole-node losses fired by armed node fault
+	// plans (label "node": the lost node's index).
+	MetricNodeLost = "ftla_node_lost_total"
+	// MetricReconstructions counts lost-node block columns rebuilt from
+	// erasure-coded parity, with no checkpoint involved (label "node": the
+	// node whose columns were reconstructed).
+	MetricReconstructions = "ftla_reconstructions_total"
+	// MetricInternodeBytes is the total simulated inter-node interconnect
+	// traffic in bytes (transfers whose endpoints live on different nodes;
+	// intra-node traffic stays in MetricPCIeBytes, which counts both tiers).
+	MetricInternodeBytes = "ftla_internode_bytes_total"
 )
 
 // phaseHist holds the per-phase histograms of the default registry,

@@ -119,6 +119,11 @@ func (s *JobSpec) validate() error {
 	if s.Priority < Batch {
 		return fmt.Errorf("service: negative priority")
 	}
+	if sc := s.Config.SystemConfig(); sc.Nodes > 1 && sc.NumGPUs%sc.Nodes != 0 {
+		// hetsim.New enforces this invariant with a panic; catch it at
+		// admission so a bad spec fails its Submit, not a worker.
+		return fmt.Errorf("service: %d GPUs not divisible over %d nodes", sc.NumGPUs, sc.Nodes)
+	}
 	return nil
 }
 
@@ -131,14 +136,14 @@ func (s *JobSpec) tol() float64 {
 
 // batchable reports whether the job may share a coalesced batched dispatch
 // with others of the same batchKey. Per-run control flow the batched
-// drivers cannot share — fail-stop plans, checkpointing, resume, dynamic
-// rebalancing — and per-job observation scopes (Trace, Deadline) keep a
+// drivers cannot share — fail-stop and node-fault plans, checkpointing,
+// resume, dynamic rebalancing — and per-job observation scopes (Trace, Deadline) keep a
 // job on the solo path. A fault Injector is batchable: the batched drivers
 // carry injectors per item, which is exactly what the retry-isolation
 // contract exercises (one injected item must not disturb its batchmates).
 func (s *JobSpec) batchable() bool {
 	c := s.Config
-	return len(c.FailStop) == 0 &&
+	return len(c.FailStop) == 0 && len(c.NodeFault) == 0 &&
 		c.CheckpointEvery == 0 && c.OnCheckpoint == nil && c.Resume == nil &&
 		c.Rebalance.Every == 0 &&
 		!s.Trace && s.Deadline == 0

@@ -1,0 +1,300 @@
+package service
+
+// Cluster chaos coverage: whole-node losses on multi-node topologies
+// (scripts/check.sh runs TestNodeLossRecoveryGate with -race). The serving
+// contract for clusters has two rungs: a first node loss is absorbed BELOW
+// the job by the erasure-coded parity — one attempt, reconstruction in the
+// report, bit-exact factors — and a second loss (redundancy spent)
+// surfaces a typed *hetsim.NodeLostError that engages the scheduler's
+// node-failover ladder: quarantine the system, carve the dead node out of
+// the platform, retry on the smaller cluster.
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ftla"
+	"ftla/internal/hetsim"
+	"ftla/internal/obs"
+)
+
+// counterSum totals a counter family across its label values — labeled
+// series snapshot under `name{label="v"}` keys, one per value.
+func counterSum(s obs.Snapshot, name string) uint64 {
+	var total uint64
+	for k, v := range s.Counters {
+		if k == name || strings.HasPrefix(k, name+"{") {
+			total += v
+		}
+	}
+	return total
+}
+
+// nodeSpec is a 3-GPU / 3-node Cholesky job; nf arms whole-node loss plans
+// keyed by node index (nil = clean cluster run).
+func nodeSpec(seed uint64, nf map[int]ftla.NodeFaultPlan) JobSpec {
+	return JobSpec{
+		Decomp: Cholesky,
+		A:      ftla.RandomSPD(96, seed),
+		Config: ftla.Config{
+			GPUs: 3, NB: 16, Nodes: 3,
+			NodeFault: nf,
+		},
+		NoCache: true,
+	}
+}
+
+// TestChaosNodeLossAbsorbedBelowJob: one node loss on a 3-node cluster is
+// repaired in place by parity reconstruction — the job completes on its
+// first attempt, never touching the retry or failover machinery, with the
+// recovery visible only in the report and the library metrics.
+func TestChaosNodeLossAbsorbedBelowJob(t *testing.T) {
+	s := New(Config{Workers: 1, Retry: RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond}})
+	defer s.Close()
+
+	before := obs.Default().Snapshot()
+	spec := nodeSpec(41, map[int]ftla.NodeFaultPlan{1: {AfterEpochs: 2}})
+	h, err := s.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.Wait(context.Background())
+	if err != nil {
+		t.Fatalf("job failed: %v", err)
+	}
+	if res.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (node loss must be absorbed below the job)", res.Attempts)
+	}
+	rep := res.Factors.Report()
+	if rep.NodesLost != 1 || rep.Reconstructions == 0 {
+		t.Fatalf("report NodesLost/Reconstructions = %d/%d, want 1/>0",
+			rep.NodesLost, rep.Reconstructions)
+	}
+	if res.Residual > 1e-9 {
+		t.Fatalf("reconstruction produced a wrong factor: residual %g", res.Residual)
+	}
+	st := s.Stats()
+	if st.NodeFailovers != 0 || st.Retries != 0 || st.Quarantined != 0 {
+		t.Fatalf("failover machinery engaged for an absorbed loss: NodeFailovers=%d Retries=%d Quarantined=%d",
+			st.NodeFailovers, st.Retries, st.Quarantined)
+	}
+	d := obs.Default().Snapshot().Diff(before)
+	if counterSum(d, obs.MetricNodeLost) == 0 || counterSum(d, obs.MetricReconstructions) == 0 {
+		t.Fatalf("library metrics missed the event: node_lost=%d reconstructions=%d",
+			counterSum(d, obs.MetricNodeLost), counterSum(d, obs.MetricReconstructions))
+	}
+}
+
+// TestChaosSecondNodeLossFailsOverToDegradedCluster: r=1 redundancy spends
+// on the first loss; the second aborts the attempt with a typed node error,
+// the pool quarantines the system, and the retry completes on a cluster one
+// node smaller — the whole event visible in the service metrics.
+func TestChaosSecondNodeLossFailsOverToDegradedCluster(t *testing.T) {
+	s := New(Config{Workers: 1, Retry: RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond}})
+	defer s.Close()
+
+	spec := nodeSpec(42, map[int]ftla.NodeFaultPlan{
+		1: {AfterEpochs: 1},
+		2: {AfterEpochs: 2},
+	})
+	h, err := s.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.Wait(context.Background())
+	if err != nil {
+		t.Fatalf("job failed: %v", err)
+	}
+	if res.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (one lost to the second node fault, one degraded rerun)",
+			res.Attempts)
+	}
+	if got := res.Factors.Report().GPUs; got != 2 {
+		t.Fatalf("winning attempt ran on %d GPUs, want 2 (one node carved out of 3x1)", got)
+	}
+	if res.Residual > 1e-9 {
+		t.Fatalf("failover produced a wrong factor: residual %g", res.Residual)
+	}
+	st := s.Stats()
+	if st.NodeFailovers != 1 {
+		t.Fatalf("Stats.NodeFailovers = %d, want 1", st.NodeFailovers)
+	}
+	if st.DeviceLost != 0 || st.LinkLost != 0 {
+		t.Fatalf("node loss misclassified: DeviceLost=%d LinkLost=%d", st.DeviceLost, st.LinkLost)
+	}
+	if st.Quarantined != 1 || st.Retries != 1 {
+		t.Fatalf("Quarantined/Retries = %d/%d, want 1/1", st.Quarantined, st.Retries)
+	}
+}
+
+// TestChaosNodeLossExhaustionSurfacesTypedError: with no retries left the
+// job terminates with a *FailStopError wrapping the typed node error — the
+// caller can tell a dead node from a dead device or link.
+func TestChaosNodeLossExhaustionSurfacesTypedError(t *testing.T) {
+	s := New(Config{Workers: 1, Retry: RetryPolicy{MaxAttempts: 1}})
+	defer s.Close()
+
+	spec := nodeSpec(43, map[int]ftla.NodeFaultPlan{
+		1: {AfterEpochs: 1},
+		2: {AfterEpochs: 2},
+	})
+	h, err := s.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = h.Wait(context.Background())
+	var fse *FailStopError
+	if !errors.As(err, &fse) {
+		t.Fatalf("err = %v, want *FailStopError", err)
+	}
+	var nle *hetsim.NodeLostError
+	if !errors.As(err, &nle) {
+		t.Fatalf("FailStopError does not wrap the node loss: %v", err)
+	}
+	if nle.Node != 2 || nle.GPUs != 1 {
+		t.Fatalf("NodeLostError = %+v, want node 2 with 1 GPU", nle)
+	}
+}
+
+// TestChaosDeviceLossOnClusterRetiresWholeNode: a single GPU dying on a
+// multi-node platform cannot be carved out alone (the GPU count must stay
+// divisible by the node count), so the failover retires the dead device's
+// whole node. This also pins the structured-identity fix: the dead device
+// reports the node-qualified name "N1/GPU1", which the old name-parsing
+// classifier failed to recognize as a GPU at all.
+func TestChaosDeviceLossOnClusterRetiresWholeNode(t *testing.T) {
+	s := New(Config{Workers: 1, Retry: RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond}})
+	defer s.Close()
+
+	spec := nodeSpec(44, nil)
+	spec.Config.FailStop = map[int]ftla.FailStopPlan{
+		1: {Mode: ftla.FailCrash, AfterOps: 20},
+	}
+	h, err := s.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.Wait(context.Background())
+	if err != nil {
+		t.Fatalf("job failed: %v", err)
+	}
+	if res.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", res.Attempts)
+	}
+	if got := res.Factors.Report().GPUs; got != 2 {
+		t.Fatalf("winning attempt ran on %d GPUs, want 2 (GPU1's node retired)", got)
+	}
+	if res.Residual > 1e-9 {
+		t.Fatalf("failover produced a wrong factor: residual %g", res.Residual)
+	}
+	if st := s.Stats(); st.DeviceLost != 1 || st.NodeFailovers != 0 {
+		t.Fatalf("DeviceLost/NodeFailovers = %d/%d, want 1/0 (a device died, not a node)",
+			st.DeviceLost, st.NodeFailovers)
+	}
+}
+
+// TestGPUIndexParsesNodeQualifiedNames pins the display-name parser against
+// both flat and node-qualified hetsim names.
+func TestGPUIndexParsesNodeQualifiedNames(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		want int
+	}{
+		{"GPU0", 0}, {"GPU2", 2}, {"GPU13", 13},
+		{"N0/GPU2", 2}, {"N3/GPU11", 11},
+		{"CPU", -1}, {"N0/CPU", -1}, {"PCIe", -1},
+		{"GPU", -1}, {"GPUx", -1}, {"GPU-1", -1}, {"", -1},
+	} {
+		if got := gpuIndex(tc.name); got != tc.want {
+			t.Errorf("gpuIndex(%q) = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestNodeLossRecoveryGate is the CI gate scripts/check.sh runs under
+// -race: a fleet of cluster jobs on 3-node platforms where a third of the
+// jobs lose one node mid-run (absorbed by parity) and a third lose two
+// (failover ladder). At least 90% of the jobs must reach a completed
+// result, and not one completed job may carry a silently wrong factor.
+func TestNodeLossRecoveryGate(t *testing.T) {
+	snap := obs.Default().Snapshot()
+	s := New(Config{
+		Workers: 4,
+		Retry:   RetryPolicy{MaxAttempts: 4, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond},
+		Seed:    99,
+	})
+	defer s.Close()
+
+	const jobs = 18
+	handles := make([]*JobHandle, 0, jobs)
+	for i := 0; i < jobs; i++ {
+		var nf map[int]ftla.NodeFaultPlan
+		switch i % 3 {
+		case 0: // clean control
+		case 1: // one loss: absorbed by parity reconstruction
+			nf = map[int]ftla.NodeFaultPlan{1 + i%2: {AfterEpochs: 1 + i%4}}
+		case 2: // two losses: redundancy spent, failover ladder engages
+			nf = map[int]ftla.NodeFaultPlan{
+				1: {AfterEpochs: 1 + i%2},
+				2: {AfterEpochs: 2 + i%2},
+			}
+		}
+		h, err := s.Submit(context.Background(), nodeSpec(uint64(700+i), nf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+
+	var mu sync.Mutex
+	completed, wrong := 0, 0
+	var wg sync.WaitGroup
+	for i, h := range handles {
+		wg.Add(1)
+		go func(i int, h *JobHandle) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			res, err := h.Wait(ctx)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				t.Logf("job %d did not complete: %v", i, err)
+				return
+			}
+			completed++
+			if res.Residual > 1e-9 {
+				wrong++
+				t.Errorf("job %d: silently wrong factor, residual %g", i, res.Residual)
+			}
+		}(i, h)
+	}
+	wg.Wait()
+
+	if wrong != 0 {
+		t.Fatalf("%d job(s) returned silently wrong factors", wrong)
+	}
+	if completed*10 < jobs*9 {
+		t.Fatalf("only %d/%d jobs completed, gate requires >= 90%%", completed, jobs)
+	}
+	d := obs.Default().Snapshot().Diff(snap)
+	if counterSum(d, obs.MetricNodeLost) == 0 {
+		t.Fatal("gate fleet lost no nodes: the armed faults never fired")
+	}
+	if counterSum(d, obs.MetricReconstructions) == 0 {
+		t.Fatal("no parity reconstructions recorded: every loss took the failover path")
+	}
+	if d.CounterValue(obs.MetricInternodeBytes) == 0 {
+		t.Fatal("no inter-node traffic recorded on a 3-node fleet")
+	}
+	st := s.Stats()
+	if st.NodeFailovers == 0 {
+		t.Fatal("no node failovers recorded: the double-loss jobs never engaged the ladder")
+	}
+	t.Logf("node-loss gate: completed=%d/%d nodeFailovers=%d retries=%d reconstructions=%d",
+		completed, jobs, st.NodeFailovers, st.Retries, counterSum(d, obs.MetricReconstructions))
+}

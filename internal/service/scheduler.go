@@ -477,6 +477,7 @@ func (s *Scheduler) run(h *JobHandle) {
 			cfg.Injector = nil
 			cfg.FailStop = nil
 			cfg.LinkFault = nil
+			cfg.NodeFault = nil
 			cfg.Resume = resumeCP
 			if resumeCP != nil {
 				wasResume = true
@@ -528,7 +529,29 @@ func (s *Scheduler) run(h *JobHandle) {
 			var lost *hetsim.DeviceLostError
 			var hung *hetsim.DeviceHungError
 			var link *hetsim.LinkError
+			var nodeLost *hetsim.NodeLostError
 			switch {
+			case errors.As(err, &nodeLost):
+				// Whole-node loss the coded redundancy could not absorb (the
+				// parity column was already spent on an earlier loss, or no
+				// redundancy was configured). Quarantine the system and retry
+				// on a cluster with the dead node carved out; the checkpoint
+				// machinery below makes that retry a resume when one exists.
+				s.met.nodeLost.Inc()
+				s.met.abortSeconds.Observe(aborted.Seconds())
+				if tr != nil {
+					tr.WallSpan("node-lost:N"+strconv.Itoa(nodeLost.Node), "fault", attemptStart, aborted)
+				}
+				s.pool.quarantine(sys)
+				degradeNode(&sysCfg)
+				if jctx.Err() != nil {
+					expire(attempt, err)
+					return
+				}
+				if attempt >= s.cfg.Retry.MaxAttempts {
+					fail(&FailStopError{Attempts: h.prior + attempt, Cause: err})
+					return
+				}
 			case errors.As(err, &link):
 				// PCIe link fault the reliable-transfer protocol could not
 				// absorb: the link's GPU is suspect exactly like a lost
@@ -556,20 +579,27 @@ func (s *Scheduler) run(h *JobHandle) {
 				// Fail-stop fault: the system is unsafe to reuse as-is.
 				// Quarantine it, degrade the platform if a GPU died, and
 				// retry on a rebuilt system.
-				name := ""
+				name, g := "", -1
 				if lost != nil {
-					name = lost.Device
+					name, g = lost.Device, lost.GPU
 				} else {
-					name = hung.Device
+					name, g = hung.Device, hung.GPU
 				}
 				s.met.deviceLost.Inc()
 				s.met.abortSeconds.Observe(aborted.Seconds())
 				if tr != nil {
 					tr.WallSpan("device-lost:"+name, "fault", attemptStart, aborted)
 				}
-				s.pool.quarantineSuspect(sys, gpuIndex(name))
-				if strings.HasPrefix(name, "GPU") && sysCfg.NumGPUs > 1 {
-					sysCfg.NumGPUs--
+				s.pool.quarantineSuspect(sys, g)
+				if g >= 0 && sysCfg.NumGPUs > 1 {
+					if sysCfg.Nodes > 1 {
+						// A lone GPU cannot be carved out of a cluster config
+						// (GPU count must stay divisible by the node count):
+						// retire the whole node the dead device lived on.
+						degradeNode(&sysCfg)
+					} else {
+						sysCfg.NumGPUs--
+					}
 				}
 				if jctx.Err() != nil {
 					expire(attempt, err)
@@ -662,11 +692,28 @@ func (s *Scheduler) run(h *JobHandle) {
 	}
 }
 
-// runDecomposition executes one attempt on the given system and classifies
-// its outcome from the report plus the service's own residual check.
-// gpuIndex parses the device index from a hetsim GPU name ("GPU2" → 2);
-// -1 for the CPU, the PCIe pseudo-device, or anything unparseable.
+// degradeNode shrinks a platform config by one node's worth of GPUs — the
+// failover step after a whole-node loss (or a single-device loss on a
+// cluster, where the GPU count must stay divisible by the node count). A
+// two-node cluster degrades to the flat single-box config.
+func degradeNode(cfg *hetsim.Config) {
+	if n := cfg.Nodes; n > 1 {
+		cfg.NumGPUs -= cfg.NumGPUs / n
+		cfg.Nodes = n - 1
+	} else if cfg.NumGPUs > 1 {
+		cfg.NumGPUs--
+	}
+}
+
+// gpuIndex parses the device index from a hetsim GPU display name ("GPU2"
+// or the node-qualified "N1/GPU2" → 2); -1 for the CPU, the PCIe
+// pseudo-device, or anything unparseable. The scheduler itself classifies
+// on the structured DeviceLostError.GPU/Node fields — this parser exists
+// for consumers that only have a display name (logs, traces).
 func gpuIndex(name string) int {
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
 	rest, ok := strings.CutPrefix(name, "GPU")
 	if !ok {
 		return -1
@@ -678,6 +725,8 @@ func gpuIndex(name string) int {
 	return g
 }
 
+// runDecomposition executes one attempt on the given system and classifies
+// its outcome from the report plus the service's own residual check.
 func runDecomposition(sys *hetsim.System, spec JobSpec, cfg ftla.Config) (*Factorization, error) {
 	tol := spec.tol()
 	switch spec.Decomp {

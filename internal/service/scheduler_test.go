@@ -427,14 +427,26 @@ func TestConcurrentMixedTraffic(t *testing.T) {
 		}(i)
 	}
 	wg.Wait()
+	// The concurrent wave alone cannot guarantee a cache hit: under -race
+	// the workers run slowly enough that every duplicate may still be
+	// queued when its twin completes, and queued duplicates coalesce into
+	// batched dispatches instead of hitting the cache. One more duplicate
+	// after the wave drains is deterministic — its result is cached.
+	h, err := s.Submit(context.Background(), JobSpec{Decomp: Cholesky, A: mats[0], Config: ftla.Config{NB: 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
 	s.Close()
 	close(errs)
 	for err := range errs {
 		t.Fatal(err)
 	}
 	st := s.Stats()
-	if st.Completed != 24 {
-		t.Fatalf("completed %d/24 (stats %+v)", st.Completed, st)
+	if st.Completed != 25 {
+		t.Fatalf("completed %d/25 (stats %+v)", st.Completed, st)
 	}
 	if st.CacheHits == 0 {
 		t.Fatal("repeated operators produced no cache hits")

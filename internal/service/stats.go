@@ -69,6 +69,13 @@ const (
 	// reliable-transfer protocol could not absorb (retransmission budget
 	// exhausted); the link's GPU is quarantined like a lost device.
 	MetricLinkLost = "ftla_link_lost_total"
+	// MetricNodeFailover counts attempts aborted by a whole-node loss the
+	// coded redundancy could not absorb (*hetsim.NodeLostError), engaging
+	// the scheduler's node-failover ladder: quarantine, carve the dead node
+	// out of the platform, resume or restart. Distinct from the library's
+	// ftla_node_lost_total in obs.Default, which counts every armed node
+	// fault firing — including the ones parity reconstruction absorbed.
+	MetricNodeFailover = "ftla_node_failover_total"
 	// MetricJobsDeadlineExceeded counts jobs terminated with a
 	// *DeadlineError (JobSpec.Deadline budget exhausted).
 	MetricJobsDeadlineExceeded = "ftla_jobs_deadline_exceeded_total"
@@ -127,8 +134,11 @@ type Stats struct {
 	// DeadlineExceeded counts jobs terminated by their Deadline budget;
 	// AbortedAttempts counts all aborted attempts (the abort-duration
 	// histogram's sample count).
+	// NodeFailovers counts attempts aborted by an unabsorbed whole-node
+	// loss (see MetricNodeFailover).
 	DeviceLost       uint64
 	LinkLost         uint64
+	NodeFailovers    uint64
 	DeadlineExceeded uint64
 	AbortedAttempts  uint64
 	// Quarantined gauges systems currently held out by the pool's circuit
@@ -191,6 +201,7 @@ type metrics struct {
 	waitSeconds, runSeconds *obs.Histogram
 	deviceLost              *obs.Counter
 	linkLost                *obs.Counter
+	nodeLost                *obs.Counter
 	deadlineExceeded        *obs.Counter
 	quarantined             *obs.Gauge
 	abortSeconds            *obs.Histogram
@@ -231,6 +242,8 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Attempts aborted by fail-stop device faults (crash or reaped hang)."),
 		linkLost: reg.Counter(MetricLinkLost,
 			"Attempts aborted by PCIe link faults that exhausted retransmission."),
+		nodeLost: reg.Counter(MetricNodeFailover,
+			"Attempts aborted by whole-node losses the coded redundancy could not absorb."),
 		deadlineExceeded: reg.Counter(MetricJobsDeadlineExceeded,
 			"Jobs terminated by their JobSpec.Deadline budget."),
 		quarantined: reg.Gauge(MetricPoolQuarantined,
@@ -286,6 +299,7 @@ func (m *metrics) snapshot() Stats {
 		SystemsReused:    m.sysReused.Value(),
 		DeviceLost:       m.deviceLost.Value(),
 		LinkLost:         m.linkLost.Value(),
+		NodeFailovers:    m.nodeLost.Value(),
 		DeadlineExceeded: m.deadlineExceeded.Value(),
 		AbortedAttempts:  m.abortSeconds.Count(),
 		Quarantined:      int(m.quarantined.Value()),

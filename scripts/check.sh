@@ -47,6 +47,18 @@ if grep -rnE 'sys\.Transfer\(|sys\.TransferCtx\(' internal/core/; then
     exit 1
 fi
 
+# Cross-node transfer lint: the coded-redundancy layer moves parity and
+# reconstruction traffic between nodes, and that motion must go through
+# es.netTransfer — the wrapper that rides the reliable path AND lands in
+# the inter-node accounting gates and BENCH_cluster.json measure. A raw
+# es.transfer in coded.go is cross-node traffic hidden from the books.
+# See DESIGN.md §11.
+if grep -nE 'es\.transfer\(' internal/core/coded.go; then
+    echo "internal/core/coded.go moves data across nodes and must use" >&2
+    echo "es.netTransfer, not es.transfer (DESIGN.md §11)" >&2
+    exit 1
+fi
+
 go test -race -timeout 5m ./...
 
 # Chaos gate: the fail-stop/graceful-degradation suites (see RESILIENCE.md)
@@ -95,3 +107,14 @@ go test -race -timeout 5m -run 'TestLinkFaultRecoveryGate' -count=2 .
 # 16 (writes BENCH_batch.json). Run without -race for the same reason as
 # the makespan gate: the assertion is on simulated time, not wall time.
 go test -timeout 5m -run 'TestBatchThroughputGate' .
+
+# Node-loss recovery gate: on a fleet of 3-node cluster jobs where a third
+# lose one node mid-run (absorbed in place by the erasure-coded parity)
+# and a third lose two (failover ladder: quarantine, carve the node out,
+# retry degraded), >=90% of jobs must complete and not one completed job
+# may carry a silently wrong factor. The bit-identity half of the claim
+# (reconstructed == uninterrupted, to the bit) lives in the core suite
+# (TestClusterNodeLossReconstructBitIdentical), which the full -race run
+# above already covers; -count=2 here shakes out pool/quarantine state
+# leaking between runs.
+go test -race -timeout 5m -run 'TestNodeLossRecoveryGate' -count=2 ./internal/service
