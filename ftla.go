@@ -188,13 +188,17 @@ type LinkError = hetsim.LinkError
 
 // NodeFaultPlan arms a whole-node loss on a multi-node topology
 // (Config.NodeFault): every GPU of the node fail-stops at once at a
-// ladder-step boundary. With the cluster layer's erasure-coded redundancy
-// the run rebuilds the lost columns from the survivors and continues
-// degraded; a second loss (r=1) aborts with a typed *NodeLostError.
+// ladder-step boundary, and plans due at the same boundary fire together
+// as one correlated burst. With the cluster layer's erasure-coded
+// redundancy the run rebuilds the lost columns from the survivors and
+// continues degraded — up to Config.Redundancy losses, sequential or
+// simultaneous; a loss beyond that aborts with a typed *NodeLostError.
 type NodeFaultPlan = hetsim.NodeFaultPlan
 
 // NodeLostError is the typed error a factorization returns when a
-// whole-node loss could not be absorbed by the coded redundancy.
+// whole-node loss could not be absorbed by the coded redundancy — some
+// parity group lost more columns than its surviving parity columns can
+// solve for.
 type NodeLostError = hetsim.NodeLostError
 
 // ErrCheckpointIntegrity is wrapped by the error a resume (or mid-run
@@ -256,14 +260,24 @@ type Config struct {
 	// Nodes > 1 spreads the GPUs round-robin over that many cluster nodes
 	// behind a slower inter-node interconnect (GPUs must be divisible by
 	// Nodes). Multi-node runs maintain erasure-coded parity columns across
-	// nodes so a whole-node loss is reconstructed in place and the run
-	// continues degraded, bit-identical to an uninterrupted run. The
+	// nodes so up to Redundancy whole-node losses are reconstructed in
+	// place and the run continues degraded, bit-identical to an
+	// uninterrupted run. The
 	// default (0 or 1) is the flat single-box topology, bit-identical to
 	// every earlier release.
 	Nodes int
-	// NodeFault arms whole-node loss plans, keyed by node index. Requires
-	// Nodes > 1.
+	// NodeFault arms whole-node loss plans, keyed by node index. Plans due
+	// at the same ladder-step boundary fire together as one correlated
+	// burst. Requires Nodes > 1.
 	NodeFault map[int]NodeFaultPlan
+	// Redundancy is the number r of erasure-coded parity columns each
+	// cross-node parity group carries when Nodes > 1: the cluster absorbs
+	// up to r whole-node losses — sequential or simultaneous — with
+	// bit-exact reconstruction. 0 (the default) means r = 1, the classic
+	// XOR parity; r must stay below Nodes (each parity group needs at
+	// least one data column) or the run is rejected before it starts.
+	// Ignored on flat single-box topologies, which carry no parity.
+	Redundancy int
 	// PeriodicTrailingCheck > 0 adds a full trailing verification every
 	// k-th iteration under NewScheme (§VII.B mitigation).
 	PeriodicTrailingCheck int
@@ -325,6 +339,12 @@ func (c Config) normalize() (Config, core.Options) {
 		c.Protection = FullChecksum
 		c.Scheme = NewScheme
 	}
+	// Canonicalize the parity depth on cluster topologies so Effective
+	// configurations compare equal whether the caller wrote the default
+	// explicitly or left it zero; flat systems ignore the field entirely.
+	if c.Nodes > 1 && c.Redundancy <= 0 {
+		c.Redundancy = 1
+	}
 	opts := core.Options{
 		NB:                    c.NB,
 		Mode:                  c.Protection,
@@ -334,6 +354,7 @@ func (c Config) normalize() (Config, core.Options) {
 		FailStop:              c.FailStop,
 		LinkFault:             c.LinkFault,
 		NodeFault:             c.NodeFault,
+		Redundancy:            c.Redundancy,
 		PeriodicTrailingCheck: c.PeriodicTrailingCheck,
 		Lookahead:             c.Lookahead,
 		CheckpointEvery:       c.CheckpointEvery,

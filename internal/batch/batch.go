@@ -156,6 +156,10 @@ type Key struct {
 	// Lookahead and PeriodicTrailingCheck are the schedule knobs that
 	// shape the shared ladder.
 	Lookahead, PeriodicTrailingCheck int
+	// Redundancy is the erasure-code parity count on a multi-node
+	// platform (0 on flat systems): it shapes the shared cluster layout,
+	// so jobs asking for different parity depths must not coalesce.
+	Redundancy int
 	// Sys is the simulated platform the batch runs on (a comparable
 	// value, so Key is usable as a map key).
 	Sys hetsim.Config

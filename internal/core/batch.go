@@ -89,6 +89,9 @@ func startBatch(decomp string, sys *hetsim.System, b *batch.Batch, opts Options,
 	if err := validateBatchOpts(b, opts, injs); err != nil {
 		return nil, nil, nil, nil, err
 	}
+	if err := opts.ValidateTopology(sys); err != nil {
+		return nil, nil, nil, nil, err
+	}
 	count := b.Count()
 	ess = make([]*engineSys, count)
 	ls = make([]ladder, count)

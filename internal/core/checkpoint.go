@@ -232,8 +232,9 @@ func (p *protected) restoreFrom(cp *Checkpoint) {
 		}
 	}
 	// Checkpoints carry no parity; a restore (rollback or cross-run resume)
-	// re-encodes it from the restored data while the redundancy is live.
-	if p.coded != nil && !p.coded.spent {
+	// re-encodes every surviving parity column from the restored data
+	// (refresh itself skips parities retired by an earlier node loss).
+	if p.coded != nil {
 		p.coded.refresh(0)
 	}
 }

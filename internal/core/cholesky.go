@@ -38,6 +38,9 @@ func Cholesky(sys *hetsim.System, a *matrix.Dense, opts Options) (lret *matrix.D
 	if err := opts.Validate(a.Rows); err != nil {
 		return nil, nil, err
 	}
+	if err := opts.ValidateTopology(sys); err != nil {
+		return nil, nil, err
+	}
 	// A fail-stop fault (or bound-context expiry) aborts the ladder from
 	// any kernel or transfer; surface it as the run's typed error. The
 	// system's partial state is the caller's to Reset.

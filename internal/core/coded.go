@@ -6,6 +6,7 @@ import (
 	"strconv"
 
 	"ftla/internal/checksum"
+	"ftla/internal/gf"
 	"ftla/internal/hetsim"
 	"ftla/internal/obs"
 )
@@ -15,71 +16,131 @@ import (
 // ABFT checksums repair corrupted *values*; a whole-node loss removes every
 // block column the node's GPUs held, and no column checksum can rebuild a
 // column that is gone. The cluster layer therefore maintains an erasure
-// code *across nodes*: every group of k = Nodes-1 consecutive data block
-// columns carries one parity column (r = 1) stored on the one node that
-// owns none of the group's members, so any single node loss removes at most
-// one column per group and the survivors plus parity rebuild it exactly.
+// code *across nodes*: every group of kk = Nodes-r consecutive data block
+// columns carries r parity columns, one on each of the r nodes that own
+// none of the group's members, so any ≤ r node losses remove at most r
+// columns per group and the survivors plus the remaining parities rebuild
+// the lost members exactly.
 //
-// The code is XOR over the IEEE-754 bit patterns of the elements
-// (math.Float64bits) — a [k+1, k] erasure code over GF(2^64). Unlike a
-// floating-point sum code it is closed under reconstruction with *zero*
-// rounding error, which is what makes the node-loss-then-reconstruct run
-// bit-identical to an uninterrupted one (the acceptance pin of PR 9).
+// The code is a [kk+r, kk] Reed-Solomon erasure code over GF(2^8), applied
+// bytewise to the IEEE-754 bit patterns of the elements (math.Float64bits):
+// parity j of a group is P_j = Σ_i gen[j][i]·D_i with gen the normalized
+// Cauchy generator of internal/gf. Field addition is XOR, so — unlike a
+// floating-point sum code — the code is closed under reconstruction with
+// *zero* rounding error, which is what makes a node-loss-then-reconstruct
+// run bit-identical to an uninterrupted one (the acceptance pin of PR 9,
+// extended to multi-loss in PR 10). gen's row 0 is all ones, so parity 0 is
+// the plain XOR of the members and the r = 1 configuration is bit-identical
+// in effect to the previous hard-wired XOR scheme.
 //
 // Placement. Block columns start block-cyclic (bj on GPU bj mod G) and
-// nodes are round-robin (GPU g on node g mod Nodes), so the members of
-// group t — columns [t·k, t·k+k) — land on k *distinct* consecutive node
-// residues, and the parity GPU pg = (t·k + Nodes − 1) mod G lives on
-// exactly the residue the members miss. Two consequences the rest of the
-// file leans on: every member→parity movement crosses nodes (and must go
-// through engineSys.netTransfer — scripts/check.sh lints this file against
-// the intra-node wrapper), and a node loss never takes a member *and* its
-// parity. Rebalancing migration would break the node-disjointness, so the
-// step runtime keeps the rebalancer off on multi-node topologies.
+// nodes are round-robin (GPU g on node g mod Nodes, with G a multiple of
+// Nodes), so the members of group t — columns [t·kk, t·kk+kk) — land on kk
+// *distinct* consecutive node residues, and parity j's GPU
+// pg_j = (t·kk + kk + j) mod G lives on the j-th residue the members miss.
+// Every node therefore holds exactly one column of each group (member or
+// parity), so any ≤ r node losses remove at most r columns per group, and
+// a loss never takes more columns than the surviving parities can solve
+// for. Member→parity shipments cross nodes by construction and must go
+// through engineSys.netTransfer (scripts/check.sh lints this file against
+// the intra-node wrapper). Rebalancing migration preserves the invariant
+// through the parity-aware protocol in rebalance.go: a cross-node move is
+// only accepted toward a node holding one of the group's parities, which is
+// then re-encoded on the donor's node (codedState.rehomeParity).
 //
-// Maintenance. Parity is refreshed at the end of every ladder step for all
-// groups still holding a column >= k (full height: §VII.B repair paths may
-// rewrite any row of a trailing column), and finalized groups — whose
-// columns only change under LU row interchanges — track the swaps exactly
-// by swapping the same parity rows. A rollback restores data from the
-// checkpoint and re-encodes all parity (checkpoints do not carry it).
+// Maintenance. Every live parity is refreshed at the end of every ladder
+// step for all groups still holding a column >= k (full height: §VII.B
+// repair paths may rewrite any row of a trailing column), and finalized
+// groups — whose columns only change under LU row interchanges — track the
+// swaps exactly by swapping the same parity rows (the code is row-local). A
+// rollback restores data from the checkpoint and re-encodes all surviving
+// parity (checkpoints do not carry it).
 //
-// Reconstruction. At a node-loss epoch the runtime calls reconstructNode:
-// each lost column is rebuilt bit-exactly by XOR-ing the surviving members
-// of its group into the parity copy, adopted into the parity GPU's slab at
-// its sorted position, and its checksum strips are re-encoded from the
-// rebuilt data (bit-different from the incrementally maintained strips, but
-// exactly consistent — every later verification passes, and the final
-// factors read only data). With r = 1 the redundancy is spent after one
-// loss; a second loss surfaces hetsim.NodeLostError to the serving layer.
+// Reconstruction. At a node-loss epoch the runtime calls reconstructNodes
+// with every node that died at that boundary (simultaneous losses fire
+// together; see hetsim.NodeEpoch). Parities on dead nodes are retired;
+// then, per group, the e lost members are solved from the first e surviving
+// parities: each selected parity GPU folds the surviving members into its
+// parity copy (RHS_j = P_j ⊕ Σ gen[j][i]·D_i), the e×e generator submatrix
+// is inverted over GF(2^8) — always possible, every square submatrix of a
+// Cauchy matrix is nonsingular — and each lost member D = Σ inv·RHS is
+// accumulated and adopted on a selected parity GPU, its checksum strips
+// re-encoded from the rebuilt data. Redundancy is *dynamic*, not a global
+// one-shot: a group stays recoverable while its lost members do not exceed
+// its surviving parities, so an r = 2 cluster absorbs two losses whether
+// they arrive in one epoch or two. Only when some group can no longer be
+// solved does the typed hetsim.NodeLostError surface to the serving layer.
 
-// reconstructionsTotal counts block columns rebuilt from parity after a
-// node loss, labeled by the lost node, in the obs default registry.
-var reconstructionsTotal = obs.Default().CounterVec(obs.MetricReconstructions,
-	"Block columns rebuilt from erasure-coded parity after a node loss, labeled by node.", "node")
+// Coded-redundancy instruments in the obs default registry.
+var (
+	// reconstructionsTotal counts block columns rebuilt from parity after a
+	// node loss, labeled by the lost node and by how much redundancy the
+	// cluster has spent/remaining after the rebuild (minimum surviving
+	// parity count across groups).
+	reconstructionsTotal = obs.Default().CounterVec(obs.MetricReconstructions,
+		"Block columns rebuilt from erasure-coded parity after a node loss, labeled by node and by redundancy spent/remaining after the rebuild.",
+		"node", "spent", "remaining")
+	// parityBytesTotal counts the bytes the coded layer shipped between
+	// nodes: parity encode/refresh traffic, reconstruction shipments, and
+	// rebalance-driven parity re-encodes.
+	parityBytesTotal = obs.Default().Counter(obs.MetricParityBytes,
+		"Bytes shipped by the erasure-coded redundancy layer (parity refresh, reconstruction, and migration re-encodes).")
+)
 
-// parityGroup is one erasure-code group: data block columns
-// [first, last] and their parity column on GPU pg.
+// parityGroup is one erasure-code group: data block columns [first, last]
+// and their r parity columns on GPUs pgs. bufs[j] is parity j's n × nb
+// column, nil once retired (its node was lost); pgs[j] tracks the hosting
+// GPU and is rewritten when the rebalancer re-homes a parity.
 type parityGroup struct {
 	first, last int
-	pg          int
-	buf         *hetsim.Buffer // n × nb parity column, resident on pg
+	pgs         []int
+	bufs        []*hetsim.Buffer
+}
+
+// liveParities returns the indices of the group's surviving parities.
+func (g *parityGroup) liveParities() []int {
+	var live []int
+	for j, b := range g.bufs {
+		if b != nil {
+			live = append(live, j)
+		}
+	}
+	return live
 }
 
 // codedState is the cross-node redundancy attached to a protected layout on
 // multi-node topologies (nil on flat systems).
 type codedState struct {
 	p      *protected
-	kk     int // data columns per parity group = Nodes-1
+	r      int      // parity columns per group
+	kk     int      // data columns per parity group = Nodes - r
+	gen    [][]byte // r × kk normalized Cauchy generator; gen[0] all ones
 	groups []parityGroup
-	// stage is a lazily allocated per-parity-GPU staging column for
-	// member shipments (reused across groups; transfers inside one
-	// coalesced window complete in order).
+	// stage is a lazily allocated per-GPU staging column for member and RHS
+	// shipments (reused across groups; transfers inside one coalesced
+	// window complete in order).
 	stage map[int]*hetsim.Buffer
-	// spent marks the redundancy consumed: a node loss happened (whether
-	// the lost node held members or parity, r=1 cannot absorb another) and
-	// parity maintenance stops.
-	spent bool
+	// tables caches the per-coefficient GF(2^8) multiplication tables the
+	// parity kernels stream words through.
+	tables map[byte]*gf.Table
+	// nodesLost counts the node losses this state absorbed, for the
+	// spent/remaining metric labels.
+	nodesLost int
+}
+
+// redundancyOf resolves the Options.Redundancy knob against the topology:
+// default 1, clamped into [1, Nodes-1] (at least one data column per group
+// must remain; the layers above validate and reject out-of-range requests,
+// this clamp is the defensive floor for direct core callers).
+func redundancyOf(opts *Options, nodes int) int {
+	r := opts.Redundancy
+	if r < 1 {
+		r = 1
+	}
+	if r > nodes-1 {
+		r = nodes - 1
+	}
+	return r
 }
 
 // newCodedState builds the parity groups for p's layout. Requires at least
@@ -87,22 +148,53 @@ type codedState struct {
 func newCodedState(p *protected) *codedState {
 	nodes := p.es.sys.Nodes()
 	G := p.es.sys.NumGPUs()
-	kk := nodes - 1
-	cs := &codedState{p: p, kk: kk, stage: make(map[int]*hetsim.Buffer)}
+	r := redundancyOf(&p.es.opts, nodes)
+	kk := nodes - r
+	cs := &codedState{
+		p: p, r: r, kk: kk,
+		gen:    gf.Cauchy(r, kk),
+		stage:  make(map[int]*hetsim.Buffer),
+		tables: make(map[byte]*gf.Table),
+	}
 	for first := 0; first < p.nbr; first += kk {
 		last := first + kk - 1
 		if last >= p.nbr {
 			last = p.nbr - 1
 		}
-		pg := (first + nodes - 1) % G
-		cs.groups = append(cs.groups, parityGroup{
-			first: first,
-			last:  last,
-			pg:    pg,
-			buf:   p.es.sys.GPU(pg).Alloc(p.n, p.nb),
-		})
+		g := parityGroup{first: first, last: last, pgs: make([]int, r), bufs: make([]*hetsim.Buffer, r)}
+		for j := 0; j < r; j++ {
+			g.pgs[j] = (first + kk + j) % G
+			g.bufs[j] = p.es.sys.GPU(g.pgs[j]).Alloc(p.n, p.nb)
+		}
+		cs.groups = append(cs.groups, g)
 	}
 	return cs
+}
+
+// groupOf returns the parity-group index of block column bj.
+func (cs *codedState) groupOf(bj int) int { return bj / cs.kk }
+
+// exhausted reports that no group has a surviving parity column left —
+// maintenance is pointless and the next loss is terminal for every group.
+func (cs *codedState) exhausted() bool {
+	for t := range cs.groups {
+		for _, b := range cs.groups[t].bufs {
+			if b != nil {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// table returns the cached multiplication table of coefficient c.
+func (cs *codedState) table(c byte) *gf.Table {
+	if t, ok := cs.tables[c]; ok {
+		return t
+	}
+	t := gf.MulTable(c)
+	cs.tables[c] = t
+	return t
 }
 
 // stageBuf returns the reusable staging column on GPU g.
@@ -115,15 +207,39 @@ func (cs *codedState) stageBuf(g int) *hetsim.Buffer {
 	return b
 }
 
-// xorInto folds src into dst element-wise over the float bit patterns, both
-// resident on dev.
-func (cs *codedState) xorInto(dev *hetsim.Device, dst, src *hetsim.Buffer) {
-	cs.p.es.kernel(dev, "parity-xor", float64(cs.p.n*cs.p.nb), func(int) {
+// ship moves a parity-layer column between devices over the reliable
+// cross-node wrapper and counts its bytes on the parity-traffic meter.
+func (cs *codedState) ship(src, dst *hetsim.Buffer) {
+	cs.p.es.netTransfer(src, dst)
+	parityBytesTotal.Add(uint64(8 * cs.p.n * cs.p.nb))
+}
+
+// axpyInto folds c·src into dst over the float bit patterns (dst ^= c·src
+// bytewise in GF(2^8)), both resident on dev. With c = 1 the table is the
+// identity and the kernel is the plain XOR of the r = 1 code.
+func (cs *codedState) axpyInto(dev *hetsim.Device, dst, src *hetsim.Buffer, c byte) {
+	t := cs.table(c)
+	cs.p.es.kernel(dev, "parity-axpy", float64(cs.p.n*cs.p.nb), func(int) {
 		d, s := dst.Access(dev), src.Access(dev)
 		for i := 0; i < d.Rows; i++ {
 			dr, sr := d.Row(i), s.Row(i)
 			for j := range dr {
-				dr[j] = math.Float64frombits(math.Float64bits(dr[j]) ^ math.Float64bits(sr[j]))
+				dr[j] = math.Float64frombits(math.Float64bits(dr[j]) ^ t.MulWord(math.Float64bits(sr[j])))
+			}
+		}
+	})
+}
+
+// scaleInto overwrites dst with c·src (bytewise GF(2^8) over the bit
+// patterns), both resident on dev.
+func (cs *codedState) scaleInto(dev *hetsim.Device, dst, src *hetsim.Buffer, c byte) {
+	t := cs.table(c)
+	cs.p.es.kernel(dev, "parity-scale", float64(cs.p.n*cs.p.nb), func(int) {
+		d, s := dst.Access(dev), src.Access(dev)
+		for i := 0; i < d.Rows; i++ {
+			dr, sr := d.Row(i), s.Row(i)
+			for j := range dr {
+				dr[j] = math.Float64frombits(t.MulWord(math.Float64bits(sr[j])))
 			}
 		}
 	})
@@ -135,32 +251,55 @@ func (cs *codedState) memberView(bj int) *hetsim.Buffer {
 	return p.local[p.owner(bj)].View(0, p.localOff(bj), p.n, p.nb)
 }
 
-// refreshGroup recomputes group t's parity from its members' current
-// contents: the first member is copied over the wire onto the parity
-// column, the rest are staged and XOR-ed in. Every shipment is cross-node
-// by the placement invariant.
-func (cs *codedState) refreshGroup(t int) {
+// encodeParity recomputes parity j of group t onto buf (resident on GPU
+// pg) from the members' current contents: buf = Σ_i gen[j][i]·D_i. The
+// first member with coefficient 1 is copied over the wire straight onto the
+// parity column; the rest are staged (or read in place when a member — a
+// reconstruction adoptee or a migrated column — shares pg's device) and
+// multiply-accumulated in.
+func (cs *codedState) encodeParity(t, j, pg int, buf *hetsim.Buffer) {
 	g := &cs.groups[t]
 	p := cs.p
-	pgdev := p.es.sys.GPU(g.pg)
+	dev := p.es.sys.GPU(pg)
+	started := false
 	for bj := g.first; bj <= g.last; bj++ {
-		if bj == g.first {
-			p.es.netTransfer(cs.memberView(bj), g.buf)
+		c := cs.gen[j][bj-g.first]
+		local := p.owner(bj) == pg
+		if !started && c == 1 && !local {
+			cs.ship(cs.memberView(bj), buf)
+			started = true
 			continue
 		}
-		stage := cs.stageBuf(g.pg)
-		p.es.netTransfer(cs.memberView(bj), stage)
-		cs.xorInto(pgdev, g.buf, stage)
+		src := cs.memberView(bj)
+		if !local {
+			stage := cs.stageBuf(pg)
+			cs.ship(src, stage)
+			src = stage
+		}
+		if !started {
+			cs.scaleInto(dev, buf, src, c)
+			started = true
+		} else {
+			cs.axpyInto(dev, buf, src, c)
+		}
 	}
 }
 
-// refresh re-encodes the parity of every group still holding a column
-// >= k, inside one coalesced-transfer window so a round pays each link's
-// latency once. refresh(0) is the initial full encode.
-func (cs *codedState) refresh(k int) {
-	if cs.spent {
-		return
+// refreshGroup recomputes every surviving parity of group t from its
+// members' current contents.
+func (cs *codedState) refreshGroup(t int) {
+	g := &cs.groups[t]
+	for j, buf := range g.bufs {
+		if buf != nil {
+			cs.encodeParity(t, j, g.pgs[j], buf)
+		}
 	}
+}
+
+// refresh re-encodes the surviving parity of every group still holding a
+// column >= k, inside one coalesced-transfer window so a round pays each
+// link's latency once. refresh(0) is the initial full encode.
+func (cs *codedState) refresh(k int) {
 	cs.p.es.sys.CoalesceTransfers(func() {
 		for t := range cs.groups {
 			if cs.groups[t].last >= k {
@@ -170,80 +309,218 @@ func (cs *codedState) refresh(k int) {
 	})
 }
 
-// swapRows mirrors an LU row interchange onto the parity of every group
-// whose members all lie in [bjLo, bjHi): XOR is row-local, so swapping the
+// swapRows mirrors an LU row interchange onto the surviving parities of
+// every group whose members all lie in [bjLo, bjHi): the code is row-local
+// (each parity row depends only on the same member rows), so swapping the
 // same rows keeps the parity exact. Partially covered groups are left
 // stale — they are active by construction (the swap ranges [0,k) and
 // [k+1,nbr) only straddle the group holding the pivot column) and the
 // end-of-step refresh rewrites them.
 func (cs *codedState) swapRows(r1, r2, bjLo, bjHi int) {
-	if cs.spent {
-		return
-	}
 	for t := range cs.groups {
 		g := &cs.groups[t]
 		if g.first < bjLo || g.last >= bjHi {
 			continue
 		}
-		dev := cs.p.es.sys.GPU(g.pg)
-		buf := g.buf
-		cs.p.es.kernel(dev, "parity-swap", float64(cs.p.nb), func(int) {
-			m := buf.Access(dev)
-			a, b := m.Row(r1), m.Row(r2)
-			for j := range a {
-				a[j], b[j] = b[j], a[j]
+		for j, buf := range g.bufs {
+			if buf == nil {
+				continue
 			}
-		})
+			dev := cs.p.es.sys.GPU(g.pgs[j])
+			buf := buf
+			cs.p.es.kernel(dev, "parity-swap", float64(cs.p.nb), func(int) {
+				m := buf.Access(dev)
+				a, b := m.Row(r1), m.Row(r2)
+				for j := range a {
+					a[j], b[j] = b[j], a[j]
+				}
+			})
+		}
 	}
 }
 
-// reconstructNode rebuilds every block column the lost node's GPUs held
-// and retires the redundancy (r = 1). It returns how many columns were
-// rebuilt. The caller (the step runtime's node-loss stage) guarantees the
-// parity is fresh: losses fire only at epoch boundaries, after the
-// previous step's refresh.
-func (cs *codedState) reconstructNode(node int) int {
+// rehomeParity re-encodes parity j of group t onto a fresh column on GPU
+// dst and retires the old copy — the parity half of the parity-aware
+// migration protocol (rebalance.go): when a member migrates onto the node
+// hosting one of its group's parities, that parity moves to the donor's
+// node, keeping every node at exactly one column per group. Re-encoding
+// (rather than copying the old buffer) is valid because migration does not
+// change member bits, and it keeps all parity motion on the member→parity
+// shipment paths the transfer lint audits.
+func (cs *codedState) rehomeParity(t, j, dst int) {
+	g := &cs.groups[t]
+	buf := cs.p.es.sys.GPU(dst).Alloc(cs.p.n, cs.p.nb)
+	cs.encodeParity(t, j, dst, buf)
+	g.pgs[j] = dst
+	g.bufs[j] = buf
+}
+
+// reconstructNodes rebuilds every block column the lost nodes' GPUs held.
+// All nodes that died at one epoch boundary are handled together — a
+// simultaneous r-node burst removes up to r columns per group, which is
+// exactly what r surviving parities can solve. It returns how many columns
+// were rebuilt, or the typed error when some group lost more members than
+// it has surviving parities (redundancy truly spent — the serving layer's
+// failover ladder takes over). The caller (the step runtime's node-loss
+// stage) guarantees the parity is fresh: losses fire only at epoch
+// boundaries, after the previous step's refresh.
+func (cs *codedState) reconstructNodes(lostNodes []int) (int, error) {
 	p := cs.p
 	sys := p.es.sys
-	cs.spent = true
+	cs.nodesLost += len(lostNodes)
+	lostSet := make(map[int]bool, len(lostNodes))
+	for _, node := range lostNodes {
+		lostSet[node] = true
+	}
+	// Retire parities hosted on the dead nodes.
+	for t := range cs.groups {
+		g := &cs.groups[t]
+		for j, buf := range g.bufs {
+			if buf != nil && lostSet[sys.NodeOf(g.pgs[j])] {
+				g.bufs[j] = nil
+			}
+		}
+	}
+	// Collect the lost data columns, attributed to the node that held them.
 	G := sys.NumGPUs()
 	var lost []int
+	byNode := make(map[int]int, len(lostNodes))
 	for g := 0; g < G; g++ {
-		if sys.NodeOf(g) == node {
+		if node := sys.NodeOf(g); lostSet[node] {
 			lost = append(lost, p.blocks[g]...)
+			byNode[node] += len(p.blocks[g])
 		}
 	}
 	sort.Ints(lost)
+	// Feasibility before any mutation: every group must be solvable.
+	byGroup := make(map[int][]int)
+	for _, bj := range lost {
+		t := cs.groupOf(bj)
+		byGroup[t] = append(byGroup[t], bj)
+	}
+	for t, members := range byGroup {
+		if len(members) > len(cs.groups[t].liveParities()) {
+			node := lostNodes[0]
+			gpus := 0
+			for g := 0; g < G; g++ {
+				if sys.NodeOf(g) == node {
+					gpus++
+				}
+			}
+			return 0, &hetsim.NodeLostError{Node: node, GPUs: gpus, Op: "reconstruct"}
+		}
+	}
+	groups := make([]int, 0, len(byGroup))
+	for t := range byGroup {
+		groups = append(groups, t)
+	}
+	sort.Ints(groups)
 	sys.CoalesceTransfers(func() {
-		for _, bj := range lost {
-			cs.rebuildColumn(bj)
+		for _, t := range groups {
+			cs.rebuildGroup(t, byGroup[t])
 		}
 	})
-	if len(lost) > 0 {
-		reconstructionsTotal.With(strconv.Itoa(node)).Add(uint64(len(lost)))
+	spent, remaining := cs.redundancyLeft()
+	for _, node := range lostNodes {
+		if n := byNode[node]; n > 0 {
+			reconstructionsTotal.With(strconv.Itoa(node), strconv.Itoa(spent), strconv.Itoa(remaining)).Add(uint64(n))
+		}
 	}
-	return len(lost)
+	return len(lost), nil
 }
 
-// rebuildColumn recovers lost block column bj on its group's parity GPU:
-// recon = parity XOR (XOR of surviving members), which is bit-exactly the
-// lost column, then adopts it into the parity GPU's slab.
-func (cs *codedState) rebuildColumn(bj int) {
-	p := cs.p
-	t := bj / cs.kk
-	g := &cs.groups[t]
-	pgdev := p.es.sys.GPU(g.pg)
-	recon := pgdev.Alloc(p.n, p.nb)
-	copyWithin(pgdev, g.buf, recon)
-	for m := g.first; m <= g.last; m++ {
-		if m == bj {
-			continue
+// redundancyLeft summarizes the cluster's surviving margin: remaining is
+// the minimum live-parity count over all groups (how many further member
+// losses the weakest group can still absorb), spent is the gap to the
+// configured r.
+func (cs *codedState) redundancyLeft() (spent, remaining int) {
+	remaining = cs.r
+	for t := range cs.groups {
+		if live := len(cs.groups[t].liveParities()); live < remaining {
+			remaining = live
 		}
-		stage := cs.stageBuf(g.pg)
-		p.es.netTransfer(cs.memberView(m), stage)
-		cs.xorInto(pgdev, recon, stage)
 	}
-	cs.adopt(bj, g.pg, recon)
+	return cs.r - remaining, remaining
+}
+
+// rebuildGroup recovers group t's e lost members from its first e surviving
+// parities. On each selected parity GPU the survivors are folded into a
+// copy of the parity column — RHS_a = P_{j_a} ⊕ Σ_{surviving i}
+// gen[j_a][i]·D_i — leaving an e×e linear system over GF(2^8) whose matrix
+// is a square submatrix of the Cauchy generator, hence invertible. Each
+// lost member D_{l_b} = Σ_a inv[b][a]·RHS_a is accumulated on the b-th
+// selected parity GPU and adopted there. With e = 1 and a surviving parity
+// 0 this degenerates to recon = parity ⊕ (XOR of survivors): the exact r=1
+// path of PR 9.
+func (cs *codedState) rebuildGroup(t int, lostMembers []int) {
+	p := cs.p
+	sys := p.es.sys
+	g := &cs.groups[t]
+	e := len(lostMembers)
+	sel := g.liveParities()[:e]
+	isLost := make(map[int]bool, e)
+	for _, bj := range lostMembers {
+		isLost[bj] = true
+	}
+
+	// RHS scratches, one per selected parity, resident on its GPU.
+	rhs := make([]*hetsim.Buffer, e)
+	for a, j := range sel {
+		pg := g.pgs[j]
+		dev := sys.GPU(pg)
+		scratch := dev.Alloc(p.n, p.nb)
+		copyWithin(dev, g.bufs[j], scratch)
+		for bj := g.first; bj <= g.last; bj++ {
+			if isLost[bj] {
+				continue
+			}
+			src := cs.memberView(bj)
+			if p.owner(bj) != pg {
+				stage := cs.stageBuf(pg)
+				cs.ship(src, stage)
+				src = stage
+			}
+			cs.axpyInto(dev, scratch, src, cs.gen[j][bj-g.first])
+		}
+		rhs[a] = scratch
+	}
+
+	// Invert the e×e generator submatrix (selected parity rows × lost
+	// member columns).
+	sub := make([][]byte, e)
+	for a, j := range sel {
+		sub[a] = make([]byte, e)
+		for b, bj := range lostMembers {
+			sub[a][b] = cs.gen[j][bj-g.first]
+		}
+	}
+	inv, ok := gf.Invert(sub)
+	if !ok {
+		// Unreachable for a Cauchy generator; a panic here means the
+		// generator construction is broken, not a recoverable runtime state.
+		panic("core: erasure decode matrix singular")
+	}
+
+	// Accumulate and adopt each lost member on its selected parity GPU.
+	for b, bj := range lostMembers {
+		dst := g.pgs[sel[b]]
+		dev := sys.GPU(dst)
+		recon := dev.Alloc(p.n, p.nb)
+		for a := range sel {
+			src := rhs[a]
+			if a != b {
+				stage := cs.stageBuf(dst)
+				cs.ship(rhs[a], stage)
+				src = stage
+			}
+			if a == 0 {
+				cs.scaleInto(dev, recon, src, inv[b][a])
+			} else {
+				cs.axpyInto(dev, recon, src, inv[b][a])
+			}
+		}
+		cs.adopt(bj, dst, recon)
+	}
 }
 
 // adopt inserts the rebuilt column recon (resident on GPU dst) into dst's

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 
 	"ftla/internal/checksum"
@@ -168,16 +169,187 @@ func TestClusterSecondNodeLossSurfacesTypedError(t *testing.T) {
 	}
 }
 
+// TestClusterDoubleNodeLossBitIdentical is the r=2 acceptance pin: on a
+// 4-node cluster with two parity columns per group, TWO node losses —
+// arriving sequentially at different epochs or as one simultaneous burst —
+// are absorbed by Reed-Solomon reconstruction with the finished factors
+// (plus pivots/tau) bit-identical to an uninterrupted run on the same
+// topology, no checkpoint or restart involved. The burst arms nodes 0 and 1,
+// whose GPUs co-own both members of every even group, forcing a genuine 2×2
+// GF(2^8) decode (not two XOR solves); the sequential case exercises the
+// live-parity accounting after an adopted column starts sharing a GPU with
+// a surviving parity.
+func TestClusterDoubleNodeLossBitIdentical(t *testing.T) {
+	cases := []struct {
+		name      string
+		plans     map[int]hetsim.NodeFaultPlan
+		lossEdges int // distinct node-loss stages expected in the journal
+	}{
+		{"sequential", map[int]hetsim.NodeFaultPlan{1: {AfterEpochs: 2}, 3: {AfterEpochs: 4}}, 2},
+		{"burst", map[int]hetsim.NodeFaultPlan{0: {AfterEpochs: 2}, 1: {AfterEpochs: 2}}, 1},
+	}
+	for _, decomp := range []string{"cholesky", "lu", "qr"} {
+		for _, lookahead := range []int{0, 1} {
+			opts := Options{NB: 16, Mode: Full, Scheme: NewScheme,
+				Kernel: checksum.OptKernel, Lookahead: lookahead, Redundancy: 2}
+			clean := runPipelineOn(t, decomp, 128, clusterSystem(4, 4), opts)
+			for _, tc := range cases {
+				label := decomp + "/" + tc.name
+				lopts := opts
+				lopts.NodeFault = tc.plans
+				lossy := runPipelineOn(t, decomp, 128, clusterSystem(4, 4), lopts)
+
+				if lossy.res.NodesLost != 2 {
+					t.Fatalf("%s: NodesLost = %d, want 2", label, lossy.res.NodesLost)
+				}
+				if lossy.res.Reconstructions != 4 {
+					// Each lost node holds one GPU owning two of the eight
+					// block columns.
+					t.Fatalf("%s: Reconstructions = %d, want 4", label, lossy.res.Reconstructions)
+				}
+				if lossy.res.Rollbacks != 0 || lossy.res.Checkpoints != 0 {
+					t.Fatalf("%s: reconstruction leaned on checkpoints: %+v", label, lossy.res)
+				}
+				if d, r, c := clean.out.MaxAbsDiff(lossy.out); d != 0 {
+					t.Fatalf("%s: factors not bit-identical after double loss: |Δ|=%g at (%d,%d)",
+						label, d, r, c)
+				}
+				for i := range clean.pivots {
+					if clean.pivots[i] != lossy.pivots[i] {
+						t.Fatalf("%s: pivots differ at %d", label, i)
+					}
+				}
+				for i := range clean.tau {
+					if clean.tau[i] != lossy.tau[i] {
+						t.Fatalf("%s: tau differs at %d", label, i)
+					}
+				}
+				stages := 0
+				for _, rec := range lossy.journal {
+					if rec.Name == stageNodeLoss {
+						stages++
+					}
+				}
+				if stages != tc.lossEdges {
+					t.Fatalf("%s: %d node-loss stages journaled, want %d", label, stages, tc.lossEdges)
+				}
+			}
+		}
+	}
+}
+
+// TestClusterThirdLossExhaustsRedundancy: r=2 absorbs two losses; the third
+// must surface the typed error once some group has no parity left to solve
+// with — the failover ladder engages only when redundancy is truly spent.
+func TestClusterThirdLossExhaustsRedundancy(t *testing.T) {
+	opts := Options{NB: 16, Mode: Full, Scheme: NewScheme, Kernel: checksum.OptKernel,
+		Redundancy: 2,
+		NodeFault: map[int]hetsim.NodeFaultPlan{
+			1: {AfterEpochs: 1},
+			2: {AfterEpochs: 2},
+			3: {AfterEpochs: 3},
+		}}
+	out, res, err := Cholesky(clusterSystem(4, 4), pipelineInput("cholesky", 128), opts)
+	if out != nil || res != nil {
+		t.Fatal("third node loss still returned a result")
+	}
+	var lost *hetsim.NodeLostError
+	if !errors.As(err, &lost) {
+		t.Fatalf("err = %v, want NodeLostError", err)
+	}
+	if lost.Node != 3 || lost.GPUs != 1 {
+		t.Fatalf("NodeLostError = %+v, want node 3 with 1 GPU", lost)
+	}
+}
+
+// TestClusterRebalanceBitIdentityUniform pins the other half of the
+// tentpole: dynamic rebalancing now runs on multi-node topologies, the
+// parity-aware migration protocol keeps the placement invariant, and on
+// uniform devices a rebalancing run stays bit-identical to the static run
+// on the same cluster. The suspect start forces real cross-node moves, so
+// the parity re-home path executes (asserted via Result counters).
+func TestClusterRebalanceBitIdentityUniform(t *testing.T) {
+	for _, tc := range []struct{ gpus, nodes, r, n int }{
+		{4, 2, 1, 192}, // kk=1: every cross-node move displaces a parity
+		{3, 3, 2, 128}, // r=2: re-home must pick the parity on the target node
+	} {
+		for _, decomp := range []string{"cholesky", "lu", "qr"} {
+			for _, lookahead := range []int{0, 1} {
+				label := fmt.Sprintf("%s/%dx%d-r%d/lookahead=%d", decomp, tc.gpus, tc.nodes, tc.r, lookahead)
+				opts := Options{NB: 16, Mode: Full, Scheme: NewScheme,
+					Kernel: checksum.OptKernel, Lookahead: lookahead, Redundancy: tc.r}
+				static := runPipelineOn(t, decomp, tc.n, clusterSystem(tc.gpus, tc.nodes), opts)
+
+				dyn := opts
+				dyn.Rebalance = Rebalance{Every: 2, Suspect: []int{0}}
+				moved := runPipelineOn(t, decomp, tc.n, clusterSystem(tc.gpus, tc.nodes), dyn)
+
+				if moved.res.MovedColumns == 0 {
+					t.Fatalf("%s: cluster rebalancing moved no columns; the ban is still in effect", label)
+				}
+				if d, r, c := static.out.MaxAbsDiff(moved.out); d != 0 {
+					t.Fatalf("%s: factors differ from static cluster run: |Δ|=%g at (%d,%d)",
+						label, d, r, c)
+				}
+				for i := range static.pivots {
+					if static.pivots[i] != moved.pivots[i] {
+						t.Fatalf("%s: pivot %d differs", label, i)
+					}
+				}
+				for i := range static.tau {
+					if static.tau[i] != moved.tau[i] {
+						t.Fatalf("%s: tau %d differs", label, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestClusterRebalanceSurvivesNodeLoss: rebalancing and reconstruction
+// compose — a run that both repartitions columns and loses a node finishes
+// bit-identical to the static uninterrupted run on the same topology
+// (migration preserves the placement invariant, so the loss stays
+// recoverable afterwards).
+func TestClusterRebalanceSurvivesNodeLoss(t *testing.T) {
+	opts := Options{NB: 16, Mode: Full, Scheme: NewScheme, Kernel: checksum.OptKernel}
+	static := runPipelineOn(t, "lu", 192, clusterSystem(4, 2), opts)
+
+	dyn := opts
+	dyn.Rebalance = Rebalance{Every: 2, Suspect: []int{0}}
+	dyn.NodeFault = map[int]hetsim.NodeFaultPlan{1: {AfterEpochs: 3}}
+	lossy := runPipelineOn(t, "lu", 192, clusterSystem(4, 2), dyn)
+
+	if lossy.res.NodesLost != 1 || lossy.res.Reconstructions == 0 {
+		t.Fatalf("node loss not absorbed under rebalancing: %+v", lossy.res)
+	}
+	if lossy.res.MovedColumns == 0 {
+		t.Fatal("rebalancer moved nothing; the composition exercised nothing")
+	}
+	if d, r, c := static.out.MaxAbsDiff(lossy.out); d != 0 {
+		t.Fatalf("factors differ: |Δ|=%g at (%d,%d)", d, r, c)
+	}
+	for i := range static.pivots {
+		if static.pivots[i] != lossy.pivots[i] {
+			t.Fatalf("pivot %d differs", i)
+		}
+	}
+}
+
 // TestClusterParityPlacementDisjoint verifies the placement invariant the
-// erasure code rests on: no parity column shares a node with any member of
-// its group, so a single node loss never removes a member and its parity.
+// erasure code rests on: within every group, the r parity columns and the
+// members all live on pairwise distinct nodes (every node holds exactly one
+// column of each group), so any ≤ r node losses remove at most r columns
+// per group — never more than the surviving parities can solve for.
 func TestClusterParityPlacementDisjoint(t *testing.T) {
-	for _, tc := range []struct{ gpus, nodes, n int }{
-		{2, 2, 96}, {3, 3, 96}, {4, 2, 128}, {6, 3, 192},
+	for _, tc := range []struct{ gpus, nodes, r, n int }{
+		{2, 2, 1, 96}, {3, 3, 1, 96}, {4, 2, 1, 128}, {6, 3, 1, 192},
+		{3, 3, 2, 96}, {4, 4, 2, 128}, {6, 3, 2, 192}, {4, 4, 3, 128}, {8, 4, 2, 256},
 	} {
 		sys := clusterSystem(tc.gpus, tc.nodes)
 		a := pipelineInput("cholesky", tc.n)
-		opts := Options{NB: 16, Mode: SingleSide, Scheme: PostOp, Kernel: checksum.OptKernel}
+		opts := Options{NB: 16, Mode: SingleSide, Scheme: PostOp, Kernel: checksum.OptKernel,
+			Redundancy: tc.r}
 		if err := opts.Validate(tc.n); err != nil {
 			t.Fatal(err)
 		}
@@ -187,13 +359,27 @@ func TestClusterParityPlacementDisjoint(t *testing.T) {
 		if p.coded == nil {
 			t.Fatalf("gpus=%d nodes=%d: no coded state on a multi-node topology", tc.gpus, tc.nodes)
 		}
+		if p.coded.r != tc.r {
+			t.Fatalf("gpus=%d nodes=%d: coded r = %d, want %d", tc.gpus, tc.nodes, p.coded.r, tc.r)
+		}
 		for _, g := range p.coded.groups {
-			pnode := sys.NodeOf(g.pg)
-			for bj := g.first; bj <= g.last; bj++ {
-				if sys.NodeOf(p.owner(bj)) == pnode {
-					t.Fatalf("gpus=%d nodes=%d: group [%d,%d] parity on GPU%d shares node %d with member %d",
-						tc.gpus, tc.nodes, g.first, g.last, g.pg, pnode, bj)
+			nodesSeen := map[int]string{}
+			claim := func(node int, what string) {
+				if prev, dup := nodesSeen[node]; dup {
+					t.Fatalf("gpus=%d nodes=%d r=%d: group [%d,%d] has %s and %s on node %d",
+						tc.gpus, tc.nodes, tc.r, g.first, g.last, prev, what, node)
 				}
+				nodesSeen[node] = what
+			}
+			for j, pg := range g.pgs {
+				if g.bufs[j] == nil {
+					t.Fatalf("gpus=%d nodes=%d r=%d: group [%d,%d] parity %d unallocated",
+						tc.gpus, tc.nodes, tc.r, g.first, g.last, j)
+				}
+				claim(sys.NodeOf(pg), "parity")
+			}
+			for bj := g.first; bj <= g.last; bj++ {
+				claim(sys.NodeOf(p.owner(bj)), "member")
 			}
 		}
 	}

@@ -120,14 +120,25 @@ type Options struct {
 	// loss (quarantine + degraded failover).
 	LinkFault map[int]hetsim.LinkFaultPlan
 	// NodeFault arms whole-node loss plans on the topology's nodes at the
-	// start of the run, keyed by node index. A plan fires at a ladder-step
-	// epoch boundary and takes down every GPU the node hosts at once. On a
-	// multi-node run the erasure-coded redundancy columns rebuild the lost
-	// block columns from the survivors and the run continues degraded,
-	// bit-identical to an uninterrupted run; when no redundancy remains
-	// (flat system, or a second loss) the run aborts with a typed
-	// hetsim.NodeLostError for the serving layer's failover ladder.
+	// start of the run, keyed by node index. Plans due at the same ladder-
+	// step epoch boundary fire together as one simultaneous burst, taking
+	// down every GPU of each node at once. On a multi-node run the erasure-
+	// coded redundancy columns rebuild the lost block columns from the
+	// survivors and the run continues degraded, bit-identical to an
+	// uninterrupted run; when some parity group has lost more columns than
+	// its surviving parities can solve for (flat system, or losses beyond
+	// Redundancy) the run aborts with a typed hetsim.NodeLostError for the
+	// serving layer's failover ladder.
 	NodeFault map[int]hetsim.NodeFaultPlan
+	// Redundancy is the number r of erasure-coded parity columns each
+	// cross-node parity group carries on a multi-node topology: the cluster
+	// absorbs up to r node losses — sequential or simultaneous — with
+	// bit-exact reconstruction. 0 (the zero value) means the default of 1;
+	// values are clamped into [1, Nodes-1] at layout time (each group needs
+	// at least one data column). Validate rejects negatives; the ftla and
+	// service layers reject r >= Nodes before a run starts. Ignored on flat
+	// single-node systems, which carry no parity at all.
+	Redundancy int
 	// Lookahead selects the step-runtime schedule: 0 (or negative) runs the
 	// legacy fully serial ladder; 1 enables MAGMA-style look-ahead — the
 	// CPU pulls and factorizes panel k+1 while the GPUs run step k's
@@ -243,6 +254,22 @@ func (o *Options) Validate(n int) error {
 		if g < 0 {
 			return fmt.Errorf("core: Rebalance.Suspect holds negative GPU index %d", g)
 		}
+	}
+	if o.Redundancy < 0 {
+		return fmt.Errorf("core: Redundancy %d must not be negative (0 means the default of 1)", o.Redundancy)
+	}
+	return nil
+}
+
+// ValidateTopology checks the option fields whose legality depends on the
+// platform the run targets (Validate cannot — it only sees the matrix
+// order). Redundancy must leave every cross-node parity group at least one
+// data column, so on a multi-node topology r must stay below the node
+// count. Flat single-box systems carry no parity and accept any value.
+func (o *Options) ValidateTopology(sys *hetsim.System) error {
+	if nodes := sys.Nodes(); nodes > 1 && o.Redundancy >= nodes {
+		return fmt.Errorf("core: Redundancy %d must stay below the node count %d (each parity group needs at least one data column)",
+			o.Redundancy, nodes)
 	}
 	return nil
 }

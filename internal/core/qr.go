@@ -36,6 +36,9 @@ func QR(sys *hetsim.System, a *matrix.Dense, opts Options) (qret *matrix.Dense, 
 	if err := opts.Validate(a.Rows); err != nil {
 		return nil, nil, nil, err
 	}
+	if err := opts.ValidateTopology(sys); err != nil {
+		return nil, nil, nil, err
+	}
 	// Fail-stop abort plumbing; see Cholesky.
 	defer func() {
 		if e := hetsim.RecoverAbort(recover()); e != nil {

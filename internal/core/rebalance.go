@@ -30,12 +30,30 @@ import (
 // because migration copies exact bits and every kernel's per-column
 // arithmetic is owner-independent.
 
+// On multi-node topologies rebalancing coexists with the cross-node
+// erasure code (coded.go) through a parity-aware migration protocol. The
+// code's placement invariant — within a group, members and parities live on
+// pairwise distinct nodes — must survive every move, or a single node loss
+// could remove more columns of one group than its parities can solve for.
+// Moves are therefore filtered (filterLegal) against a simulation of the
+// round: an intra-node move is always legal (node residues unchanged); a
+// cross-node move toward a node holding one of the group's live parities is
+// legal and re-homes that parity to the donor GPU (re-encoded inside the
+// migration's coalesced-transfer window, so the swap costs one extra
+// group-encode); a cross-node move toward a node holding another member of
+// the group — or one that would leave two of the group's columns behind on
+// the donor's node — is dropped. Bit-exactness survives because migration
+// copies exact bits and the re-homed parity is re-encoded from unchanged
+// member bits by the same deterministic kernels the refresh stage runs.
+
 // Rebalance instruments in the obs default registry.
 var (
 	rebalancesTotal = obs.Default().Counter(obs.MetricRebalances,
 		"Applied work repartitionings (rebalance rounds that moved at least one column).")
 	rebalanceMoved = obs.Default().Counter(obs.MetricRebalanceMoved,
 		"Block columns migrated between GPUs by the rebalancer, checksum strips riding along.")
+	rebalanceParityReencodes = obs.Default().Counter(obs.MetricRebalanceParityReencodes,
+		"Parity columns re-homed and re-encoded by the parity-aware migration protocol (a member moved onto a node holding its group's parity).")
 	deviceShare = obs.Default().FloatGaugeVec(obs.MetricDeviceShare,
 		"Per-GPU share of the remaining trailing block columns at the latest rebalance decision.",
 		"device")
@@ -64,10 +82,16 @@ const rebEWMA = 0.5
 // weights are snapped, not the decision.
 const rebDeadband = 1.25
 
-// rebMove reassigns block column bj to GPU dst.
+// rebMove reassigns block column bj to GPU dst. When the move lands on a
+// node holding one of the group's parity columns, parT/parJ identify that
+// parity and parDst the GPU (the donor's) it is re-homed to; parT = -1
+// means no parity action.
 type rebMove struct {
-	bj  int
-	dst int
+	bj     int
+	dst    int
+	parT   int
+	parJ   int
+	parDst int
 }
 
 // rebState is the runtime's rebalancer: the EWMA per-column cost estimate
@@ -122,21 +146,33 @@ func (rb *rebState) endSample(k int) {
 }
 
 // minCols resolves the MinShare floor in whole columns for T remaining
-// trailing columns: at least one (a starved GPU must keep producing
-// samples to earn width back), at most an equal share.
-func (rb *rebState) minCols(T int) int {
-	G := len(rb.est)
+// trailing columns over liveG serving GPUs: at least one (a starved GPU
+// must keep producing samples to earn width back), at most an equal share.
+func (rb *rebState) minCols(T, liveG int) int {
 	m := int(math.Round(rb.es.opts.Rebalance.MinShare * float64(T)))
 	if m < 1 {
 		m = 1
 	}
-	if m > T/G {
-		m = T / G
+	if m > T/liveG {
+		m = T / liveG
 	}
 	if m < 0 {
 		m = 0
 	}
 	return m
+}
+
+// liveIdx returns the indices of the GPUs still serving. GPUs taken down by
+// a node loss hold no columns and must receive none, so every apportionment
+// runs over this subset.
+func (rb *rebState) liveIdx() []int {
+	var live []int
+	for g := 0; g < len(rb.est); g++ {
+		if rb.p.gpuLive(g) {
+			live = append(live, g)
+		}
+	}
+	return live
 }
 
 // plan decides the rebalance after step k: apportion the T = nbr-(k+2)
@@ -154,16 +190,27 @@ func (rb *rebState) plan(k int) []rebMove {
 	if T <= 0 {
 		return nil
 	}
+	live := rb.liveIdx()
+	if len(live) < 2 {
+		return nil
+	}
 	cur := make([]int, G)
 	for g := 0; g < G; g++ {
 		cur[g] = p.nloc[g] - p.trailStart(g, bjLo)
 	}
-	weights := rb.weights()
-	tgt := apportion(T, weights, cur, rb.minCols(T))
+	lcur := make([]int, len(live))
+	for i, g := range live {
+		lcur[i] = cur[g]
+	}
+	ltgt := apportion(T, rb.weightsOf(live), lcur, rb.minCols(T, len(live)))
+	tgt := make([]int, G)
+	for i, g := range live {
+		tgt[g] = ltgt[i]
+	}
 	for g := 0; g < G; g++ {
 		deviceShare.With(rb.es.sys.GPU(g).Name()).Set(float64(tgt[g]) / float64(T))
 	}
-	return rb.movesFor(tgt, cur)
+	return rb.filterLegal(rb.movesFor(tgt, cur))
 }
 
 // planSuspects builds the initial re-entry rebalance: before the first
@@ -182,28 +229,30 @@ func (rb *rebState) planSuspects(start int) []rebMove {
 	if T <= 0 {
 		return nil
 	}
+	live := rb.liveIdx()
 	sus := make([]bool, G)
 	nSus := 0
 	for _, g := range rb.es.opts.Rebalance.Suspect {
-		if g >= 0 && g < G && !sus[g] {
+		if g >= 0 && g < G && !sus[g] && p.gpuLive(g) {
 			sus[g] = true
 			nSus++
 		}
 	}
-	if nSus == 0 || nSus >= G {
+	if nSus == 0 || nSus >= len(live) {
 		return nil // nobody healthy to shed load onto
 	}
 	cur := make([]int, G)
 	for g := 0; g < G; g++ {
 		cur[g] = p.nloc[g] - p.trailStart(g, bjLo)
 	}
-	minC := rb.minCols(T)
+	minC := rb.minCols(T, len(live))
 	rest := T - nSus*minC
-	// Split rest evenly over the healthy GPUs (equal weights, preferring
-	// current owners so the health majority moves as little as possible).
-	hw := make([]float64, 0, G-nSus)
-	hcur := make([]int, 0, G-nSus)
-	for g := 0; g < G; g++ {
+	// Split rest evenly over the healthy live GPUs (equal weights,
+	// preferring current owners so the health majority moves as little as
+	// possible).
+	hw := make([]float64, 0, len(live)-nSus)
+	hcur := make([]int, 0, len(live)-nSus)
+	for _, g := range live {
 		if !sus[g] {
 			hw = append(hw, 1)
 			hcur = append(hcur, cur[g])
@@ -212,7 +261,7 @@ func (rb *rebState) planSuspects(start int) []rebMove {
 	htgt := apportion(rest, hw, hcur, 0)
 	tgt := make([]int, G)
 	hi := 0
-	for g := 0; g < G; g++ {
+	for _, g := range live {
 		if sus[g] {
 			tgt[g] = minC
 		} else {
@@ -223,24 +272,24 @@ func (rb *rebState) planSuspects(start int) []rebMove {
 	for g := 0; g < G; g++ {
 		deviceShare.With(rb.es.sys.GPU(g).Name()).Set(float64(tgt[g]) / float64(T))
 	}
-	return rb.movesFor(tgt, cur)
+	return rb.filterLegal(rb.movesFor(tgt, cur))
 }
 
-// weights converts the cost estimates to apportionment weights: speed =
-// 1/cost. GPUs without a sample yet, or a spread inside the deadband,
-// collapse to equal weights.
-func (rb *rebState) weights() []float64 {
-	G := len(rb.est)
-	w := make([]float64, G)
+// weightsOf converts the cost estimates of the live subset to apportionment
+// weights: speed = 1/cost. GPUs without a sample yet, or a spread inside
+// the deadband, collapse to equal weights.
+func (rb *rebState) weightsOf(live []int) []float64 {
+	w := make([]float64, len(live))
 	mn, mx := math.Inf(1), 0.0
-	for g, e := range rb.est {
+	for i, g := range live {
+		e := rb.est[g]
 		if e <= 0 {
 			for i := range w {
 				w[i] = 1
 			}
 			return w
 		}
-		w[g] = 1 / e
+		w[i] = 1 / e
 		mn = math.Min(mn, e)
 		mx = math.Max(mx, e)
 	}
@@ -250,6 +299,79 @@ func (rb *rebState) weights() []float64 {
 		}
 	}
 	return w
+}
+
+// filterLegal drops moves that would break the erasure code's placement
+// invariant and annotates the survivors with the parity re-homes they
+// require, simulating the round move by move so earlier accepted moves are
+// visible to later legality checks. On flat systems every move is legal.
+func (rb *rebState) filterLegal(moves []rebMove) []rebMove {
+	cs := rb.p.coded
+	for i := range moves {
+		moves[i].parT = -1
+	}
+	if cs == nil {
+		return moves
+	}
+	sys := rb.es.sys
+	// Simulated placement as of the moves accepted so far: member owners
+	// and parity hosts.
+	simOwn := append([]int(nil), rb.p.own...)
+	simPg := make([][]int, len(cs.groups))
+	for t := range cs.groups {
+		simPg[t] = append([]int(nil), cs.groups[t].pgs...)
+	}
+	out := moves[:0]
+	for _, m := range moves {
+		src := simOwn[m.bj]
+		srcNode, dstNode := sys.NodeOf(src), sys.NodeOf(m.dst)
+		if srcNode == dstNode {
+			// Intra-node moves never change the group's node residues.
+			simOwn[m.bj] = m.dst
+			out = append(out, m)
+			continue
+		}
+		t := cs.groupOf(m.bj)
+		g := &cs.groups[t]
+		blocked := false
+		parJ := -1
+		for bj2 := g.first; bj2 <= g.last; bj2++ {
+			if bj2 != m.bj && sys.NodeOf(simOwn[bj2]) == dstNode {
+				blocked = true // another member already on the target node
+			}
+		}
+		for j, buf := range g.bufs {
+			if buf != nil && sys.NodeOf(simPg[t][j]) == dstNode {
+				parJ = j
+			}
+		}
+		if !blocked && parJ >= 0 {
+			// The target node holds one of the group's parities: legal only
+			// when the donor's node ends the move holding no other column of
+			// the group, so the parity can re-home there without sharing a
+			// node with a member or another parity.
+			for bj2 := g.first; bj2 <= g.last; bj2++ {
+				if bj2 != m.bj && sys.NodeOf(simOwn[bj2]) == srcNode {
+					blocked = true
+				}
+			}
+			for j, buf := range g.bufs {
+				if j != parJ && buf != nil && sys.NodeOf(simPg[t][j]) == srcNode {
+					blocked = true
+				}
+			}
+			if !blocked {
+				m.parT, m.parJ, m.parDst = t, parJ, src
+				simPg[t][parJ] = src
+			}
+		}
+		if blocked {
+			continue
+		}
+		simOwn[m.bj] = m.dst
+		out = append(out, m)
+	}
+	return out
 }
 
 // apportion distributes T whole columns over the GPUs proportionally to
@@ -352,6 +474,12 @@ func (rb *rebState) apply(k int, moves []rebMove) {
 	es.sys.CoalesceTransfers(func() {
 		for _, m := range moves {
 			rb.p.migrateColumn(m.bj, m.dst)
+			if m.parT >= 0 {
+				// The move displaced a parity from the target node; re-home
+				// it to the donor GPU inside the same transfer window.
+				rb.p.coded.rehomeParity(m.parT, m.parJ, m.parDst)
+				rebalanceParityReencodes.Inc()
+			}
 			moved = append(moved, m.bj)
 		}
 	})

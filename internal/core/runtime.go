@@ -195,12 +195,14 @@ type stepRuntime struct {
 // allow it: Rebalance.Every > 0, at least two GPUs (nothing to re-split
 // otherwise), no fault injector (injection windows address regions by the
 // static layout — the same reason overlapDepth forces the serial
-// schedule), a flat single-node topology (migration would break the
-// node-disjoint placement the erasure code relies on; see coded.go), and
-// a ladder that exposes its protected layout (the batched drivers don't).
+// schedule), and a ladder that exposes its protected layout (the batched
+// drivers don't). Multi-node topologies rebalance too: the parity-aware
+// migration protocol (rebState.filterLegal / codedState.rehomeParity)
+// keeps the erasure code's one-column-per-node-per-group placement intact
+// across moves, so the ban PR 9 imposed is lifted.
 func (rt *stepRuntime) initRebalance() {
 	es := rt.es
-	if es.opts.Rebalance.Every <= 0 || es.inj != nil || es.sys.NumGPUs() < 2 || es.sys.Nodes() > 1 {
+	if es.opts.Rebalance.Every <= 0 || es.inj != nil || es.sys.NumGPUs() < 2 {
 		return
 	}
 	rl, ok := rt.l.(rebalancer)
@@ -230,30 +232,36 @@ func (rt *stepRuntime) maybeRebalance(k int) {
 // codedState.refresh). Journaled as its own stage so serial and look-ahead
 // schedules compare equal.
 func (rt *stepRuntime) maybeParity(k int) {
-	if rt.coded == nil || rt.coded.spent {
+	if rt.coded == nil || rt.coded.exhausted() {
 		return
 	}
 	rt.stage(k, stageParity, func() { rt.coded.refresh(k) })
 }
 
-// handleNodeLoss reacts to a fired node fault: when the layout carries live
-// erasure redundancy, the lost columns are rebuilt from parity and the run
-// continues degraded on the surviving nodes; otherwise the typed
-// NodeLostError surfaces to the driver boundary (the serving layer's
-// failover ladder takes over). Counted on Result either way.
-func (rt *stepRuntime) handleNodeLoss(node int) error {
+// handleNodeLoss reacts to the node faults fired at one epoch boundary —
+// possibly a simultaneous multi-node burst. When the layout carries enough
+// surviving erasure redundancy, the lost columns are rebuilt from parity
+// and the run continues degraded on the surviving nodes; otherwise the
+// typed NodeLostError surfaces to the driver boundary (the serving layer's
+// failover ladder takes over, engaging only once redundancy is truly
+// spent). Counted on Result either way.
+func (rt *stepRuntime) handleNodeLoss(nodes []int) error {
 	es := rt.es
-	es.res.NodesLost++
-	if rt.coded == nil || rt.coded.spent {
+	es.res.NodesLost += len(nodes)
+	if rt.coded == nil {
 		gpus := 0
 		for g := 0; g < es.sys.NumGPUs(); g++ {
-			if es.sys.NodeOf(g) == node {
+			if es.sys.NodeOf(g) == nodes[0] {
 				gpus++
 			}
 		}
-		return &hetsim.NodeLostError{Node: node, GPUs: gpus, Op: "reconstruct"}
+		return &hetsim.NodeLostError{Node: nodes[0], GPUs: gpus, Op: "reconstruct"}
 	}
-	rt.es.res.Reconstructions += rt.coded.reconstructNode(node)
+	n, err := rt.coded.reconstructNodes(nodes)
+	if err != nil {
+		return err
+	}
+	rt.es.res.Reconstructions += n
 	return nil
 }
 
@@ -301,9 +309,9 @@ func runLadder(es *engineSys, l ladder) error {
 		// quiescent here, so a fired whole-node fault is absorbed by
 		// erasure-coded reconstruction (or surfaces as the typed error when
 		// no redundancy remains) before any stage touches the dead GPUs.
-		if node := es.sys.NodeEpoch(); node >= 0 {
+		if nodes := es.sys.NodeEpoch(); len(nodes) > 0 {
 			var nerr error
-			rt.stage(k, stageNodeLoss, func() { nerr = rt.handleNodeLoss(node) })
+			rt.stage(k, stageNodeLoss, func() { nerr = rt.handleNodeLoss(nodes) })
 			if nerr != nil {
 				return nerr
 			}

@@ -1,0 +1,191 @@
+// Package gf implements arithmetic over the finite field GF(2^8) and the
+// small dense-matrix helpers the cross-node erasure code of internal/core
+// needs: log/exp multiplication tables, per-coefficient 256-entry lookup
+// tables applied bytewise to 64-bit words, a normalized Cauchy generator
+// matrix, and a Gauss-Jordan inverse for the decode submatrices.
+//
+// The package is deliberately dependency-free (stdlib only, and nothing
+// beyond fmt for panics) — scripts/check.sh lints it against importing any
+// ftla package — because it sits below the simulator: the coded-redundancy
+// layer runs its kernels *inside* simulated devices, and a field-arithmetic
+// package that reached back into the simulator would invert the layering.
+//
+// Why GF(2^8) for float64 data: addition in any GF(2^m) is XOR, so a code
+// word computed over the IEEE-754 *bit patterns* of the data (bytewise,
+// eight field symbols per float64) is closed under reconstruction with zero
+// rounding error — decode returns the exact bits that were encoded. That is
+// the property the cluster layer's bit-identity pins rest on, and the reason
+// parity is not a floating-point checksum (cf. the ABFT checksums of
+// internal/checksum, which repair *values* and tolerate rounding).
+package gf
+
+import "fmt"
+
+// poly is the reduction polynomial x^8+x^4+x^3+x^2+1 (0x11d), the standard
+// Reed-Solomon choice; 2 generates the multiplicative group under it.
+const poly = 0x11d
+
+// expT[i] = 2^i for i in [0, 510) (doubled so Mul can skip a mod 255);
+// logT[a] = log2(a) for a != 0.
+var expT [510]byte
+var logT [256]byte
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		expT[i] = byte(x)
+		expT[i+255] = byte(x)
+		logT[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= poly
+		}
+	}
+}
+
+// Add returns a+b = a-b = a XOR b (characteristic 2).
+func Add(a, b byte) byte { return a ^ b }
+
+// Mul returns the product a·b in GF(2^8).
+func Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return expT[int(logT[a])+int(logT[b])]
+}
+
+// Inv returns the multiplicative inverse of a; Inv(0) panics (zero has
+// none, and asking for it means a caller's matrix was singular in a way
+// Invert should have reported).
+func Inv(a byte) byte {
+	if a == 0 {
+		panic("gf: inverse of zero")
+	}
+	return expT[255-int(logT[a])]
+}
+
+// Div returns a/b; Div(_, 0) panics.
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic("gf: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return expT[int(logT[a])+255-int(logT[b])]
+}
+
+// Table is the full multiplication table of one coefficient c:
+// Table[x] = c·x. The erasure-code kernels build one per generator
+// coefficient and stream 64-bit words through it bytewise.
+type Table [256]byte
+
+// MulTable returns the multiplication table of c.
+func MulTable(c byte) *Table {
+	var t Table
+	for x := 0; x < 256; x++ {
+		t[x] = Mul(c, byte(x))
+	}
+	return &t
+}
+
+// MulWord applies the table to each of the eight bytes of w — the bytewise
+// action of the coefficient on one float64 bit pattern. For c = 1 the table
+// is the identity and MulWord returns w unchanged, which is how the r = 1
+// code degenerates to plain XOR.
+func (t *Table) MulWord(w uint64) uint64 {
+	return uint64(t[byte(w)]) |
+		uint64(t[byte(w>>8)])<<8 |
+		uint64(t[byte(w>>16)])<<16 |
+		uint64(t[byte(w>>24)])<<24 |
+		uint64(t[byte(w>>32)])<<32 |
+		uint64(t[byte(w>>40)])<<40 |
+		uint64(t[byte(w>>48)])<<48 |
+		uint64(t[byte(w>>56)])<<56
+}
+
+// Cauchy returns the r×k generator matrix of the [k+r, k] erasure code:
+// parity j of data words D_0..D_{k-1} is P_j = Σ_i Cauchy(r,k)[j][i]·D_i.
+//
+// The matrix is the Cauchy matrix C[j][i] = 1/(x_j ⊕ y_i) with x_j = k+j
+// and y_i = i (distinct by construction, so no denominator is zero),
+// column-scaled so that row 0 is all ones. Two properties make it the right
+// generator here:
+//
+//   - Every square submatrix of a Cauchy matrix is nonsingular, and nonzero
+//     column scaling preserves that, so ANY e ≤ min(r, k) erased data words
+//     are recoverable from ANY e surviving parities — unlike a generalized
+//     Vandermonde matrix, whose non-consecutive-row submatrices can be
+//     singular over a finite field. Parities themselves can be lost (they
+//     live on nodes too), so the decoder cannot choose which rows survive.
+//   - Row 0 all ones means parity 0 is the plain XOR of the data words:
+//     the r = 1 code is bit-identical in effect to the previous hard-wired
+//     XOR scheme, which keeps the earlier node-loss pins green.
+//
+// Requires 0 < r, 0 < k, r+k <= 256 (the field has 256 elements).
+func Cauchy(r, k int) [][]byte {
+	if r <= 0 || k <= 0 || r+k > 256 {
+		panic(fmt.Sprintf("gf: Cauchy(%d, %d) outside 0 < r, 0 < k, r+k <= 256", r, k))
+	}
+	m := make([][]byte, r)
+	for j := range m {
+		m[j] = make([]byte, k)
+		for i := 0; i < k; i++ {
+			m[j][i] = Inv(byte(k+j) ^ byte(i))
+		}
+	}
+	for i := 0; i < k; i++ {
+		s := Inv(m[0][i])
+		for j := 0; j < r; j++ {
+			m[j][i] = Mul(m[j][i], s)
+		}
+	}
+	return m
+}
+
+// Invert returns the inverse of the square matrix m by Gauss-Jordan
+// elimination with partial "pivoting" (any nonzero pivot works in a field),
+// or ok = false when m is singular. m is not modified.
+func Invert(m [][]byte) (inv [][]byte, ok bool) {
+	e := len(m)
+	a := make([][]byte, e)
+	inv = make([][]byte, e)
+	for i := range m {
+		if len(m[i]) != e {
+			panic(fmt.Sprintf("gf: Invert of non-square %dx%d matrix", e, len(m[i])))
+		}
+		a[i] = append([]byte(nil), m[i]...)
+		inv[i] = make([]byte, e)
+		inv[i][i] = 1
+	}
+	for col := 0; col < e; col++ {
+		piv := -1
+		for r := col; r < e; r++ {
+			if a[r][col] != 0 {
+				piv = r
+				break
+			}
+		}
+		if piv < 0 {
+			return nil, false
+		}
+		a[col], a[piv] = a[piv], a[col]
+		inv[col], inv[piv] = inv[piv], inv[col]
+		s := Inv(a[col][col])
+		for c := 0; c < e; c++ {
+			a[col][c] = Mul(a[col][c], s)
+			inv[col][c] = Mul(inv[col][c], s)
+		}
+		for r := 0; r < e; r++ {
+			if r == col || a[r][col] == 0 {
+				continue
+			}
+			f := a[r][col]
+			for c := 0; c < e; c++ {
+				a[r][c] ^= Mul(f, a[col][c])
+				inv[r][c] ^= Mul(f, inv[col][c])
+			}
+		}
+	}
+	return inv, true
+}

@@ -1,0 +1,229 @@
+package gf
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFieldAxioms exhaustively checks the multiplicative structure the
+// decode paths rely on: associativity and distributivity over all triples
+// would be 2^24 cases, so associativity/distributivity run over a stride
+// sample while inverses and commutativity run exhaustively.
+func TestFieldAxioms(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		if got := Mul(byte(a), Inv(byte(a))); got != 1 {
+			t.Fatalf("a·a⁻¹ = %d for a=%d, want 1", got, a)
+		}
+		if got := Div(byte(a), byte(a)); got != 1 {
+			t.Fatalf("a/a = %d for a=%d", got, a)
+		}
+		for b := 0; b < 256; b++ {
+			if Mul(byte(a), byte(b)) != Mul(byte(b), byte(a)) {
+				t.Fatalf("Mul not commutative at (%d, %d)", a, b)
+			}
+		}
+	}
+	if Mul(0, 77) != 0 || Mul(77, 0) != 0 || Div(0, 5) != 0 {
+		t.Fatal("zero annihilation broken")
+	}
+	for a := 1; a < 256; a += 7 {
+		for b := 1; b < 256; b += 5 {
+			for c := 1; c < 256; c += 11 {
+				ab := Mul(byte(a), byte(b))
+				if Mul(ab, byte(c)) != Mul(byte(a), Mul(byte(b), byte(c))) {
+					t.Fatalf("Mul not associative at (%d, %d, %d)", a, b, c)
+				}
+				if Mul(byte(a), byte(b)^byte(c)) != Mul(byte(a), byte(b))^Mul(byte(a), byte(c)) {
+					t.Fatalf("Mul not distributive at (%d, %d, %d)", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+// TestMulTableWord: the per-coefficient table agrees with Mul on every
+// byte, MulWord acts bytewise on 64-bit words, and the c=1 table is the
+// identity (the XOR-degenerate property of the r=1 code).
+func TestMulTableWord(t *testing.T) {
+	for _, c := range []byte{0, 1, 2, 29, 142, 255} {
+		tab := MulTable(c)
+		for x := 0; x < 256; x++ {
+			if tab[x] != Mul(c, byte(x)) {
+				t.Fatalf("table[%d] != Mul(%d, %d)", x, c, x)
+			}
+		}
+		w := math.Float64bits(-3.714285714e17)
+		got := tab.MulWord(w)
+		for sh := 0; sh < 64; sh += 8 {
+			if byte(got>>sh) != Mul(c, byte(w>>sh)) {
+				t.Fatalf("MulWord(c=%d) wrong at byte %d", c, sh/8)
+			}
+		}
+	}
+	if one := MulTable(1); one.MulWord(0xdeadbeefcafef00d) != 0xdeadbeefcafef00d {
+		t.Fatal("c=1 table is not the identity")
+	}
+}
+
+// TestCauchyShape: row 0 is all ones (parity 0 degenerates to XOR) and no
+// entry of any generator is zero (a zero coefficient would silently drop a
+// member from its parity).
+func TestCauchyShape(t *testing.T) {
+	for r := 1; r <= 4; r++ {
+		for k := 1; k <= 8; k++ {
+			m := Cauchy(r, k)
+			for i := 0; i < k; i++ {
+				if m[0][i] != 1 {
+					t.Fatalf("Cauchy(%d,%d) row 0 col %d = %d, want 1", r, k, i, m[0][i])
+				}
+			}
+			for j := 0; j < r; j++ {
+				for i := 0; i < k; i++ {
+					if m[j][i] == 0 {
+						t.Fatalf("Cauchy(%d,%d)[%d][%d] = 0", r, k, j, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCauchySubmatricesInvertible is the MDS property the decoder needs:
+// every square submatrix (any parity-row subset × any member-column subset)
+// of the normalized Cauchy generator is invertible — exhaustive over the
+// sizes the cluster layer actually uses (r ≤ 4, k ≤ 6).
+func TestCauchySubmatricesInvertible(t *testing.T) {
+	for r := 1; r <= 4; r++ {
+		for k := 1; k <= 6; k++ {
+			m := Cauchy(r, k)
+			maxE := r
+			if k < r {
+				maxE = k
+			}
+			for e := 1; e <= maxE; e++ {
+				forEachSubset(r, e, func(rows []int) {
+					forEachSubset(k, e, func(cols []int) {
+						sub := make([][]byte, e)
+						for a := range rows {
+							sub[a] = make([]byte, e)
+							for b := range cols {
+								sub[a][b] = m[rows[a]][cols[b]]
+							}
+						}
+						inv, ok := Invert(sub)
+						if !ok {
+							t.Fatalf("Cauchy(%d,%d) submatrix rows=%v cols=%v singular", r, k, rows, cols)
+						}
+						assertIdentityProduct(t, sub, inv)
+					})
+				})
+			}
+		}
+	}
+}
+
+// TestInvertSingular: a genuinely singular matrix is reported, not
+// mis-decoded.
+func TestInvertSingular(t *testing.T) {
+	if _, ok := Invert([][]byte{{3, 5}, {3, 5}}); ok {
+		t.Fatal("Invert accepted a rank-1 matrix")
+	}
+	if _, ok := Invert([][]byte{{0}}); ok {
+		t.Fatal("Invert accepted the zero 1x1 matrix")
+	}
+}
+
+// TestEncodeDecodeRoundTrip is an end-to-end code check on raw words: encode
+// k data words into r parities with the Cauchy generator, erase e data
+// words, decode from e surviving parities, and require exact recovery —
+// over every erasure pattern and every surviving-parity choice.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	const r, k = 2, 3
+	gen := Cauchy(r, k)
+	data := []uint64{
+		math.Float64bits(1.5), math.Float64bits(-2.25e-308), math.Float64bits(9.875e17),
+	}
+	parity := make([]uint64, r)
+	for j := 0; j < r; j++ {
+		for i := 0; i < k; i++ {
+			parity[j] ^= MulTable(gen[j][i]).MulWord(data[i])
+		}
+	}
+	forEachSubset(k, 2, func(lost []int) {
+		forEachSubset(r, 2, func(rows []int) {
+			// RHS_j = P_j ⊕ Σ_{surviving i} gen[j][i]·D_i.
+			rhs := make([]uint64, 2)
+			sub := make([][]byte, 2)
+			for a, j := range rows {
+				rhs[a] = parity[j]
+				sub[a] = make([]byte, 2)
+				for i := 0; i < k; i++ {
+					if b := indexOf(lost, i); b >= 0 {
+						sub[a][b] = gen[j][i]
+					} else {
+						rhs[a] ^= MulTable(gen[j][i]).MulWord(data[i])
+					}
+				}
+			}
+			inv, ok := Invert(sub)
+			if !ok {
+				t.Fatalf("decode submatrix singular for lost=%v rows=%v", lost, rows)
+			}
+			for b, l := range lost {
+				var got uint64
+				for a := range rows {
+					got ^= MulTable(inv[b][a]).MulWord(rhs[a])
+				}
+				if got != data[l] {
+					t.Fatalf("decoded word %d = %#x, want %#x (lost=%v rows=%v)", l, got, data[l], lost, rows)
+				}
+			}
+		})
+	})
+}
+
+// forEachSubset invokes fn with every size-e subset of [0, n), ascending.
+func forEachSubset(n, e int, fn func([]int)) {
+	idx := make([]int, e)
+	var rec func(start, d int)
+	rec = func(start, d int) {
+		if d == e {
+			fn(append([]int(nil), idx...))
+			return
+		}
+		for i := start; i < n; i++ {
+			idx[d] = i
+			rec(i+1, d+1)
+		}
+	}
+	rec(0, 0)
+}
+
+func indexOf(s []int, v int) int {
+	for i, x := range s {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+func assertIdentityProduct(t *testing.T, a, inv [][]byte) {
+	t.Helper()
+	e := len(a)
+	for i := 0; i < e; i++ {
+		for j := 0; j < e; j++ {
+			var s byte
+			for l := 0; l < e; l++ {
+				s ^= Mul(a[i][l], inv[l][j])
+			}
+			want := byte(0)
+			if i == j {
+				want = 1
+			}
+			if s != want {
+				t.Fatalf("A·A⁻¹[%d][%d] = %d, want %d", i, j, s, want)
+			}
+		}
+	}
+}

@@ -38,9 +38,10 @@ func (p NodeFaultPlan) String() string {
 }
 
 // NodeLostError reports a whole-node loss the computation could not absorb
-// (no erasure-coded redundancy available, or redundancy already spent on
-// an earlier loss). Runs that reconstruct the lost columns from parity
-// continue degraded and never surface this error.
+// (no erasure-coded redundancy available, or some parity group has already
+// lost more columns than its surviving parities can solve for). Runs that
+// reconstruct the lost columns from parity continue degraded and never
+// surface this error.
 type NodeLostError struct {
 	// Node is the lost node's index.
 	Node int
@@ -70,40 +71,41 @@ func (s *System) ArmNodeFault(node int, plan NodeFaultPlan) {
 	s.nodeMu.Unlock()
 }
 
-// NodeEpoch advances the node-fault epoch counter and fires at most one
-// armed plan that has come due (lowest node index first; a second due plan
-// fires at the next boundary). Firing marks every GPU of the node lost —
-// without panicking: the caller is the coordinator deciding how to react —
-// and returns the lost node's index, or -1 when nothing fired. Callers
-// are expected to invoke it once per ladder step at a quiescent point.
-func (s *System) NodeEpoch() int {
+// NodeEpoch advances the node-fault epoch counter and fires every armed
+// plan that has come due, in ascending node order — two plans armed for the
+// same epoch model a correlated burst (shared rack power, a fabric
+// partition) and are reported as ONE simultaneous multi-node loss, which is
+// exactly the case an r ≥ 2 erasure code exists to absorb. Firing marks
+// every GPU of each fired node lost — without panicking: the caller is the
+// coordinator deciding how to react — and returns the lost nodes' indices,
+// empty when nothing fired. Callers are expected to invoke it once per
+// ladder step at a quiescent point.
+func (s *System) NodeEpoch() []int {
 	s.nodeMu.Lock()
 	s.nodeEpoch++
 	epoch := s.nodeEpoch
-	fired := -1
+	var fired []int
 	for node := 0; node < s.cfg.nodes(); node++ {
 		plan, ok := s.nodePlans[node]
 		if !ok || epoch <= plan.AfterEpochs {
 			continue
 		}
-		fired = node
+		fired = append(fired, node)
 		delete(s.nodePlans, node)
 		s.nodesLost[node] = true
-		break
 	}
 	s.nodeMu.Unlock()
-	if fired < 0 {
-		return -1
-	}
-	for _, g := range s.gpus {
-		if g.node != fired {
-			continue
+	for _, node := range fired {
+		for _, g := range s.gpus {
+			if g.node != node {
+				continue
+			}
+			g.fmu.Lock()
+			g.lost = true
+			g.fmu.Unlock()
 		}
-		g.fmu.Lock()
-		g.lost = true
-		g.fmu.Unlock()
+		nodeLostTotal.With(strconv.Itoa(node)).Inc()
 	}
-	nodeLostTotal.With(strconv.Itoa(fired)).Inc()
 	return fired
 }
 

@@ -160,14 +160,14 @@ func TestCrossTierLinkFaultComposition(t *testing.T) {
 func TestNodeFaultFiresAtEpoch(t *testing.T) {
 	s := New(topoCfg())
 	s.ArmNodeFault(1, NodeFaultPlan{AfterEpochs: 2})
-	if got := s.NodeEpoch(); got != -1 {
-		t.Fatalf("epoch 1 fired node %d", got)
+	if got := s.NodeEpoch(); len(got) != 0 {
+		t.Fatalf("epoch 1 fired nodes %v", got)
 	}
-	if got := s.NodeEpoch(); got != -1 {
-		t.Fatalf("epoch 2 fired node %d", got)
+	if got := s.NodeEpoch(); len(got) != 0 {
+		t.Fatalf("epoch 2 fired nodes %v", got)
 	}
-	if got := s.NodeEpoch(); got != 1 {
-		t.Fatalf("epoch 3 fired node %d, want 1", got)
+	if got := s.NodeEpoch(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("epoch 3 fired nodes %v, want [1]", got)
 	}
 	// Only node 1's GPUs are dead; the coordinator and node 0 survive.
 	for g := 0; g < 4; g++ {
@@ -192,20 +192,47 @@ func TestNodeFaultFiresAtEpoch(t *testing.T) {
 	if s.NodesLost() != 0 || s.GPU(1).Lost() {
 		t.Fatal("Reset must revive lost nodes")
 	}
-	if got := s.NodeEpoch(); got != -1 {
-		t.Fatalf("epoch after Reset fired node %d", got)
+	if got := s.NodeEpoch(); len(got) != 0 {
+		t.Fatalf("epoch after Reset fired nodes %v", got)
 	}
 }
 
-func TestNodeFaultOnePerEpoch(t *testing.T) {
+// TestNodeFaultBurstFiresTogether pins the simultaneous-loss semantics: two
+// plans armed for the same epoch fire as ONE two-node burst at that
+// boundary, not one per call — the correlated-failure case an r ≥ 2 erasure
+// code absorbs in a single reconstruction.
+func TestNodeFaultBurstFiresTogether(t *testing.T) {
 	s := New(topoCfg())
 	s.ArmNodeFault(0, NodeFaultPlan{})
 	s.ArmNodeFault(1, NodeFaultPlan{})
-	if got := s.NodeEpoch(); got != 0 {
-		t.Fatalf("first epoch fired node %d, want 0", got)
+	got := s.NodeEpoch()
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("first epoch fired nodes %v, want [0 1]", got)
 	}
-	if got := s.NodeEpoch(); got != 1 {
-		t.Fatalf("second epoch fired node %d, want 1", got)
+	if s.NodesLost() != 2 || !s.NodeLost(0) || !s.NodeLost(1) {
+		t.Fatalf("NodesLost = %d, want both nodes down", s.NodesLost())
+	}
+	for g := 0; g < 4; g++ {
+		if !s.GPU(g).Lost() {
+			t.Errorf("GPU%d survived a full burst", g)
+		}
+	}
+	if got := s.NodeEpoch(); len(got) != 0 {
+		t.Fatalf("second epoch re-fired nodes %v", got)
+	}
+}
+
+// TestNodeFaultStaggeredPlans: plans due at different epochs still fire
+// separately.
+func TestNodeFaultStaggeredPlans(t *testing.T) {
+	s := New(topoCfg())
+	s.ArmNodeFault(0, NodeFaultPlan{})
+	s.ArmNodeFault(1, NodeFaultPlan{AfterEpochs: 1})
+	if got := s.NodeEpoch(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("first epoch fired nodes %v, want [0]", got)
+	}
+	if got := s.NodeEpoch(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("second epoch fired nodes %v, want [1]", got)
 	}
 	if s.NodesLost() != 2 {
 		t.Fatalf("NodesLost = %d, want 2", s.NodesLost())

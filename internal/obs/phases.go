@@ -61,9 +61,23 @@ const (
 	// plans (label "node": the lost node's index).
 	MetricNodeLost = "ftla_node_lost_total"
 	// MetricReconstructions counts lost-node block columns rebuilt from
-	// erasure-coded parity, with no checkpoint involved (label "node": the
-	// node whose columns were reconstructed).
+	// erasure-coded parity, with no checkpoint involved (labels "node": the
+	// node whose columns were reconstructed; "spent"/"remaining": how much
+	// of the configured redundancy the cluster has consumed / still holds
+	// after the rebuild — remaining is the minimum surviving parity count
+	// across groups).
 	MetricReconstructions = "ftla_reconstructions_total"
+	// MetricParityBytes counts the bytes shipped by the erasure-coded
+	// redundancy layer: parity encode/refresh traffic, reconstruction
+	// shipments, and migration-driven parity re-encodes. A subset of
+	// MetricInternodeBytes by the placement invariant (member→parity
+	// shipments cross nodes by construction).
+	MetricParityBytes = "ftla_parity_bytes_total"
+	// MetricRebalanceParityReencodes counts parity columns re-homed and
+	// re-encoded by the rebalancer's parity-aware migration protocol (a
+	// member migrated onto a node that held one of its group's parities, so
+	// the parity moved to the donor's node).
+	MetricRebalanceParityReencodes = "ftla_rebalance_parity_reencodes_total"
 	// MetricInternodeBytes is the total simulated inter-node interconnect
 	// traffic in bytes (transfers whose endpoints live on different nodes;
 	// intra-node traffic stays in MetricPCIeBytes, which counts both tiers).

@@ -139,23 +139,39 @@ func (r *Registry) Counter(name, help string) *Counter {
 	return f.with("", func() any { return new(Counter) }).(*Counter)
 }
 
-// CounterVec is a family of counters keyed by the value of one label.
+// CounterVec is a family of counters keyed by the values of one or more
+// labels.
 type CounterVec struct {
 	f *family
 }
 
 // CounterVec returns the registered counter family for name with the
-// given label key, creating it on first use.
-func (r *Registry) CounterVec(name, help, label string) *CounterVec {
-	if label == "" {
-		panic("obs: CounterVec requires a label key")
-	}
-	return &CounterVec{f: r.family(name, help, kindCounter, label, nil)}
+// given label keys, creating it on first use. Multiple keys form a
+// multi-label family; With then takes one value per key, in the same
+// order. Label keys and values of multi-label families must not contain
+// commas (the internal series key joins on them).
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.family(name, help, kindCounter, joinLabels("CounterVec", labels), nil)}
 }
 
-// With returns the counter for one label value, creating it on first use.
-func (v *CounterVec) With(value string) *Counter {
-	return v.f.with(value, func() any { return new(Counter) }).(*Counter)
+// With returns the counter for one label-value tuple, creating it on
+// first use.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.f.with(strings.Join(values, ","), func() any { return new(Counter) }).(*Counter)
+}
+
+// joinLabels validates and joins a vec family's label keys into the
+// family's single label-key string.
+func joinLabels(kind string, labels []string) string {
+	if len(labels) == 0 {
+		panic("obs: " + kind + " requires a label key")
+	}
+	for _, l := range labels {
+		if l == "" || strings.Contains(l, ",") {
+			panic(fmt.Sprintf("obs: %s label key %q invalid (empty or contains a comma)", kind, l))
+		}
+	}
+	return strings.Join(labels, ",")
 }
 
 // Values snapshots every series of the family as labelValue -> count.
@@ -262,12 +278,36 @@ func (v *HistogramVec) With(value string) *Histogram {
 
 // Key renders the snapshot/exposition key of one series: the bare name
 // for unlabeled metrics, name{label="value"} for labeled ones (with the
-// value escaped by the Prometheus rules).
+// value escaped by the Prometheus rules). A multi-label family stores its
+// keys and values comma-joined; Key zips them back into the standard
+// name{k1="v1",k2="v2"} form.
 func Key(name, label, value string) string {
 	if label == "" {
 		return name
 	}
-	return name + `{` + label + `="` + escapeLabelValue(value) + `"}`
+	labels := strings.Split(label, ",")
+	if len(labels) == 1 {
+		return name + `{` + label + `="` + escapeLabelValue(value) + `"}`
+	}
+	values := strings.SplitN(value, ",", len(labels))
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		b.WriteString(l)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(v))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
 }
 
 // escapeLabelValue applies the Prometheus text-format escaping for label

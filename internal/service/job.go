@@ -124,6 +124,14 @@ func (s *JobSpec) validate() error {
 		// admission so a bad spec fails its Submit, not a worker.
 		return fmt.Errorf("service: %d GPUs not divisible over %d nodes", sc.NumGPUs, sc.Nodes)
 	}
+	if sc := s.Config.SystemConfig(); sc.Nodes > 1 && s.Config.Redundancy >= sc.Nodes {
+		// Each cross-node parity group needs at least one data column;
+		// reject at admission instead of failing the dispatch.
+		return fmt.Errorf("service: redundancy %d must stay below the node count %d", s.Config.Redundancy, sc.Nodes)
+	}
+	if s.Config.Redundancy < 0 {
+		return fmt.Errorf("service: negative redundancy %d", s.Config.Redundancy)
+	}
 	return nil
 }
 
@@ -162,6 +170,7 @@ func (s *JobSpec) batchKey() batch.Key {
 		Mode: int(eff.Protection), Scheme: int(eff.Scheme), Kernel: int(eff.Kernel),
 		Lookahead:             eff.Lookahead,
 		PeriodicTrailingCheck: eff.PeriodicTrailingCheck,
+		Redundancy:            eff.Redundancy,
 		Sys:                   eff.SystemConfig(),
 	}
 }

@@ -12,6 +12,7 @@ package service
 import (
 	"context"
 	"errors"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -19,6 +20,7 @@ import (
 
 	"ftla"
 	"ftla/internal/hetsim"
+	"ftla/internal/matrix"
 	"ftla/internal/obs"
 )
 
@@ -297,4 +299,238 @@ func TestNodeLossRecoveryGate(t *testing.T) {
 	}
 	t.Logf("node-loss gate: completed=%d/%d nodeFailovers=%d retries=%d reconstructions=%d",
 		completed, jobs, st.NodeFailovers, st.Retries, counterSum(d, obs.MetricReconstructions))
+}
+
+// clusterSpec is a 4-GPU / 4-node Cholesky job carrying r parity columns
+// per cross-node group; nf arms whole-node loss plans and lf PCIe link
+// fault plans (nil = clean cluster run).
+func clusterSpec(seed uint64, r int, nf map[int]ftla.NodeFaultPlan, lf map[int]ftla.LinkFaultPlan) JobSpec {
+	return JobSpec{
+		Decomp: Cholesky,
+		A:      ftla.RandomSPD(96, seed),
+		Config: ftla.Config{
+			GPUs: 4, NB: 16, Nodes: 4, Redundancy: r,
+			NodeFault: nf,
+			LinkFault: lf,
+		},
+		NoCache: true,
+	}
+}
+
+// TestMultiNodeLossRecoveryGate is the CI gate scripts/check.sh runs under
+// -race: a fleet of r=2 cluster jobs on 4-node platforms where jobs lose
+// one node, two nodes sequentially, or two nodes in one correlated burst —
+// every loss inside the redundancy budget. At least 90% of the jobs must
+// reach a completed result, not one completed job may carry a silently
+// wrong factor, and because r=2 absorbs every armed loss below the job,
+// the failover ladder must never engage.
+func TestMultiNodeLossRecoveryGate(t *testing.T) {
+	snap := obs.Default().Snapshot()
+	s := New(Config{
+		Workers: 4,
+		Retry:   RetryPolicy{MaxAttempts: 4, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond},
+		Seed:    101,
+	})
+	defer s.Close()
+
+	const jobs = 16
+	handles := make([]*JobHandle, 0, jobs)
+	double := make(map[int]bool)
+	for i := 0; i < jobs; i++ {
+		var nf map[int]ftla.NodeFaultPlan
+		switch i % 4 {
+		case 0: // clean control
+		case 1: // one loss: the first parity column absorbs it
+			nf = map[int]ftla.NodeFaultPlan{1 + i%3: {AfterEpochs: 1 + i%4}}
+		case 2: // two sequential losses: both absorbed at r=2
+			nf = map[int]ftla.NodeFaultPlan{
+				1: {AfterEpochs: 1 + i%2},
+				2: {AfterEpochs: 3 + i%2},
+			}
+			double[i] = true
+		case 3: // correlated burst: two nodes at one epoch, a 2-erasure decode
+			nf = map[int]ftla.NodeFaultPlan{
+				i % 3:   {AfterEpochs: 2},
+				1 + i%3: {AfterEpochs: 2},
+			}
+			double[i] = true
+		}
+		h, err := s.Submit(context.Background(), clusterSpec(uint64(900+i), 2, nf, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+
+	var mu sync.Mutex
+	completed, wrong := 0, 0
+	var wg sync.WaitGroup
+	for i, h := range handles {
+		wg.Add(1)
+		go func(i int, h *JobHandle) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			res, err := h.Wait(ctx)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				t.Logf("job %d did not complete: %v", i, err)
+				return
+			}
+			completed++
+			if res.Residual > 1e-9 {
+				wrong++
+				t.Errorf("job %d: silently wrong factor, residual %g", i, res.Residual)
+			}
+			if double[i] {
+				if res.Attempts != 1 {
+					t.Errorf("job %d: double loss took %d attempts, want 1 (absorbed below the job)", i, res.Attempts)
+				}
+				if nl := res.Factors.Report().NodesLost; nl != 2 {
+					t.Errorf("job %d: report NodesLost = %d, want 2", i, nl)
+				}
+			}
+		}(i, h)
+	}
+	wg.Wait()
+
+	if wrong != 0 {
+		t.Fatalf("%d job(s) returned silently wrong factors", wrong)
+	}
+	if completed*10 < jobs*9 {
+		t.Fatalf("only %d/%d jobs completed, gate requires >= 90%%", completed, jobs)
+	}
+	st := s.Stats()
+	if st.NodeFailovers != 0 {
+		t.Fatalf("Stats.NodeFailovers = %d, want 0 (every loss is inside the r=2 budget)", st.NodeFailovers)
+	}
+	d := obs.Default().Snapshot().Diff(snap)
+	if counterSum(d, obs.MetricNodeLost) == 0 {
+		t.Fatal("gate fleet lost no nodes: the armed faults never fired")
+	}
+	if counterSum(d, obs.MetricReconstructions) == 0 {
+		t.Fatal("no parity reconstructions recorded")
+	}
+	if counterSum(d, obs.MetricParityBytes) == 0 {
+		t.Fatal("no parity maintenance traffic recorded on an r=2 fleet")
+	}
+	spentTwo := false
+	for k := range d.Counters {
+		if strings.HasPrefix(k, obs.MetricReconstructions+"{") && strings.Contains(k, `spent="2"`) {
+			spentTwo = true
+			break
+		}
+	}
+	if !spentTwo {
+		t.Fatal("no reconstruction recorded with spent=2: the double losses never drained the budget")
+	}
+	t.Logf("multi-node-loss gate: completed=%d/%d reconstructions=%d parityBytes=%d",
+		completed, jobs, counterSum(d, obs.MetricReconstructions), counterSum(d, obs.MetricParityBytes))
+}
+
+// TestChaosClusterStorm mixes correlated node bursts with PCIe link faults
+// on r=2 clusters — the two fault layers recover through different
+// machinery (in-place erasure decode vs. checksummed retransmission and
+// link failover) and must not trip over each other. Run under -race by
+// scripts/check.sh via the fleet gates' shared harness conventions.
+func TestChaosClusterStorm(t *testing.T) {
+	before := runtime.NumGoroutine()
+	snap := obs.Default().Snapshot()
+
+	s := New(Config{
+		Workers: 4,
+		Retry:   RetryPolicy{MaxAttempts: 4, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond},
+		Seed:    103,
+	})
+
+	rng := matrix.NewRNG(2028)
+	const jobs = 18
+	handles := make([]*JobHandle, 0, jobs)
+	for i := 0; i < jobs; i++ {
+		var nf map[int]ftla.NodeFaultPlan
+		var lf map[int]ftla.LinkFaultPlan
+		switch rng.Intn(5) {
+		case 0: // clean control
+		case 1: // single node loss, absorbed by the first parity
+			nf = map[int]ftla.NodeFaultPlan{rng.Intn(4): {AfterEpochs: 1 + rng.Intn(4)}}
+		case 2: // correlated two-node burst, one simultaneous 2-erasure decode
+			a := rng.Intn(4)
+			b := (a + 1 + rng.Intn(3)) % 4
+			e := 1 + rng.Intn(3)
+			nf = map[int]ftla.NodeFaultPlan{a: {AfterEpochs: e}, b: {AfterEpochs: e}}
+		case 3: // transient link corruption, absorbed by retransmission
+			lf = map[int]ftla.LinkFaultPlan{rng.Intn(4): {
+				Mode: ftla.LinkCorrupt, AfterTransfers: rng.Intn(12), Every: 4 + rng.Intn(8),
+			}}
+		case 4: // node loss while a link flaps
+			nf = map[int]ftla.NodeFaultPlan{1 + rng.Intn(3): {AfterEpochs: 1 + rng.Intn(3)}}
+			lf = map[int]ftla.LinkFaultPlan{rng.Intn(4): {
+				Mode: ftla.LinkFlap, Count: 1 + rng.Intn(8),
+			}}
+		}
+		h, err := s.Submit(context.Background(), clusterSpec(uint64(1100+i), 2, nf, lf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+
+	var mu sync.Mutex
+	completed := 0
+	var wg sync.WaitGroup
+	for i, h := range handles {
+		wg.Add(1)
+		go func(i int, h *JobHandle) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			res, err := h.Wait(ctx)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				t.Logf("job %d did not complete: %v", i, err)
+				return
+			}
+			completed++
+			if res.Residual > 1e-9 {
+				t.Errorf("job %d: silently wrong result, residual %g", i, res.Residual)
+			}
+		}(i, h)
+	}
+	wg.Wait()
+	s.Close()
+
+	if completed*10 < jobs*9 {
+		t.Fatalf("only %d/%d jobs completed, storm requires >= 90%%", completed, jobs)
+	}
+	st := s.Stats()
+	if got := int(st.Completed + st.Failed + st.Canceled); got != jobs {
+		t.Fatalf("terminal states %d != jobs %d (some job vanished)", got, jobs)
+	}
+	d := obs.Default().Snapshot().Diff(snap)
+	if counterSum(d, obs.MetricNodeLost) == 0 {
+		t.Fatal("storm lost no nodes: the armed node faults never fired")
+	}
+	if counterSum(d, obs.MetricReconstructions) == 0 {
+		t.Fatal("storm recorded no parity reconstructions")
+	}
+	if d.CounterValue(obs.MetricTransferRetransmits) == 0 {
+		t.Fatal("storm issued no retransmissions: the link faults never fired")
+	}
+	t.Logf("cluster storm: completed=%d/%d reconstructions=%d retransmits=%d retries=%d",
+		completed, jobs, counterSum(d, obs.MetricReconstructions),
+		d.CounterValue(obs.MetricTransferRetransmits), st.Retries)
+
+	// Goroutine-leak check, same settle loop as TestChaosStorm.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before storm, %d after settle", before, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
 }

@@ -565,7 +565,14 @@ func (s *Scheduler) run(h *JobHandle) {
 				}
 				s.pool.quarantineSuspect(sys, link.Link)
 				if sysCfg.NumGPUs > 1 {
-					sysCfg.NumGPUs--
+					if sysCfg.Nodes > 1 {
+						// A lone GPU cannot be carved out of a cluster config
+						// (GPU count must stay divisible by the node count):
+						// retire the whole node behind the dead link.
+						degradeNode(&sysCfg)
+					} else {
+						sysCfg.NumGPUs--
+					}
 				}
 				if jctx.Err() != nil {
 					expire(attempt, err)

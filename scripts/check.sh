@@ -59,6 +59,17 @@ if grep -nE 'es\.transfer\(' internal/core/coded.go; then
     exit 1
 fi
 
+# Galois-field lint: internal/gf is the erasure code's arithmetic kernel
+# and must stay dependency-free (standard library only) — it is the one
+# piece of the coded-redundancy layer that is independently auditable
+# against the GF(2^8) literature, and an ftla import would drag simulator
+# state into pure field arithmetic. See DESIGN.md §11.
+if grep -rnE '"ftla(/|")' internal/gf/; then
+    echo "internal/gf must stay dependency-free (stdlib only): the erasure" >&2
+    echo "code's field arithmetic cannot import the rest of the tree" >&2
+    exit 1
+fi
+
 go test -race -timeout 5m ./...
 
 # Chaos gate: the fail-stop/graceful-degradation suites (see RESILIENCE.md)
@@ -118,3 +129,16 @@ go test -timeout 5m -run 'TestBatchThroughputGate' .
 # above already covers; -count=2 here shakes out pool/quarantine state
 # leaking between runs.
 go test -race -timeout 5m -run 'TestNodeLossRecoveryGate' -count=2 ./internal/service
+
+# Multi-node-loss recovery gate: a fleet of r=2 cluster jobs on 4-node
+# platforms absorbing one loss, two sequential losses, and two-node
+# correlated bursts — every loss inside the redundancy budget, so >=90%
+# of jobs must complete, zero may carry a silently wrong factor, and the
+# failover ladder must never engage (the losses are absorbed BELOW the
+# jobs by the [k+r, k] erasure decode). The bit-identity half
+# (double-loss reconstruction == uninterrupted, to the bit, sequential
+# AND simultaneous) lives in the core suite
+# (TestClusterDoubleNodeLossBitIdentical), covered by the full -race run
+# above; -count=2 here shakes out pool/quarantine state leaking between
+# runs.
+go test -race -timeout 5m -run 'TestMultiNodeLossRecoveryGate' -count=2 ./internal/service
